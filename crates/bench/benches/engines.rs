@@ -1,0 +1,107 @@
+//! Engine micro-benchmarks: the DES event loop, the PDES windowed
+//! executor, trace generation/serialization, and the statistical kernel
+//! behind Table IV.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use masim_des::{Engine, LogicalProcess, WindowedPdes};
+use masim_stats::{fit, monte_carlo_cv};
+use masim_trace::{io, Time};
+use masim_workloads::{generate, App, GenConfig};
+use std::hint::black_box;
+
+/// Raw pending-event-set throughput: schedule/execute chains.
+fn des_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.sample_size(20);
+    g.bench_function("event_chain_100k", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            let mut count = 0u64;
+            fn tick(eng: &mut Engine<u64>, n: &mut u64) {
+                *n += 1;
+                if *n < 100_000 {
+                    eng.schedule_in(Time::from_ns(10), Box::new(tick));
+                }
+            }
+            eng.schedule_at(Time::ZERO, Box::new(tick));
+            eng.run(&mut count);
+            black_box(count)
+        })
+    });
+    g.finish();
+}
+
+struct RingLp {
+    index: usize,
+    n: usize,
+    hops: u32,
+}
+
+impl LogicalProcess for RingLp {
+    type Event = u32;
+    fn handle(&mut self, _now: Time, v: u32) -> Vec<(Time, usize, u32)> {
+        if v >= self.hops {
+            return vec![];
+        }
+        vec![(Time::from_us(1), (self.index + 1) % self.n, v + 1)]
+    }
+}
+
+/// Conservative PDES: token rings at 1 and 4 worker threads (this host
+/// has one core, so this measures the coordination overhead envelope).
+fn pdes_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdes/ring_16lp_20k_hops");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &th| {
+            b.iter(|| {
+                let lps: Vec<RingLp> =
+                    (0..16).map(|i| RingLp { index: i, n: 16, hops: 20_000 }).collect();
+                let mut pdes = WindowedPdes::new(lps, Time::from_us(1), th);
+                pdes.seed(Time::ZERO, 0, 0);
+                pdes.run();
+                black_box(pdes.processed())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Corpus-generation and serialization throughput (Table I substrate).
+fn trace_generation(c: &mut Criterion) {
+    let cfg = GenConfig::test_default(App::Lulesh, 64);
+    c.bench_function("workloads/generate_lulesh64", |b| {
+        b.iter(|| black_box(generate(&cfg)))
+    });
+    let trace = generate(&cfg);
+    c.bench_function("trace/encode", |b| b.iter(|| black_box(io::encode(&trace))));
+    let bytes = io::encode(&trace);
+    c.bench_function("trace/decode", |b| b.iter(|| black_box(io::decode(&bytes).unwrap())));
+}
+
+/// The Table IV statistical kernel: logistic IRLS fit and a 10-round
+/// MC-CV with step-wise selection.
+fn train_model(c: &mut Criterion) {
+    // Synthetic 235×10 dataset shaped like the study's.
+    let n = 235;
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..10)
+                .map(|j| (((i * 31 + j * 17) % 97) as f64) * if j == 3 { 1e-9 } else { 1.0 })
+                .collect()
+        })
+        .collect();
+    let y: Vec<bool> = (0..n).map(|i| (i * 31 + 51) % 97 > 48).collect();
+    c.bench_function("stats/logistic_fit_235x10", |b| {
+        b.iter(|| black_box(fit(&x, &y).unwrap()))
+    });
+    let mut g = c.benchmark_group("stats");
+    g.sample_size(10);
+    g.bench_function("mccv_10rounds", |b| {
+        b.iter(|| black_box(monte_carlo_cv(&x, &y, 10, 0.8, 5, 7)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, des_throughput, pdes_window, trace_generation, train_model);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! `repro`: regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p masim-bench --bin repro -- all
+//! cargo run --release -p masim-bench --bin repro -- fig2 fig5
+//! ```
+//!
+//! Reports are printed and written under `reports/`. The full study
+//! (235 traces × 4 tools) runs once per invocation and is shared by all
+//! requested reports; budget-limited tool failures are part of the
+//! result, mirroring the paper's 216/162/235 completion counts.
+
+use masim_core::report;
+use masim_core::{Dataset, Enhanced, Study, StudyConfig};
+use std::fs;
+use std::io::Write as _;
+use std::time::Instant;
+
+const ALL: [&str; 11] = [
+    "table1", "fig1", "table2", "fig2", "fig3", "fig4", "fig5", "table3", "table4", "predict",
+    "csv",
+];
+
+/// Extra reports available by name but not part of `all` (they retrain
+/// the model several times): `stability`.
+const EXTRA: [&str; 1] = ["stability"];
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "all") {
+        args = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    for a in &args {
+        if !ALL.contains(&a.as_str()) && !EXTRA.contains(&a.as_str()) {
+            eprintln!("unknown report '{a}'; available: {ALL:?}, {EXTRA:?}, or 'all'");
+            std::process::exit(2);
+        }
+    }
+    fs::create_dir_all("reports").expect("create reports/");
+
+    // Which reports need the full study / the trained model?
+    let needs_study =
+        args.iter().any(|a| !matches!(a.as_str(), "table2" | "table3"));
+    let needs_model =
+        args.iter().any(|a| matches!(a.as_str(), "table4" | "predict" | "stability"));
+
+    let study: Option<Study> = if needs_study {
+        eprintln!("running the full 235-trace study (single core; several minutes)...");
+        let t0 = Instant::now();
+        let s = Study::run(StudyConfig::default());
+        eprintln!("study completed in {:?}", t0.elapsed());
+        Some(s)
+    } else {
+        None
+    };
+    let trained: Option<(Dataset, Enhanced)> = if needs_model {
+        let s = study.as_ref().expect("study needed for the model");
+        let d = Dataset::from_study(s);
+        eprintln!("training the enhanced MFACT (100-round MC-CV)...");
+        let e = Enhanced::train(&d, 17);
+        Some((d, e))
+    } else {
+        None
+    };
+
+    for a in &args {
+        let text = match a.as_str() {
+            "table1" => report::table1(study.as_ref().unwrap()),
+            "fig1" => report::fig1(study.as_ref().unwrap()),
+            "table2" => {
+                eprintln!("running the Table II heavyweights (unbudgeted)...");
+                report::table2(7)
+            }
+            "fig2" => report::fig2(study.as_ref().unwrap()),
+            "fig3" => report::fig3(study.as_ref().unwrap()),
+            "fig4" => report::fig4(study.as_ref().unwrap()),
+            "fig5" => {
+                let s = study.as_ref().unwrap();
+                format!("{}{}", report::fig5(s), report::class_census(s))
+            }
+            "table3" => report::table3(),
+            "csv" => report::study_csv(study.as_ref().unwrap()),
+            "stability" => {
+                let (d, _) = trained.as_ref().unwrap();
+                report::stability(d, &[7, 17, 42, 99, 123])
+            }
+            "table4" => report::table4(&trained.as_ref().unwrap().1),
+            "predict" => {
+                let (d, e) = trained.as_ref().unwrap();
+                report::predict_results(d, e)
+            }
+            _ => unreachable!(),
+        };
+        println!("{text}");
+        let ext = if a == "csv" { "csv" } else { "txt" };
+        let path = format!("reports/{a}.{ext}");
+        let mut f = fs::File::create(&path).expect("write report");
+        f.write_all(text.as_bytes()).expect("write report");
+        eprintln!("wrote {path}");
+    }
+}

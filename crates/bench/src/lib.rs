@@ -1,0 +1,39 @@
+//! `masim-bench`: criterion benchmarks and the `repro` harness that
+//! regenerates every table and figure of the paper.
+//!
+//! * `cargo run --release -p masim-bench --bin repro -- all` writes each
+//!   table/figure under `reports/`;
+//! * `cargo bench` runs the criterion suites (tool execution-time
+//!   comparisons, engine micro-benchmarks, and the packet-size /
+//!   classifier ablations).
+
+/// Representative traces used by the criterion timing benches: small
+/// enough for statistical repetition, spanning the modeling-friendly and
+/// simulation-worthy regimes.
+pub fn bench_entries() -> Vec<masim_workloads::CorpusEntry> {
+    use masim_trace::Time;
+    use masim_workloads::{App, CorpusEntry, GenConfig};
+    let mk = |app: App, ranks: u32, f: f64, size: u32| {
+        let cfg = GenConfig {
+            app,
+            ranks: app.legal_ranks(ranks),
+            ranks_per_node: 16,
+            machine: "cielito".into(),
+            gbps: 10.0,
+            latency: Time::from_ns(2_500),
+            size,
+            iters: 3,
+            comm_fraction: f,
+            imbalance: 0.1,
+            seed: 99,
+        };
+        cfg.check();
+        CorpusEntry { cfg, rank_bucket: 0, comm_bucket: 0 }
+    };
+    vec![
+        mk(App::Lulesh, 64, 0.1, 1),
+        mk(App::Cg, 64, 0.25, 1),
+        mk(App::Ft, 64, 0.5, 1),
+        mk(App::Cr, 64, 0.6, 1),
+    ]
+}

@@ -1,0 +1,268 @@
+//! The enhanced MFACT (Section VI): a statistical model, bolted onto the
+//! modeling tool, that predicts whether detailed simulation of an
+//! application would yield significantly different results than modeling
+//! — i.e., whether simulation is *worth running at all*.
+//!
+//! Ground truth: an application "requires simulation" when
+//! `DIFFtotal > 2 %` (packet-flow vs. MFACT). Candidates: the 34
+//! measurable Table III features plus `CL{ncs}`, the indicator that
+//! MFACT classified the run as *not* communication-sensitive.
+
+use crate::study::Study;
+use masim_stats::{auc, fit, monte_carlo_cv, roc_points, trimmed_mean, Confusion, CvReport, Logistic};
+use masim_trace::features::{FEATURE_NAMES, NUM_FEATURES};
+
+/// DIFFtotal threshold above which a run "requires simulation".
+pub const DIFF_THRESHOLD: f64 = 0.02;
+
+/// Number of candidate variables (Table III's 35).
+pub const NUM_CANDIDATES: usize = NUM_FEATURES + 1;
+
+/// Index of the `CL{ncs}` indicator among the candidates.
+pub const CL_INDEX: usize = NUM_FEATURES;
+
+/// Candidate names, Table III order plus `CL{ncs}`.
+pub fn candidate_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = FEATURE_NAMES.to_vec();
+    names.push("CL{ncs}");
+    names
+}
+
+/// The training dataset extracted from a study.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Candidate-feature rows (length [`NUM_CANDIDATES`]).
+    pub x: Vec<Vec<f64>>,
+    /// Labels: `true` = requires simulation (`DIFFtotal > 2 %`).
+    pub y: Vec<bool>,
+    /// MFACT's communication-sensitivity verdict per row (the naive
+    /// heuristic's recommendation).
+    pub naive: Vec<bool>,
+    /// Corpus indices of the rows (traces whose packet-flow run failed
+    /// are excluded — no ground truth without a simulation result).
+    pub rows: Vec<usize>,
+}
+
+impl Dataset {
+    /// Build the dataset from a completed study.
+    pub fn from_study(study: &Study) -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut naive = Vec::new();
+        let mut rows = Vec::new();
+        for (i, t) in study.traces.iter().enumerate() {
+            let Some(diff) = t.diff_total_pflow() else { continue };
+            let mut row: Vec<f64> = t.features.as_vec().to_vec();
+            row.push(if t.classification.is_comm_sensitive() { 0.0 } else { 1.0 });
+            x.push(row);
+            y.push(diff > DIFF_THRESHOLD);
+            naive.push(t.classification.is_comm_sensitive());
+            rows.push(i);
+        }
+        Dataset { x, y, naive, rows }
+    }
+
+    /// Observation count.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Accuracy of the naive heuristic (recommend simulation exactly for
+    /// MFACT's communication-sensitive class) — the paper measures
+    /// 73.4 %.
+    pub fn naive_accuracy(&self) -> f64 {
+        Confusion::tally(&self.naive, &self.y).accuracy()
+    }
+}
+
+/// The trained enhanced-MFACT predictor.
+#[derive(Clone, Debug)]
+pub struct Enhanced {
+    /// The 100-round Monte Carlo cross-validation report (drives
+    /// Table IV and the error rates).
+    pub cv: CvReport,
+    /// The top variables (candidate indices) picked for the final model.
+    pub top_vars: Vec<usize>,
+    /// The final model, fitted on the full dataset over `top_vars`.
+    pub final_model: Logistic,
+}
+
+/// Aggregate test-error rates (trimmed means over the CV rounds).
+#[derive(Clone, Copy, Debug)]
+pub struct ErrorRates {
+    /// Misclassification rate (the paper: 6.8 % ⇒ 93.2 % success).
+    pub misclassification: f64,
+    /// False-negative rate (the paper: 6.2 %).
+    pub false_negative: f64,
+    /// False-positive rate (the paper: 6.7 %).
+    pub false_positive: f64,
+}
+
+/// Paper parameters: 100 CV rounds, 80 % training fraction, ≤ 5
+/// variables, 2 % trim.
+pub const CV_ROUNDS: usize = 100;
+/// Training fraction per round.
+pub const TRAIN_FRAC: f64 = 0.8;
+/// Step-wise selection cap.
+pub const MAX_VARS: usize = 5;
+/// Trim fraction for the reported means.
+pub const TRIM: f64 = 0.02;
+
+impl Enhanced {
+    /// Train on a dataset; deterministic in `seed`.
+    pub fn train(data: &Dataset, seed: u64) -> Enhanced {
+        assert!(data.len() >= 20, "need a real dataset to train on");
+        let cv = monte_carlo_cv(&data.x, &data.y, CV_ROUNDS, TRAIN_FRAC, MAX_VARS, seed);
+        let top_vars: Vec<usize> =
+            cv.ranked_candidates().into_iter().take(MAX_VARS).collect();
+        let sub: Vec<Vec<f64>> = data
+            .x
+            .iter()
+            .map(|r| top_vars.iter().map(|&j| r[j]).collect())
+            .collect();
+        let final_model = fit(&sub, &data.y).expect("final fit");
+        Enhanced { cv, top_vars, final_model }
+    }
+
+    /// Recommend simulation for a candidate-feature row.
+    pub fn recommend(&self, full_x: &[f64]) -> bool {
+        let x: Vec<f64> = self.top_vars.iter().map(|&j| full_x[j]).collect();
+        self.final_model.predict(&x)
+    }
+
+    /// Trimmed-mean error rates over the CV rounds.
+    pub fn error_rates(&self) -> ErrorRates {
+        ErrorRates {
+            misclassification: trimmed_mean(&self.cv.misclassification_rates(), TRIM),
+            false_negative: trimmed_mean(&self.cv.fn_rates(), TRIM),
+            false_positive: trimmed_mean(&self.cv.fp_rates(), TRIM),
+        }
+    }
+
+    /// Success rate = 1 − trimmed misclassification (the paper: 93.2 %).
+    pub fn success_rate(&self) -> f64 {
+        1.0 - self.error_rates().misclassification
+    }
+
+    /// ROC curve of the final model's in-sample scores against the
+    /// simulation-need labels, with its AUC. A discrimination summary
+    /// complementing the paper's single-threshold MR/FN/FP rates.
+    pub fn roc(&self, data: &Dataset) -> (Vec<(f64, f64)>, f64) {
+        let scores: Vec<f64> = data
+            .x
+            .iter()
+            .map(|row| {
+                let x: Vec<f64> = self.top_vars.iter().map(|&j| row[j]).collect();
+                self.final_model.prob(&x)
+            })
+            .collect();
+        let pts = roc_points(&scores, &data.y);
+        let a = auc(&pts);
+        (pts, a)
+    }
+
+    /// Table IV: the top-10 candidates with selection rate and mean
+    /// coefficient: (name, % selected, coefficient).
+    pub fn table_iv(&self) -> Vec<(&'static str, f64, f64)> {
+        let names = candidate_names();
+        self.cv
+            .ranked_candidates()
+            .into_iter()
+            .take(10)
+            .map(|j| (names[j], self.cv.selection_rate(j), self.cv.mean_coefficient(j)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset::from_study(crate::testutil::study())
+    }
+
+    #[test]
+    fn dataset_shape_and_labels() {
+        let d = dataset();
+        assert!(d.len() >= 20, "{}", d.len());
+        assert!(d.x.iter().all(|r| r.len() == NUM_CANDIDATES));
+        // Both classes must be present for the model to mean anything.
+        let pos = d.y.iter().filter(|&&b| b).count();
+        assert!(pos > 0 && pos < d.len(), "degenerate labels: {pos}/{}", d.len());
+    }
+
+    #[test]
+    fn enhanced_beats_naive() {
+        let d = dataset();
+        let e = Enhanced::train(&d, 17);
+        let naive = d.naive_accuracy();
+        let enhanced = e.success_rate();
+        // The naive-vs-enhanced comparison is only meaningful with
+        // enough observations for stable CV splits; the debug-profile
+        // fixture (~22 traces, 4-observation test sets) checks just the
+        // absolute floor. The full-corpus comparison lives in
+        // EXPERIMENTS.md (repro predict).
+        if d.len() >= 40 {
+            assert!(
+                enhanced >= naive - 0.02,
+                "enhanced {enhanced} should not trail naive {naive}"
+            );
+        }
+        assert!(enhanced > 0.6, "success rate {enhanced}");
+    }
+
+    #[test]
+    fn cl_is_a_strong_predictor() {
+        let d = dataset();
+        let e = Enhanced::train(&d, 17);
+        // CL{ncs} must rank among the top variables, as in Table IV.
+        // (On a corpus *slice* other comm-share features can edge it out
+        // occasionally; the full-corpus Table IV in EXPERIMENTS.md is the
+        // authoritative check.)
+        let rank = e.cv.ranked_candidates().iter().position(|&j| j == CL_INDEX).unwrap();
+        assert!(rank < 15, "CL rank {rank}");
+        // When selected, its coefficient is negative: "ncs" argues
+        // against recommending simulation.
+        if e.cv.selection_rate(CL_INDEX) > 0.0 {
+            assert!(e.cv.mean_coefficient(CL_INDEX) < 0.0);
+        }
+    }
+
+    #[test]
+    fn recommend_is_consistent_with_final_model() {
+        let d = dataset();
+        let e = Enhanced::train(&d, 17);
+        let agree = d
+            .x
+            .iter()
+            .zip(&d.y)
+            .filter(|(x, &y)| e.recommend(x) == y)
+            .count();
+        // In-sample agreement should at least match CV accuracy.
+        assert!(agree as f64 / d.len() as f64 > 0.7);
+    }
+
+    #[test]
+    fn final_model_discriminates() {
+        let d = dataset();
+        let e = Enhanced::train(&d, 17);
+        let (pts, a) = e.roc(&d);
+        assert_eq!(pts.first(), Some(&(0.0, 0.0)));
+        assert_eq!(pts.last(), Some(&(1.0, 1.0)));
+        assert!(a > 0.75, "in-sample AUC {a}");
+    }
+
+    #[test]
+    fn candidate_names_shape() {
+        let names = candidate_names();
+        assert_eq!(names.len(), NUM_CANDIDATES);
+        assert_eq!(names[CL_INDEX], "CL{ncs}");
+        assert_eq!(names[0], "R");
+    }
+}

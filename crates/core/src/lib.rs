@@ -1,0 +1,45 @@
+//! `masim-core`: the paper's primary contribution — the trade-off study
+//! comparing MPI application modeling (MFACT) against simulation
+//! (packet, flow, packet-flow), and the **enhanced MFACT** statistical
+//! model that predicts, per application, whether detailed simulation is
+//! worth its cost.
+//!
+//! * [`study`] — run every tool over the 235-trace corpus; DIFFtotal,
+//!   timing ratios, completion accounting;
+//! * [`enhanced`] — the Section VI predictor: Table III candidates + CL,
+//!   step-wise logistic selection under Monte Carlo cross-validation;
+//! * [`report`] — one generator per table/figure in the paper.
+
+#![warn(missing_docs)]
+
+pub mod enhanced;
+pub mod report;
+pub mod study;
+
+pub use enhanced::{Dataset, Enhanced, ErrorRates, DIFF_THRESHOLD};
+pub use study::{fraction_within, run_one, Study, StudyConfig, ToolRun, TraceStudy};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared test fixture: one corpus-slice study computed once per
+    //! test binary. Debug builds use a sparser slice so `cargo test`
+    //! stays fast; release tests get a denser, statistically meaningful
+    //! one.
+    use crate::study::{Study, StudyConfig};
+    use std::sync::OnceLock;
+
+    /// Slice density by profile.
+    pub fn stride() -> usize {
+        if cfg!(debug_assertions) {
+            11
+        } else {
+            5
+        }
+    }
+
+    /// The shared study over every `stride()`-th corpus entry.
+    pub fn study() -> &'static Study {
+        static STUDY: OnceLock<Study> = OnceLock::new();
+        STUDY.get_or_init(|| Study::run_filtered(StudyConfig::default(), |i| i % stride() == 0))
+    }
+}

@@ -1,0 +1,384 @@
+//! The performance/accuracy trade-off study (Section V).
+//!
+//! For every trace in the corpus, run MFACT once (a multi-configuration
+//! replay that also yields the classification) and the three SST/Macro
+//! network models, recording predicted times and tool wall-clock times.
+//! Packet and flow simulations run under a work budget and may *fail*,
+//! mirroring the paper where they completed only 216 and 162 of the 235
+//! traces; MFACT and packet-flow complete everything.
+
+use masim_mfact::{classify, replay, Classification, ModelConfig};
+use masim_sim::{simulate_budgeted, ModelKind, SimConfig};
+use masim_topo::Machine;
+use masim_trace::{Features, Time, Trace};
+use masim_workloads::{build_corpus, CorpusEntry};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Wrap a result slot in a mutex for the parallel runner.
+fn parking_slot(slot: &mut Option<TraceStudy>) -> Mutex<&mut Option<TraceStudy>> {
+    Mutex::new(slot)
+}
+
+/// Outcome of one tool on one trace.
+#[derive(Clone, Debug)]
+pub struct ToolRun {
+    /// Predicted application (total) time; `None` if the tool failed.
+    pub total: Option<Time>,
+    /// Predicted communication time (summed over ranks).
+    pub comm: Option<Time>,
+    /// Wall-clock time the tool took on this host.
+    pub wall: Duration,
+}
+
+impl ToolRun {
+    /// Did the tool produce a prediction?
+    pub fn completed(&self) -> bool {
+        self.total.is_some()
+    }
+}
+
+/// Everything the study measures for one trace.
+#[derive(Clone, Debug)]
+pub struct TraceStudy {
+    /// The corpus entry (configuration + bucket plan).
+    pub entry: CorpusEntry,
+    /// Measured application time recorded in the trace.
+    pub measured_total: Time,
+    /// Measured communication time (summed over ranks).
+    pub measured_comm: Time,
+    /// Trace size (events), for context in reports.
+    pub events: usize,
+    /// The 34 measurable Table III features.
+    pub features: Features,
+    /// MFACT's classification (and its sensitivity evidence).
+    pub classification: Classification,
+    /// MFACT modeling run.
+    pub mfact: ToolRun,
+    /// Packet-level simulation run.
+    pub packet: ToolRun,
+    /// Flow-level simulation run.
+    pub flow: ToolRun,
+    /// Hybrid packet-flow simulation run.
+    pub pflow: ToolRun,
+}
+
+impl TraceStudy {
+    /// `DIFFtotal` against a simulator's prediction:
+    /// `|sim_total / mfact_total − 1|`; `None` if that simulator failed.
+    pub fn diff_total(&self, sim: &ToolRun) -> Option<f64> {
+        let s = sim.total?.as_secs_f64();
+        let m = self.mfact.total?.as_secs_f64();
+        if m <= 0.0 {
+            return None;
+        }
+        Some((s / m - 1.0).abs())
+    }
+
+    /// Signed relative difference in predicted *communication* time.
+    pub fn diff_comm(&self, sim: &ToolRun) -> Option<f64> {
+        let s = sim.comm?.as_secs_f64();
+        let m = self.mfact.comm?.as_secs_f64();
+        if m <= 0.0 {
+            return None;
+        }
+        Some(s / m - 1.0)
+    }
+
+    /// The paper's headline DIFFtotal (packet-flow vs. MFACT).
+    pub fn diff_total_pflow(&self) -> Option<f64> {
+        self.diff_total(&self.pflow)
+    }
+
+    /// Wall-clock ratio simulation/modeling for one simulator.
+    pub fn time_ratio(&self, sim: &ToolRun) -> Option<f64> {
+        if !sim.completed() {
+            return None;
+        }
+        let m = self.mfact.wall.as_secs_f64();
+        if m <= 0.0 {
+            return None;
+        }
+        Some(sim.wall.as_secs_f64() / m)
+    }
+
+    /// True when all four tools completed (the paper's timing-study
+    /// filter).
+    pub fn all_completed(&self) -> bool {
+        self.mfact.completed()
+            && self.packet.completed()
+            && self.flow.completed()
+            && self.pflow.completed()
+    }
+}
+
+/// Study configuration.
+#[derive(Clone, Debug)]
+pub struct StudyConfig {
+    /// Corpus seed.
+    pub seed: u64,
+    /// Work budget (DES events + model work units) for the packet model.
+    /// The heaviest traces exceed it and count as failures.
+    pub packet_budget: u64,
+    /// Work budget for the flow model (its ripple cost explodes on
+    /// bursty many-flow traces; the paper's flow model failed 73 traces).
+    pub flow_budget: u64,
+    /// Work budget for packet-flow (effectively unlimited: the paper's
+    /// packet-flow model completes all 235 traces).
+    pub pflow_budget: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> StudyConfig {
+        StudyConfig {
+            seed: 7,
+            packet_budget: 1_640_000,
+            flow_budget: 211_200,
+            pflow_budget: u64::MAX,
+        }
+    }
+}
+
+/// The full study result.
+#[derive(Clone, Debug)]
+pub struct Study {
+    /// Per-trace measurements, in corpus order.
+    pub traces: Vec<TraceStudy>,
+    /// The configuration used.
+    pub config: StudyConfig,
+}
+
+/// Run one tool set over one corpus entry.
+pub fn run_one(entry: &CorpusEntry, cfg: &StudyConfig) -> TraceStudy {
+    let trace: Trace = entry.generate();
+    let machine = Machine::by_name(&entry.cfg.machine)
+        .unwrap_or_else(|| panic!("unknown machine {}", entry.cfg.machine));
+
+    // MFACT: single multi-config replay (baseline + the classifier's two
+    // probes), exactly the tool's one-replay-many-configs trick. The
+    // wall time measured is that single replay.
+    let t0 = Instant::now();
+    let configs = [
+        ModelConfig::base(machine.net),
+        ModelConfig::base(machine.net.scaled(0.125, 1.0)),
+        ModelConfig::base(machine.net.scaled(1.0, 8.0)),
+    ];
+    let mres = replay(&trace, &configs);
+    let mfact_wall = t0.elapsed();
+    let mfact = ToolRun {
+        total: Some(mres[0].total),
+        comm: Some(mres[0].comm_time),
+        wall: mfact_wall,
+    };
+    // Classification reuses the same replay semantics (re-run is cheap
+    // and keeps the classifier API self-contained).
+    let classification = classify(&trace, machine.net);
+
+    let features = Features::extract(&trace);
+
+    let sim_run = |model: ModelKind, budget: u64| -> ToolRun {
+        let cfg = SimConfig::new(machine.clone(), model, &trace);
+        let t = Instant::now();
+        let res = simulate_budgeted(&trace, &cfg, budget);
+        let wall = t.elapsed();
+        match res {
+            Some(r) => ToolRun { total: Some(r.total), comm: Some(r.comm_time), wall },
+            None => ToolRun { total: None, comm: None, wall },
+        }
+    };
+    let [pkt_kind, flow_kind, pflow_kind] = ModelKind::study_models();
+    let packet = sim_run(pkt_kind, cfg.packet_budget);
+    let flow = sim_run(flow_kind, cfg.flow_budget);
+    let pflow = sim_run(pflow_kind, cfg.pflow_budget);
+
+    TraceStudy {
+        entry: entry.clone(),
+        measured_total: trace.measured_time(),
+        measured_comm: trace.total_comm_time(),
+        events: trace.num_events(),
+        features,
+        classification,
+        mfact,
+        packet,
+        flow,
+        pflow,
+    }
+}
+
+impl Study {
+    /// Run the full 235-trace study.
+    pub fn run(cfg: StudyConfig) -> Study {
+        Study::run_filtered(cfg, |_| true)
+    }
+
+    /// Run the study on the corpus subset passing `keep` (for tests and
+    /// examples; the keep predicate sees the corpus index).
+    pub fn run_filtered(cfg: StudyConfig, keep: impl Fn(usize) -> bool) -> Study {
+        let entries = build_corpus(cfg.seed);
+        let traces = entries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep(*i))
+            .map(|(_, e)| run_one(e, &cfg))
+            .collect();
+        Study { traces, config: cfg }
+    }
+
+    /// Run the full study across `threads` worker threads (the paper's
+    /// Jungla host ran both tools on 64 cores; per-trace work is
+    /// embarrassingly parallel). Results are returned in corpus order
+    /// and are identical to the sequential run's — note, though, that
+    /// per-tool *wall-clock* measurements degrade under co-scheduling,
+    /// so timing studies (Figure 1 / Table II) should use the
+    /// sequential runner.
+    pub fn run_parallel(cfg: StudyConfig, threads: usize) -> Study {
+        let entries = build_corpus(cfg.seed);
+        let threads = threads.max(1);
+        let n = entries.len();
+        let mut slots: Vec<Option<TraceStudy>> = (0..n).map(|_| None).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slot_refs: Vec<_> = slots.iter_mut().map(parking_slot).collect();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                let next = &next;
+                let entries = &entries;
+                let cfg = &cfg;
+                let slot_refs = &slot_refs;
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= entries.len() {
+                        break;
+                    }
+                    let result = run_one(&entries[i], cfg);
+                    **slot_refs[i].lock().unwrap() = Some(result);
+                });
+            }
+        })
+        .expect("study worker panicked");
+        drop(slot_refs);
+        let traces = slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect();
+        Study { traces, config: cfg }
+    }
+
+    /// Completion counts per tool: (mfact, packet, flow, packet-flow).
+    pub fn completions(&self) -> (usize, usize, usize, usize) {
+        let c = |f: fn(&TraceStudy) -> &ToolRun| {
+            self.traces.iter().filter(|t| f(t).completed()).count()
+        };
+        (
+            c(|t| &t.mfact),
+            c(|t| &t.packet),
+            c(|t| &t.flow),
+            c(|t| &t.pflow),
+        )
+    }
+
+    /// The timing-study subset: traces where all four tools completed.
+    pub fn timing_subset(&self) -> Vec<&TraceStudy> {
+        self.traces.iter().filter(|t| t.all_completed()).collect()
+    }
+}
+
+/// Empirical CDF helper: fraction of (finite) values ≤ each threshold.
+pub fn fraction_within(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v <= threshold).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::study as small_study;
+
+    #[test]
+    fn tools_complete_and_predict() {
+        let s = small_study();
+        assert!(!s.traces.is_empty());
+        let (m, _p, _f, pf) = s.completions();
+        assert_eq!(m, s.traces.len(), "MFACT completes everything");
+        assert_eq!(pf, s.traces.len(), "packet-flow completes everything");
+        for t in &s.traces {
+            assert!(t.mfact.total.unwrap() > Time::ZERO);
+            assert!(t.measured_total > Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn modeling_is_faster_than_simulation() {
+        let s = small_study();
+        for t in s.timing_subset() {
+            for sim in [&t.packet, &t.flow, &t.pflow] {
+                let ratio = t.time_ratio(sim).unwrap();
+                assert!(ratio > 1.0, "{}: ratio {ratio}", t.entry.cfg.app);
+            }
+        }
+    }
+
+    #[test]
+    fn diffs_are_mostly_small() {
+        let s = small_study();
+        let diffs: Vec<f64> = s.traces.iter().filter_map(|t| t.diff_total_pflow()).collect();
+        assert!(!diffs.is_empty());
+        // Shape check on the slice: a clear majority within 10%.
+        let within10 = fraction_within(&diffs, 0.10);
+        assert!(within10 > 0.5, "only {within10} within 10%: {diffs:?}");
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        // Two cheap corpus entries, 2 threads: results must be identical
+        // (modulo wall-clock) and in corpus order.
+        let cfg = StudyConfig::default();
+        let seq = Study::run_filtered(cfg.clone(), |i| i == 3 || i == 40);
+        let entries_kept: Vec<usize> = vec![3, 40];
+        let par = {
+            // run_parallel covers the whole corpus; emulate the subset by
+            // comparing the matching entries of a tiny parallel run over
+            // the same two entries via run_filtered + threads test below.
+            // Here we instead verify run_parallel on the subset API by
+            // spot-checking determinism of run_one across threads.
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let entries = masim_workloads::build_corpus(cfg.seed);
+            let picked: Vec<_> = entries_kept.iter().map(|&i| entries[i].clone()).collect();
+            let next = AtomicUsize::new(0);
+            let mut out: Vec<Option<TraceStudy>> = vec![None, None];
+            let slots: Vec<_> = out.iter_mut().map(std::sync::Mutex::new).collect();
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..2 {
+                    let next = &next;
+                    let picked = &picked;
+                    let cfg = &cfg;
+                    let slots = &slots;
+                    scope.spawn(move |_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= picked.len() {
+                            break;
+                        }
+                        let r = run_one(&picked[i], cfg);
+                        **slots[i].lock().unwrap() = Some(r);
+                    });
+                }
+            })
+            .unwrap();
+            drop(slots);
+            out.into_iter().map(|s| s.unwrap()).collect::<Vec<_>>()
+        };
+        for (a, b) in seq.traces.iter().zip(&par) {
+            assert_eq!(a.mfact.total, b.mfact.total);
+            assert_eq!(a.pflow.total, b.pflow.total);
+            assert_eq!(a.measured_total, b.measured_total);
+        }
+    }
+
+    #[test]
+    fn fraction_within_basics() {
+        let v = [0.01, 0.03, 0.2];
+        assert!((fraction_within(&v, 0.05) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(fraction_within(&[], 1.0), 0.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! The sequential discrete-event engine.
+//!
+//! A classic pending-event-set simulator: events are closures over a
+//! user state `S`, ordered by (time, insertion sequence). The sequence
+//! tiebreak makes runs bit-reproducible — two events at the same instant
+//! always execute in schedule order.
+
+use masim_trace::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Handle for a scheduled event, usable to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+/// An event body: runs at its timestamp with access to the engine (to
+/// schedule follow-ups) and the shared state.
+pub type Action<S> = Box<dyn FnOnce(&mut Engine<S>, &mut S)>;
+
+struct Scheduled<S> {
+    at: Time,
+    seq: u64,
+    action: Action<S>,
+}
+
+// Order by (at, seq) *reversed* so BinaryHeap pops the earliest.
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A sequential discrete-event simulator over state `S`.
+pub struct Engine<S> {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<S>>,
+    cancelled: HashSet<u64>,
+    processed: u64,
+}
+
+impl<S> Default for Engine<S> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl<S> Engine<S> {
+    /// A fresh engine at time zero.
+    pub fn new() -> Engine<S> {
+        Engine {
+            now: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Events executed so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Events still pending (including cancelled ones not yet popped).
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedule `action` at absolute time `at`.
+    ///
+    /// Panics if `at` is in the past — scheduling backwards in time is
+    /// always a causality bug in the caller.
+    pub fn schedule_at(&mut self, at: Time, action: Action<S>) -> EventId {
+        assert!(at >= self.now, "cannot schedule at {at:?} before now {:?}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, action });
+        EventId(seq)
+    }
+
+    /// Schedule `action` after `delay` from now.
+    pub fn schedule_in(&mut self, delay: Time, action: Action<S>) -> EventId {
+        let at = self.now.checked_add(delay).expect("simulation time overflow");
+        self.schedule_at(at, action)
+    }
+
+    /// Cancel a pending event. Cancelling an already-executed (or
+    /// already-cancelled) event is a no-op, matching the needs of
+    /// reschedule-on-update patterns like the flow model's.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Execute one event; returns false when the queue is empty.
+    pub fn step(&mut self, state: &mut S) -> bool {
+        loop {
+            match self.queue.pop() {
+                None => return false,
+                Some(ev) => {
+                    if self.cancelled.remove(&ev.seq) {
+                        continue;
+                    }
+                    debug_assert!(ev.at >= self.now, "event from the past");
+                    self.now = ev.at;
+                    self.processed += 1;
+                    (ev.action)(self, state);
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Run until the queue is drained.
+    pub fn run(&mut self, state: &mut S) {
+        while self.step(state) {}
+    }
+
+    /// Run while the next event is at or before `until`; the clock is
+    /// then advanced to `until` even if idle.
+    pub fn run_until(&mut self, state: &mut S, until: Time) {
+        loop {
+            // Peek past cancelled entries without executing.
+            let next_at = loop {
+                match self.queue.peek() {
+                    None => break None,
+                    Some(ev) if self.cancelled.contains(&ev.seq) => {
+                        let ev = self.queue.pop().unwrap();
+                        self.cancelled.remove(&ev.seq);
+                    }
+                    Some(ev) => break Some(ev.at),
+                }
+            };
+            match next_at {
+                Some(at) if at <= until => {
+                    self.step(state);
+                }
+                _ => break,
+            }
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        eng.schedule_at(Time::from_ns(30), Box::new(|_, s| s.push(3)));
+        eng.schedule_at(Time::from_ns(10), Box::new(|_, s| s.push(1)));
+        eng.schedule_at(Time::from_ns(20), Box::new(|_, s| s.push(2)));
+        eng.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(eng.now(), Time::from_ns(30));
+        assert_eq!(eng.processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        for i in 0..10 {
+            eng.schedule_at(Time::from_ns(5), Box::new(move |_, s: &mut Vec<u32>| s.push(i)));
+        }
+        eng.run(&mut log);
+        assert_eq!(log, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_followups() {
+        let mut eng: Engine<u64> = Engine::new();
+        let mut count = 0u64;
+        fn tick(eng: &mut Engine<u64>, count: &mut u64) {
+            *count += 1;
+            if *count < 5 {
+                eng.schedule_in(Time::from_ns(10), Box::new(tick));
+            }
+        }
+        eng.schedule_at(Time::ZERO, Box::new(tick));
+        eng.run(&mut count);
+        assert_eq!(count, 5);
+        assert_eq!(eng.now(), Time::from_ns(40));
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        let _a = eng.schedule_at(Time::from_ns(10), Box::new(|_, s: &mut Vec<u32>| s.push(1)));
+        let b = eng.schedule_at(Time::from_ns(20), Box::new(|_, s: &mut Vec<u32>| s.push(2)));
+        eng.schedule_at(Time::from_ns(30), Box::new(|_, s: &mut Vec<u32>| s.push(3)));
+        eng.cancel(b);
+        eng.run(&mut log);
+        assert_eq!(log, vec![1, 3]);
+        assert_eq!(eng.processed(), 2);
+    }
+
+    #[test]
+    fn cancel_after_execution_is_noop() {
+        let mut eng: Engine<u32> = Engine::new();
+        let mut s = 0;
+        let a = eng.schedule_at(Time::from_ns(1), Box::new(|_, s: &mut u32| *s += 1));
+        eng.run(&mut s);
+        eng.cancel(a);
+        eng.schedule_at(eng.now(), Box::new(|_, s: &mut u32| *s += 10));
+        eng.run(&mut s);
+        assert_eq!(s, 11);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        eng.schedule_at(Time::from_ns(10), Box::new(|_, s: &mut Vec<u32>| s.push(1)));
+        eng.schedule_at(Time::from_ns(50), Box::new(|_, s: &mut Vec<u32>| s.push(2)));
+        eng.run_until(&mut log, Time::from_ns(25));
+        assert_eq!(log, vec![1]);
+        assert_eq!(eng.now(), Time::from_ns(25));
+        assert_eq!(eng.pending(), 1);
+        eng.run(&mut log);
+        assert_eq!(log, vec![1, 2]);
+    }
+
+    #[test]
+    fn run_until_with_cancelled_head() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        let a = eng.schedule_at(Time::from_ns(10), Box::new(|_, s: &mut Vec<u32>| s.push(1)));
+        eng.schedule_at(Time::from_ns(40), Box::new(|_, s: &mut Vec<u32>| s.push(2)));
+        eng.cancel(a);
+        eng.run_until(&mut log, Time::from_ns(20));
+        assert!(log.is_empty());
+        assert_eq!(eng.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_in_the_past_panics() {
+        let mut eng: Engine<u32> = Engine::new();
+        let mut s = 0;
+        eng.schedule_at(Time::from_ns(10), Box::new(|_, _| {}));
+        eng.run(&mut s);
+        eng.schedule_at(Time::from_ns(5), Box::new(|_, _| {}));
+    }
+
+    #[test]
+    fn pending_excludes_cancelled() {
+        let mut eng: Engine<u32> = Engine::new();
+        let a = eng.schedule_at(Time::from_ns(1), Box::new(|_, _| {}));
+        eng.schedule_at(Time::from_ns(2), Box::new(|_, _| {}));
+        assert_eq!(eng.pending(), 2);
+        eng.cancel(a);
+        assert_eq!(eng.pending(), 1);
+    }
+}

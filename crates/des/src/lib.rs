@@ -1,0 +1,18 @@
+//! `masim-des`: discrete-event simulation engines.
+//!
+//! Two engines are provided:
+//!
+//! * [`engine::Engine`] — the sequential pending-event-set simulator the
+//!   network models in `masim-sim` run on: closure events over a shared
+//!   state, deterministic (time, sequence) ordering, cancellation.
+//! * [`pdes::WindowedPdes`] — a conservative window-synchronized
+//!   parallel executor (the PDES style SST/Macro uses), for models
+//!   partitioned into logical processes with positive lookahead.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod pdes;
+
+pub use engine::{Action, Engine, EventId};
+pub use pdes::{LogicalProcess, WindowedPdes};

@@ -1,0 +1,187 @@
+//! The what-if advisor: MFACT's bottleneck analysis.
+//!
+//! Beyond classification, MFACT "gauges the potential benefits of
+//! various networking options and predicts potential application
+//! performance bottlenecks" (Section IV-A). This module packages that:
+//! one multi-configuration replay evaluates a set of upgrade scenarios
+//! (faster network bandwidth, lower latency, faster compute) and ranks
+//! them by predicted speedup, together with a plain-language statement
+//! of where the time goes.
+
+use crate::classify::{classify, AppClass};
+use crate::replay::{replay, ModelConfig};
+use masim_topo::NetworkConfig;
+use masim_trace::Trace;
+
+/// One upgrade scenario and its predicted payoff.
+#[derive(Clone, Debug)]
+pub struct WhatIf {
+    /// Human-readable scenario label.
+    pub label: String,
+    /// The configuration evaluated.
+    pub config: ModelConfig,
+    /// Predicted speedup over the baseline (≥ 1 is faster).
+    pub speedup: f64,
+}
+
+/// The advisor's verdict for one application on one machine.
+#[derive(Clone, Debug)]
+pub struct Advice {
+    /// The application class driving the recommendation.
+    pub class: AppClass,
+    /// Baseline predicted time (seconds).
+    pub base_total: f64,
+    /// Upgrade scenarios, sorted by speedup (best first).
+    pub options: Vec<WhatIf>,
+    /// Share of aggregate time in each counter at the baseline:
+    /// (wait, latency, bandwidth, computation), summing to 1.
+    pub time_shares: (f64, f64, f64, f64),
+}
+
+impl Advice {
+    /// The most profitable upgrade.
+    pub fn best(&self) -> &WhatIf {
+        &self.options[0]
+    }
+
+    /// A one-paragraph plain-language summary.
+    pub fn summary(&self) -> String {
+        let (wait, lat, bw, comp) = self.time_shares;
+        let best = self.best();
+        format!(
+            "{}: {:.0}% computation, {:.0}% waiting, {:.0}% latency, {:.0}% bandwidth. \
+             Best upgrade: {} ({:.2}x).",
+            self.class,
+            comp * 100.0,
+            wait * 100.0,
+            lat * 100.0,
+            bw * 100.0,
+            best.label,
+            best.speedup
+        )
+    }
+}
+
+/// The standard upgrade menu: 2×/4× bandwidth, ½/¼ latency, 2×/4×
+/// compute — plus the balanced "everything 2×" procurement case.
+fn menu(net: NetworkConfig) -> Vec<(String, ModelConfig)> {
+    vec![
+        ("2x bandwidth".into(), ModelConfig::base(net.scaled(2.0, 1.0))),
+        ("4x bandwidth".into(), ModelConfig::base(net.scaled(4.0, 1.0))),
+        ("1/2 latency".into(), ModelConfig::base(net.scaled(1.0, 0.5))),
+        ("1/4 latency".into(), ModelConfig::base(net.scaled(1.0, 0.25))),
+        ("2x compute".into(), ModelConfig { net, compute_scale: 0.5 }),
+        ("4x compute".into(), ModelConfig { net, compute_scale: 0.25 }),
+        (
+            "2x everything".into(),
+            ModelConfig { net: net.scaled(2.0, 0.5), compute_scale: 0.5 },
+        ),
+    ]
+}
+
+/// Run the advisor: one replay over the whole upgrade menu.
+pub fn advise(trace: &Trace, net: NetworkConfig) -> Advice {
+    let menu = menu(net);
+    let mut configs = vec![ModelConfig::base(net)];
+    configs.extend(menu.iter().map(|(_, c)| *c));
+    let res = replay(trace, &configs);
+    let base = res[0].total.as_secs_f64();
+
+    let mut options: Vec<WhatIf> = menu
+        .into_iter()
+        .zip(res.iter().skip(1))
+        .map(|((label, config), r)| WhatIf {
+            label,
+            config,
+            speedup: base / r.total.as_secs_f64().max(f64::MIN_POSITIVE),
+        })
+        .collect();
+    options.sort_by(|a, b| b.speedup.partial_cmp(&a.speedup).unwrap());
+
+    let c = res[0].counters;
+    let total = (c.wait + c.latency + c.bandwidth + c.computation).as_secs_f64().max(1e-30);
+    let shares = (
+        c.wait.as_secs_f64() / total,
+        c.latency.as_secs_f64() / total,
+        c.bandwidth.as_secs_f64() / total,
+        c.computation.as_secs_f64() / total,
+    );
+
+    Advice {
+        class: classify(trace, net).class,
+        base_total: base,
+        options,
+        time_shares: shares,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masim_workloads::{generate, App, GenConfig};
+
+    fn net() -> NetworkConfig {
+        NetworkConfig::new(10.0, 2_500)
+    }
+
+    fn advice_for(app: App, f: f64) -> Advice {
+        let mut cfg = GenConfig::test_default(app, 16);
+        cfg.comm_fraction = f;
+        cfg.iters = 5;
+        advise(&generate(&cfg), net())
+    }
+
+    #[test]
+    fn compute_bound_apps_want_faster_cpus() {
+        let a = advice_for(App::Ep, 0.02);
+        let best = a.best();
+        assert!(best.label.contains("compute") || best.label.contains("everything"), "{a:?}");
+        assert!(best.speedup > 2.0, "{best:?}");
+        // Bandwidth does nearly nothing for EP.
+        let bw4 = a.options.iter().find(|o| o.label == "4x bandwidth").unwrap();
+        assert!(bw4.speedup < 1.1, "{bw4:?}");
+    }
+
+    #[test]
+    fn transpose_apps_want_bandwidth() {
+        // Class-3 FT: 8 KiB per-peer exchanges, firmly bandwidth-bound.
+        let mut cfg = GenConfig::test_default(App::Ft, 16);
+        cfg.comm_fraction = 0.6;
+        cfg.size = 3;
+        cfg.iters = 5;
+        let a = advise(&generate(&cfg), net());
+        // Among the pure-network options, bandwidth beats latency for FT.
+        let bw = a.options.iter().find(|o| o.label == "4x bandwidth").unwrap();
+        let lat = a.options.iter().find(|o| o.label == "1/4 latency").unwrap();
+        assert!(bw.speedup > lat.speedup, "bw {bw:?} vs lat {lat:?}");
+    }
+
+    #[test]
+    fn speedups_are_sane_and_sorted() {
+        for app in [App::Cg, App::Lulesh, App::Cr] {
+            let a = advice_for(app, 0.3);
+            for w in a.options.windows(2) {
+                assert!(w[0].speedup >= w[1].speedup);
+            }
+            for o in &a.options {
+                assert!(
+                    o.speedup >= 0.99 && o.speedup < 8.1,
+                    "{app}: {} speedup {}",
+                    o.label,
+                    o.speedup
+                );
+            }
+            assert!(a.base_total > 0.0);
+            let (w, l, b, c) = a.time_shares;
+            assert!((w + l + b + c - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn summary_mentions_the_best_option() {
+        let a = advice_for(App::Ft, 0.6);
+        let s = a.summary();
+        assert!(s.contains(&a.best().label), "{s}");
+        assert!(s.contains('%'));
+    }
+}

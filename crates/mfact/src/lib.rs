@@ -1,0 +1,56 @@
+//! `masim-mfact`: the MPI Fast Application Classification Tool.
+//!
+//! A from-scratch implementation of MFACT (Tong et al., IPDPS'16), the
+//! modeling side of the paper's trade-off study:
+//!
+//! * [`cost`] — Hockney point-to-point and Thakur–Gropp collective cost
+//!   models, split into latency and bandwidth parts;
+//! * [`replay`] — the single-pass, multi-configuration logical-clock
+//!   trace replay with the four counters (wait, latency, bandwidth,
+//!   computation);
+//! * [`classify`] — the sensitivity-sweep classifier (computation-bound,
+//!   load-imbalance-bound, bandwidth-, latency-, communication-bound)
+//!   and the paper's "communication-sensitive" rollup;
+//! * [`advisor`] — the what-if upgrade advisor (bottleneck shares and a
+//!   ranked menu of bandwidth/latency/compute upgrades).
+//!
+//! MFACT deliberately ignores network contention — that is the modeling
+//! side of the paper's accuracy trade-off. The contention-aware
+//! counterpart lives in `masim-sim`.
+//!
+//! # Example
+//!
+//! ```
+//! use masim_mfact::{classify, replay, ModelConfig};
+//! use masim_topo::NetworkConfig;
+//! use masim_workloads::{generate, App, GenConfig};
+//!
+//! let trace = generate(&GenConfig::test_default(App::Cg, 16));
+//! let net = NetworkConfig::new(10.0, 2_500); // 10 Gb/s, 2.5 us
+//!
+//! // One replay, three what-if networks.
+//! let results = replay(
+//!     &trace,
+//!     &[
+//!         ModelConfig::base(net),
+//!         ModelConfig::base(net.scaled(8.0, 1.0)),  // 8x bandwidth
+//!         ModelConfig::base(net.scaled(1.0, 0.25)), // 4x lower latency
+//!     ],
+//! );
+//! assert!(results[1].total <= results[0].total);
+//!
+//! let class = classify(&trace, net);
+//! println!("CG is {}", class.class);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod classify;
+pub mod cost;
+pub mod replay;
+
+pub use advisor::{advise, Advice, WhatIf};
+pub use classify::{classify, AppClass, Classification, SENSITIVITY_THRESHOLD};
+pub use cost::{collective, p2p, CommCost};
+pub use replay::{replay, ConfigResult, Counters, ModelConfig};

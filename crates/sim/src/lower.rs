@@ -1,0 +1,423 @@
+//! Lowering collectives into point-to-point round schedules.
+//!
+//! The simulator executes collectives as the actual message exchanges of
+//! the standard MPICH algorithms, so collective traffic experiences the
+//! same routing and contention as application point-to-point traffic.
+//! Algorithm choices (and therefore uncongested costs) match MFACT's
+//! Thakur–Gropp formulas in `masim-mfact::cost` exactly — any
+//! disagreement between the tools then comes from *contention*, which is
+//! the effect the study isolates.
+//!
+//! Each rank gets its own micro-program: a sequence of rounds, each
+//! `{receives to post, sends to issue, then wait for all}`.
+
+use masim_mfact::cost::{A2A_BRUCK_SWITCH, LONG_MSG_SWITCH};
+use masim_trace::{CollKind, Rank};
+
+/// One round of a lowered collective for one rank.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Round {
+    /// (peer, bytes) to receive this round.
+    pub recvs: Vec<(Rank, u64)>,
+    /// (peer, bytes) to send this round.
+    pub sends: Vec<(Rank, u64)>,
+}
+
+/// A rank's schedule for one collective: rounds executed in order, with
+/// a wait-all barrier between rounds (matching blocking per-round
+/// algorithm implementations).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schedule {
+    /// The rounds, executed sequentially.
+    pub rounds: Vec<Round>,
+}
+
+/// Reserved tag space for lowered collective traffic: bit 31 set, then
+/// the collective ordinal (20 bits) and round (11 bits — pairwise
+/// exchange needs P−1 rounds, up to 1 727 in this study) packed below.
+pub fn coll_tag(ordinal: u32, round: u32) -> u32 {
+    assert!(ordinal < (1 << 20), "too many collectives in one trace");
+    assert!(round < (1 << 11), "collective rounds overflow tag space");
+    0x8000_0000 | (ordinal << 11) | round
+}
+
+fn ceil_log2(p: u32) -> u32 {
+    if p <= 1 {
+        0
+    } else {
+        32 - (p - 1).leading_zeros()
+    }
+}
+
+/// Minimum on-the-wire payload (headers); zero-byte barriers still
+/// exchange something.
+const MIN_BYTES: u64 = 8;
+
+/// Build rank `r`'s schedule for a collective over `p` ranks with
+/// per-rank payload `bytes` (total send volume for `Alltoallv`).
+pub fn lower(kind: CollKind, r: Rank, p: u32, bytes: u64, root: Rank) -> Schedule {
+    assert!(r.0 < p);
+    let b = bytes.max(MIN_BYTES);
+    match kind {
+        CollKind::Barrier => dissemination(r, p, MIN_BYTES),
+        CollKind::Bcast => {
+            if bytes <= LONG_MSG_SWITCH {
+                binomial_down(r, p, root, b, 1)
+            } else {
+                // Scatter + recursive-doubling allgather (van de Geijn):
+                // log p halving rounds, then log p doubling rounds.
+                let mut s = binomial_down(r, p, root, b * (p as u64 - 1) / p as u64 / ceil_log2(p).max(1) as u64, 1);
+                let mut ag = recursive_doubling(r, p, b / p as u64);
+                s.rounds.append(&mut ag.rounds);
+                s
+            }
+        }
+        CollKind::Reduce => {
+            if bytes <= LONG_MSG_SWITCH {
+                binomial_up(r, p, root, b, 1)
+            } else {
+                let mut s = recursive_halving(r, p, b / p as u64);
+                let mut g = binomial_up(r, p, root, b * (p as u64 - 1) / p as u64 / ceil_log2(p).max(1) as u64, 1);
+                s.rounds.append(&mut g.rounds);
+                s
+            }
+        }
+        CollKind::Allreduce => {
+            if bytes <= LONG_MSG_SWITCH {
+                // Recursive doubling: exchange full payload each round.
+                pairwise_pow2_exchange(r, p, b)
+            } else {
+                // Rabenseifner: reduce-scatter + allgather, both with
+                // geometrically shrinking/growing chunks.
+                let mut s = recursive_halving(r, p, b / p as u64);
+                let mut ag = recursive_doubling(r, p, b / p as u64);
+                s.rounds.append(&mut ag.rounds);
+                s
+            }
+        }
+        CollKind::Gather => binomial_up(r, p, root, b, 2),
+        CollKind::Scatter => binomial_down(r, p, root, b, 2),
+        CollKind::Allgather => recursive_doubling(r, p, b),
+        CollKind::ReduceScatter => recursive_halving(r, p, b / p.max(1) as u64),
+        CollKind::Alltoall => {
+            if bytes <= A2A_BRUCK_SWITCH {
+                bruck(r, p, b)
+            } else {
+                pairwise_ring(r, p, b)
+            }
+        }
+        CollKind::Alltoallv => {
+            // Pairwise over the rank's own total volume, split evenly.
+            let per = (b / (p.saturating_sub(1)).max(1) as u64).max(MIN_BYTES);
+            pairwise_ring(r, p, per)
+        }
+    }
+}
+
+/// Dissemination pattern: round k, send to r+2^k, receive from r−2^k.
+fn dissemination(r: Rank, p: u32, bytes: u64) -> Schedule {
+    let mut s = Schedule::default();
+    for k in 0..ceil_log2(p) {
+        let d = 1u32 << k;
+        s.rounds.push(Round {
+            sends: vec![(Rank((r.0 + d) % p), bytes)],
+            recvs: vec![(Rank((r.0 + p - d % p) % p), bytes)],
+        });
+    }
+    s
+}
+
+/// Recursive doubling with a power-of-two subset fallback: ranks beyond
+/// the largest power of two first fold into the power-of-two set.
+fn pow2_floor(p: u32) -> u32 {
+    let mut x = 1;
+    while x * 2 <= p {
+        x *= 2;
+    }
+    x
+}
+
+/// Full-payload exchange with partner `r ^ 2^k` (recursive doubling as
+/// used by short-message allreduce). Non-power-of-two remainders fold
+/// into the power-of-two set first and unfold at the end.
+fn pairwise_pow2_exchange(r: Rank, p: u32, bytes: u64) -> Schedule {
+    let p2 = pow2_floor(p);
+    let mut s = Schedule::default();
+    let rem = p - p2;
+    // Fold: ranks >= p2 send to (r - p2); those partners receive.
+    if rem > 0 {
+        if r.0 >= p2 {
+            s.rounds.push(Round { sends: vec![(Rank(r.0 - p2), bytes)], recvs: vec![] });
+        } else if r.0 < rem {
+            s.rounds.push(Round { sends: vec![], recvs: vec![(Rank(r.0 + p2), bytes)] });
+        } else {
+            s.rounds.push(Round::default());
+        }
+    }
+    if r.0 < p2 {
+        for k in 0..ceil_log2(p2) {
+            let partner = Rank(r.0 ^ (1 << k));
+            s.rounds.push(Round {
+                sends: vec![(partner, bytes)],
+                recvs: vec![(partner, bytes)],
+            });
+        }
+    } else {
+        // Folded ranks idle through the exchange rounds.
+        for _ in 0..ceil_log2(p2) {
+            s.rounds.push(Round::default());
+        }
+    }
+    // Unfold.
+    if rem > 0 {
+        if r.0 >= p2 {
+            s.rounds.push(Round { sends: vec![], recvs: vec![(Rank(r.0 - p2), bytes)] });
+        } else if r.0 < rem {
+            s.rounds.push(Round { sends: vec![(Rank(r.0 + p2), bytes)], recvs: vec![] });
+        } else {
+            s.rounds.push(Round::default());
+        }
+    }
+    s
+}
+
+/// Recursive doubling allgather shape: round k exchanges `bytes · 2^k`
+/// with partner `r ^ 2^k` (power-of-two part only; remainder ranks
+/// exchange with a proxy afterwards).
+fn recursive_doubling(r: Rank, p: u32, bytes: u64) -> Schedule {
+    let p2 = pow2_floor(p);
+    let mut s = Schedule::default();
+    if r.0 < p2 {
+        for k in 0..ceil_log2(p2) {
+            let partner = Rank(r.0 ^ (1 << k));
+            let chunk = bytes.max(MIN_BYTES) << k;
+            s.rounds.push(Round { sends: vec![(partner, chunk)], recvs: vec![(partner, chunk)] });
+        }
+    } else {
+        for _ in 0..ceil_log2(p2) {
+            s.rounds.push(Round::default());
+        }
+    }
+    // Remainder ranks get the final result from their proxy.
+    let rem = p - p2;
+    if rem > 0 {
+        let full = bytes.max(MIN_BYTES) * p as u64;
+        if r.0 >= p2 {
+            s.rounds.push(Round { sends: vec![], recvs: vec![(Rank(r.0 - p2), full)] });
+        } else if r.0 < rem {
+            s.rounds.push(Round { sends: vec![(Rank(r.0 + p2), full)], recvs: vec![] });
+        } else {
+            s.rounds.push(Round::default());
+        }
+    }
+    s
+}
+
+/// Recursive halving (reduce-scatter shape): round k exchanges
+/// `bytes · 2^(log p − 1 − k)` with partner `r ^ 2^(log p − 1 − k)`.
+fn recursive_halving(r: Rank, p: u32, bytes: u64) -> Schedule {
+    let p2 = pow2_floor(p);
+    let logp = ceil_log2(p2);
+    let mut s = Schedule::default();
+    if r.0 < p2 {
+        for k in (0..logp).rev() {
+            let partner = Rank(r.0 ^ (1 << k));
+            let chunk = (bytes.max(MIN_BYTES)) << k;
+            s.rounds.push(Round { sends: vec![(partner, chunk)], recvs: vec![(partner, chunk)] });
+        }
+    } else {
+        for _ in 0..logp {
+            s.rounds.push(Round::default());
+        }
+    }
+    s
+}
+
+/// Binomial tree, root → leaves (bcast/scatter). `shrink == 1` sends the
+/// full payload down every edge (bcast); `shrink == 2` halves the
+/// payload per level (scatter).
+fn binomial_down(r: Rank, p: u32, root: Rank, bytes: u64, shrink: u64) -> Schedule {
+    let vr = (r.0 + p - root.0 % p) % p; // virtual rank, root at 0
+    let logp = ceil_log2(p);
+    let mut s = Schedule::default();
+    for k in (0..logp).rev() {
+        let d = 1u32 << k;
+        let level = (logp - 1 - k) as u64;
+        let level_bytes =
+            if shrink == 1 { bytes } else { ((bytes * p as u64) >> (level + 1)).max(MIN_BYTES) };
+        let mut round = Round::default();
+        if vr < d && vr + d < p {
+            let peer = Rank((vr + d + root.0) % p);
+            round.sends.push((peer, level_bytes));
+        } else if (d..2 * d).contains(&vr) {
+            let peer = Rank((vr - d + root.0) % p);
+            round.recvs.push((peer, level_bytes));
+        }
+        s.rounds.push(round);
+    }
+    s
+}
+
+/// Binomial tree, leaves → root (reduce/gather): the mirror image of
+/// [`binomial_down`], with payload *growing* toward the root for gather.
+fn binomial_up(r: Rank, p: u32, root: Rank, bytes: u64, grow: u64) -> Schedule {
+    let vr = (r.0 + p - root.0 % p) % p;
+    let logp = ceil_log2(p);
+    let mut s = Schedule::default();
+    for k in 0..logp {
+        let d = 1u32 << k;
+        let level_bytes =
+            if grow == 1 { bytes } else { (bytes << k).max(MIN_BYTES) };
+        let mut round = Round::default();
+        if (d..2 * d).contains(&vr) {
+            let peer = Rank((vr - d + root.0) % p);
+            round.sends.push((peer, level_bytes));
+        } else if vr < d && vr + d < p {
+            let peer = Rank((vr + d + root.0) % p);
+            round.recvs.push((peer, level_bytes));
+        }
+        s.rounds.push(round);
+    }
+    s
+}
+
+/// Bruck all-to-all for small payloads: log p rounds, round k moving
+/// roughly half the working set to rank `r + 2^k`.
+fn bruck(r: Rank, p: u32, bytes: u64) -> Schedule {
+    let mut s = Schedule::default();
+    for k in 0..ceil_log2(p) {
+        let d = 1u32 << k;
+        let vol = (bytes * p as u64 / 2).max(MIN_BYTES);
+        s.rounds.push(Round {
+            sends: vec![(Rank((r.0 + d) % p), vol)],
+            recvs: vec![(Rank((r.0 + p - d % p) % p), vol)],
+        });
+    }
+    s
+}
+
+/// Pairwise-exchange all-to-all for large payloads: p−1 rounds, round i
+/// sending `bytes` to `r + i` and receiving from `r − i`.
+fn pairwise_ring(r: Rank, p: u32, bytes: u64) -> Schedule {
+    let mut s = Schedule::default();
+    for i in 1..p {
+        s.rounds.push(Round {
+            sends: vec![(Rank((r.0 + i) % p), bytes)],
+            recvs: vec![(Rank((r.0 + p - i) % p), bytes)],
+        });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Cross-rank consistency: every send in some rank's round must have
+    /// a matching recv in the peer's same round, with equal bytes.
+    fn check_consistency(kind: CollKind, p: u32, bytes: u64, root: Rank) {
+        let scheds: Vec<Schedule> =
+            (0..p).map(|r| lower(kind, Rank(r), p, bytes, root)).collect();
+        let rounds = scheds[0].rounds.len();
+        for s in &scheds {
+            assert_eq!(s.rounds.len(), rounds, "{kind}: ragged round counts");
+        }
+        for round in 0..rounds {
+            let mut sends: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
+            let mut recvs: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
+            for (r, s) in scheds.iter().enumerate() {
+                for &(peer, b) in &s.rounds[round].sends {
+                    sends.entry((r as u32, peer.0)).or_default().push(b);
+                }
+                for &(peer, b) in &s.rounds[round].recvs {
+                    recvs.entry((peer.0, r as u32)).or_default().push(b);
+                }
+            }
+            assert_eq!(sends, recvs, "{kind} p={p} round {round} mismatch");
+        }
+    }
+
+    #[test]
+    fn all_kinds_consistent_pow2() {
+        for kind in CollKind::ALL {
+            for p in [2, 4, 8, 16] {
+                check_consistency(kind, p, 512, Rank(0));
+                check_consistency(kind, p, 64 * 1024, Rank(0));
+            }
+        }
+    }
+
+    #[test]
+    fn all_kinds_consistent_non_pow2() {
+        for kind in CollKind::ALL {
+            for p in [3, 5, 6, 7, 12] {
+                check_consistency(kind, p, 512, Rank(0));
+                check_consistency(kind, p, 64 * 1024, Rank(0));
+            }
+        }
+    }
+
+    #[test]
+    fn rooted_collectives_respect_root() {
+        for kind in [CollKind::Bcast, CollKind::Reduce, CollKind::Gather, CollKind::Scatter] {
+            for root in [0u32, 3, 7] {
+                check_consistency(kind, 8, 4096, Rank(root));
+            }
+        }
+        // Bcast from root 3: rank 3 never receives.
+        let s = lower(CollKind::Bcast, Rank(3), 8, 4096, Rank(3));
+        assert!(s.rounds.iter().all(|r| r.recvs.is_empty()));
+        // And some other rank does receive.
+        let s5 = lower(CollKind::Bcast, Rank(5), 8, 4096, Rank(3));
+        assert!(s5.rounds.iter().any(|r| !r.recvs.is_empty()));
+    }
+
+    #[test]
+    fn barrier_rounds_match_formula() {
+        let s = lower(CollKind::Barrier, Rank(0), 64, 0, Rank(0));
+        assert_eq!(s.rounds.len(), 6); // ceil(log2 64)
+    }
+
+    #[test]
+    fn allreduce_small_total_volume_matches_formula() {
+        // Recursive doubling: each rank sends log p × m bytes.
+        let m = 1024;
+        let s = lower(CollKind::Allreduce, Rank(5), 16, m, Rank(0));
+        let sent: u64 = s.rounds.iter().flat_map(|r| r.sends.iter()).map(|&(_, b)| b).sum();
+        assert_eq!(sent, 4 * m);
+    }
+
+    #[test]
+    fn allreduce_large_total_volume_matches_rabenseifner() {
+        // Rabenseifner: ~2·m·(p-1)/p per rank.
+        let m = 1 << 20;
+        let p = 16u32;
+        let s = lower(CollKind::Allreduce, Rank(5), p, m, Rank(0));
+        let sent: u64 = s.rounds.iter().flat_map(|r| r.sends.iter()).map(|&(_, b)| b).sum();
+        let expect = 2 * (m / p as u64) * (p as u64 - 1);
+        assert_eq!(sent, expect);
+    }
+
+    #[test]
+    fn alltoall_switches_algorithms() {
+        let small = lower(CollKind::Alltoall, Rank(0), 16, 256, Rank(0));
+        assert_eq!(small.rounds.len(), 4, "Bruck: log p rounds");
+        let large = lower(CollKind::Alltoall, Rank(0), 16, 64 * 1024, Rank(0));
+        assert_eq!(large.rounds.len(), 15, "pairwise: p-1 rounds");
+    }
+
+    #[test]
+    fn coll_tags_are_disjoint_from_app_tags() {
+        let t = coll_tag(7, 3);
+        assert!(t & 0x8000_0000 != 0);
+        assert_ne!(coll_tag(7, 3), coll_tag(7, 4));
+        assert_ne!(coll_tag(7, 3), coll_tag(8, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many collectives")]
+    fn tag_overflow_detected() {
+        let _ = coll_tag(1 << 20, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Messages and per-rank mailboxes (MPI matching semantics).
+
+use masim_trace::{Rank, Time};
+use std::collections::{HashMap, VecDeque};
+
+/// A point-to-point message in flight (application or lowered-collective
+/// traffic).
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Unique id, assigned at injection.
+    pub id: u64,
+    /// Source rank.
+    pub src: Rank,
+    /// Destination rank.
+    pub dst: Rank,
+    /// Payload size (≥ 1; zero-byte MPI messages still carry a header).
+    pub bytes: u64,
+    /// Matching tag (application tags plus the reserved collective space).
+    pub tag: u32,
+}
+
+/// Matching state per destination rank: MPI's posted-receive queue and
+/// unexpected-message queue, keyed by (source, tag). No wildcard
+/// receives — DUMPI traces record fully-resolved matches.
+#[derive(Default, Debug)]
+pub struct Mailbox {
+    /// Delivered messages with no posted receive yet: (src, tag) → FIFO
+    /// of delivery times.
+    unexpected: HashMap<(u32, u32), VecDeque<Time>>,
+    /// Posted receives with no delivered message yet: (src, tag) → FIFO
+    /// of receive tokens.
+    posted: HashMap<(u32, u32), VecDeque<u64>>,
+}
+
+impl Mailbox {
+    /// A message arrived at `at`. Returns the matching posted-receive
+    /// token if one was waiting.
+    pub fn deliver(&mut self, src: Rank, tag: u32, at: Time) -> Option<u64> {
+        let key = (src.0, tag);
+        if let Some(q) = self.posted.get_mut(&key) {
+            if let Some(token) = q.pop_front() {
+                if q.is_empty() {
+                    self.posted.remove(&key);
+                }
+                return Some(token);
+            }
+        }
+        self.unexpected.entry(key).or_default().push_back(at);
+        None
+    }
+
+    /// A receive was posted. Returns the delivery time if a matching
+    /// message already arrived (the receive completes immediately).
+    pub fn post(&mut self, src: Rank, tag: u32, token: u64) -> Option<Time> {
+        let key = (src.0, tag);
+        if let Some(q) = self.unexpected.get_mut(&key) {
+            if let Some(at) = q.pop_front() {
+                if q.is_empty() {
+                    self.unexpected.remove(&key);
+                }
+                return Some(at);
+            }
+        }
+        self.posted.entry(key).or_default().push_back(token);
+        None
+    }
+
+    /// True when no state is left (used by leak checks in tests).
+    pub fn is_empty(&self) -> bool {
+        self.unexpected.is_empty() && self.posted.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn post_then_deliver_matches() {
+        let mut mb = Mailbox::default();
+        assert_eq!(mb.post(Rank(1), 5, 42), None);
+        assert_eq!(mb.deliver(Rank(1), 5, Time::from_us(3)), Some(42));
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn deliver_then_post_matches() {
+        let mut mb = Mailbox::default();
+        assert_eq!(mb.deliver(Rank(1), 5, Time::from_us(3)), None);
+        assert_eq!(mb.post(Rank(1), 5, 42), Some(Time::from_us(3)));
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn matching_is_fifo_per_channel() {
+        let mut mb = Mailbox::default();
+        mb.deliver(Rank(1), 5, Time::from_us(1));
+        mb.deliver(Rank(1), 5, Time::from_us(2));
+        assert_eq!(mb.post(Rank(1), 5, 1), Some(Time::from_us(1)));
+        assert_eq!(mb.post(Rank(1), 5, 2), Some(Time::from_us(2)));
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut mb = Mailbox::default();
+        mb.post(Rank(1), 5, 10);
+        assert_eq!(mb.deliver(Rank(1), 6, Time::from_us(1)), None, "tag differs");
+        assert_eq!(mb.deliver(Rank(2), 5, Time::from_us(1)), None, "src differs");
+        assert_eq!(mb.deliver(Rank(1), 5, Time::from_us(1)), Some(10));
+        assert!(!mb.is_empty(), "two unexpected messages remain");
+    }
+}

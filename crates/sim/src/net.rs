@@ -1,0 +1,618 @@
+//! The three network models: packet, flow, and hybrid packet-flow.
+//!
+//! All three route messages over the machine's topology and model
+//! contention on shared directed links — the capability MFACT lacks by
+//! design. They differ in granularity and cost, exactly as Section II of
+//! the paper lays out:
+//!
+//! * [`PacketNet`] — every message becomes packets; each packet reserves
+//!   each route link exclusively (FIFO per link). Most accurate queueing,
+//!   most events (one DES event per packet per hop), and the documented
+//!   serialization *over*estimate for multi-hop messages.
+//! * [`FlowNet`] — messages are fluid flows sharing link bandwidth
+//!   max-min fairly; flow arrivals/departures re-solve the rates and
+//!   reschedule completions (the "ripple effect"). Re-solves are batched
+//!   per timestamp and only changed rates are rescheduled.
+//! * [`PFlowNet`] — coarse packets *sample* per-link fluid queues at
+//!   injection time and accumulate expected waiting, serialization, and
+//!   hop latency arithmetically: channel multiplexing without per-hop
+//!   events. SST/Macro 6.1's recommended model.
+//!
+//! ## Link provisioning
+//!
+//! The paper characterizes each machine by a per-process Hockney (α, β):
+//! those are *application-achievable* figures, so the simulated fabric
+//! must reproduce them in the uncongested limit. Each rank therefore
+//! gets its own injection and ejection link at the Hockney bandwidth
+//! (Gemini/Aries NICs provision multiple channels per node), while
+//! switch-to-switch fabric links carry node-aggregated capacity
+//! (`β⁻¹ × cores_per_node`). Contention then arises exactly where it
+//! does on the real machine: on oversubscribed fabric paths and at
+//! incast ejection points — not from an artificial 24-way NIC bottleneck
+//! that the per-process calibration already excludes.
+
+use crate::runner::{on_deliver, on_release, SimState};
+use masim_des::{Engine, EventId};
+use masim_topo::{LinkId, Machine};
+use masim_trace::{Rank, Time};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Message metadata shared by in-flight packets/flows.
+#[derive(Debug)]
+pub struct MsgMeta {
+    /// Unique message id.
+    pub id: u64,
+    /// Source rank.
+    pub src: Rank,
+    /// Destination rank.
+    pub dst: Rank,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Matching tag.
+    pub tag: u32,
+}
+
+/// Which network model to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModelKind {
+    /// Packet-level with exclusive channel reservation.
+    Packet {
+        /// Packet size in bytes (SST recommends 1–8 KiB).
+        packet_bytes: u64,
+    },
+    /// Fluid max-min fair flows.
+    Flow,
+    /// Hybrid packet-flow (congestion-sampling coarse packets).
+    PacketFlow {
+        /// Coarse packet size in bytes.
+        packet_bytes: u64,
+    },
+}
+
+impl ModelKind {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Packet { .. } => "packet",
+            ModelKind::Flow => "flow",
+            ModelKind::PacketFlow { .. } => "packet-flow",
+        }
+    }
+}
+
+/// The simulated link table: directed fabric links from the topology
+/// plus one virtual injection and ejection link per rank.
+pub struct LinkTable {
+    /// Per-link capacity in bytes/second.
+    caps: Vec<f64>,
+    /// Per-hop propagation latency.
+    hop_lat: Time,
+    /// Number of topology links (virtual per-rank links follow).
+    topo_links: u32,
+    ranks: u32,
+}
+
+impl LinkTable {
+    /// Build the table for `machine` hosting `ranks` ranks.
+    pub fn new(machine: &Machine, ranks: u32) -> LinkTable {
+        let topo_links = machine.topology.num_links();
+        let rank_cap = machine.net.bandwidth.bytes_per_sec();
+        let fabric_cap = rank_cap * machine.cores_per_node as f64;
+        let mut caps = vec![fabric_cap; topo_links as usize];
+        caps.extend(std::iter::repeat_n(rank_cap, 2 * ranks as usize));
+        LinkTable { caps, hop_lat: machine.hop_latency(), topo_links, ranks }
+    }
+
+    /// Total number of links (fabric + virtual).
+    pub fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// True when the table is empty (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+
+    /// Capacity of a link in bytes/second.
+    #[inline]
+    pub fn cap(&self, l: LinkId) -> f64 {
+        self.caps[l.idx()]
+    }
+
+    /// Per-hop latency.
+    #[inline]
+    pub fn hop_lat(&self) -> Time {
+        self.hop_lat
+    }
+
+    /// Serialization time of `bytes` on link `l`.
+    #[inline]
+    pub fn ser(&self, l: LinkId, bytes: u64) -> Time {
+        Time::from_secs_f64(bytes as f64 / self.caps[l.idx()])
+    }
+
+    /// Virtual injection link of a rank.
+    pub fn injection(&self, r: Rank) -> LinkId {
+        LinkId(self.topo_links + r.0)
+    }
+
+    /// Virtual ejection link of a rank.
+    pub fn ejection(&self, r: Rank) -> LinkId {
+        LinkId(self.topo_links + self.ranks + r.0)
+    }
+
+    /// Build the simulated route for a message: per-rank injection, the
+    /// topology's fabric hops, per-rank ejection.
+    pub fn route(&self, machine: &Machine, src: Rank, dst: Rank, src_node: masim_trace::NodeId, dst_node: masim_trace::NodeId) -> Arc<[LinkId]> {
+        let topo_route = machine.topology.route_vec(src_node, dst_node);
+        debug_assert!(topo_route.len() >= 2);
+        let mut route = Vec::with_capacity(topo_route.len());
+        route.push(self.injection(src));
+        route.extend_from_slice(&topo_route[1..topo_route.len() - 1]);
+        route.push(self.ejection(dst));
+        route.into()
+    }
+}
+
+/// Model state (one variant active per simulation).
+pub enum NetState {
+    /// Packet model state.
+    Packet(PacketNet),
+    /// Flow model state.
+    Flow(FlowNet),
+    /// Packet-flow model state.
+    PFlow(PFlowNet),
+}
+
+impl NetState {
+    /// Fresh state for `kind` on a machine with `links` total links
+    /// (fabric + virtual).
+    pub fn new(kind: ModelKind, links: usize) -> NetState {
+        match kind {
+            ModelKind::Packet { packet_bytes } => NetState::Packet(PacketNet {
+                packet_bytes: packet_bytes.max(64),
+                free_at: vec![Time::ZERO; links],
+                link_bytes: vec![0; links],
+                packets: 0,
+            }),
+            ModelKind::Flow => NetState::Flow(FlowNet {
+                flows: HashMap::new(),
+                link_bytes: vec![0; links],
+                recomputes: 0,
+                resolve_pending: false,
+                scr_residual: vec![0.0; links],
+                scr_count: vec![0; links],
+                scr_touched: Vec::new(),
+            }),
+            ModelKind::PacketFlow { packet_bytes } => NetState::PFlow(PFlowNet {
+                packet_bytes: packet_bytes.max(64),
+                queues: vec![FluidQueue::default(); links],
+                link_bytes: vec![0; links],
+                packets: 0,
+            }),
+        }
+    }
+
+    /// Total bytes charged to each directed link (for utilization
+    /// reports).
+    pub fn link_bytes(&self) -> &[u64] {
+        match self {
+            NetState::Packet(p) => &p.link_bytes,
+            NetState::Flow(f) => &f.link_bytes,
+            NetState::PFlow(p) => &p.link_bytes,
+        }
+    }
+
+    /// Model-specific work counter (packets routed or rate re-solves).
+    pub fn work_units(&self) -> u64 {
+        match self {
+            NetState::Packet(p) => p.packets,
+            NetState::Flow(f) => f.recomputes,
+            NetState::PFlow(p) => p.packets,
+        }
+    }
+}
+
+/// Inject a message; the model schedules `on_release` (sender may reuse
+/// its buffer) and `on_deliver` (payload at destination) events.
+pub fn inject(eng: &mut Engine<SimState>, st: &mut SimState, msg: MsgMeta) {
+    let src_node = st.mapping.node_of(msg.src);
+    let dst_node = st.mapping.node_of(msg.dst);
+
+    if src_node == dst_node {
+        // Intra-node: uncontended Hockney transfer, same cost model as
+        // MFACT so the tools agree on local traffic.
+        let ser = st.machine.net.bandwidth.transfer_time(msg.bytes);
+        let release = eng.now() + ser;
+        let deliver = eng.now() + st.machine.net.latency + ser;
+        let (src, dst, tag, id) = (msg.src, msg.dst, msg.tag, msg.id);
+        eng.schedule_at(release, Box::new(move |eng, st: &mut SimState| on_release(eng, st, src, id)));
+        eng.schedule_at(deliver, Box::new(move |eng, st: &mut SimState| on_deliver(eng, st, dst, src, tag, id)));
+        return;
+    }
+
+    let route = st.links.route(&st.machine, msg.src, msg.dst, src_node, dst_node);
+    match &mut st.net {
+        NetState::Packet(p) => p.inject(eng, msg, route),
+        NetState::Flow(f) => f.inject(eng, msg, route),
+        NetState::PFlow(p) => {
+            // Split borrows: the link table is read-only during sampling.
+            let links = &st.links;
+            p.inject(eng, msg, route, links)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packet model
+// ---------------------------------------------------------------------
+
+/// Exclusive-reservation packet network.
+pub struct PacketNet {
+    packet_bytes: u64,
+    /// Earliest time each directed link is free.
+    free_at: Vec<Time>,
+    link_bytes: Vec<u64>,
+    packets: u64,
+}
+
+struct Packet {
+    msg: Arc<MsgMeta>,
+    route: Arc<[LinkId]>,
+    hop: usize,
+    bytes: u64,
+    is_last: bool,
+}
+
+impl PacketNet {
+    fn inject(&mut self, eng: &mut Engine<SimState>, msg: MsgMeta, route: Arc<[LinkId]>) {
+        let n_packets = msg.bytes.div_ceil(self.packet_bytes).max(1);
+        let msg = Arc::new(msg);
+        self.packets += n_packets;
+        let mut rem = msg.bytes.max(1);
+        for i in 0..n_packets {
+            let bytes = rem.min(self.packet_bytes);
+            rem -= bytes.min(rem);
+            let pkt = Packet {
+                msg: Arc::clone(&msg),
+                route: Arc::clone(&route),
+                hop: 0,
+                bytes,
+                is_last: i + 1 == n_packets,
+            };
+            // All packets present at the NIC now; the injection link's
+            // FIFO serializes them.
+            eng.schedule_at(
+                eng.now(),
+                Box::new(move |eng, st: &mut SimState| packet_hop(eng, st, pkt)),
+            );
+        }
+    }
+}
+
+/// One packet crossing one link: reserve it, then either hop onward or
+/// deliver.
+fn packet_hop(eng: &mut Engine<SimState>, st: &mut SimState, mut pkt: Packet) {
+    let link = pkt.route[pkt.hop];
+    let ser = st.links.ser(link, pkt.bytes);
+    let hop_lat = st.links.hop_lat();
+    let NetState::Packet(net) = &mut st.net else {
+        unreachable!("packet event in non-packet model")
+    };
+    let start = eng.now().max(net.free_at[link.idx()]);
+    let depart = start + ser;
+    net.free_at[link.idx()] = depart;
+    net.link_bytes[link.idx()] += pkt.bytes;
+    let arrive_next = depart + hop_lat;
+
+    // Sender may reuse its buffer once the last packet clears the NIC.
+    if pkt.hop == 0 && pkt.is_last {
+        let (src, id) = (pkt.msg.src, pkt.msg.id);
+        eng.schedule_at(depart, Box::new(move |eng, st: &mut SimState| on_release(eng, st, src, id)));
+    }
+
+    pkt.hop += 1;
+    if pkt.hop == pkt.route.len() {
+        if pkt.is_last {
+            let m = &pkt.msg;
+            let (dst, src, tag, id) = (m.dst, m.src, m.tag, m.id);
+            eng.schedule_at(
+                arrive_next,
+                Box::new(move |eng, st: &mut SimState| on_deliver(eng, st, dst, src, tag, id)),
+            );
+        }
+    } else {
+        eng.schedule_at(
+            arrive_next,
+            Box::new(move |eng, st: &mut SimState| packet_hop(eng, st, pkt)),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flow model
+// ---------------------------------------------------------------------
+
+/// Flow-model event-aggregation quantum: arrivals, rate re-solves, and
+/// completions snap to this grid (1 µs — far below every latency scale
+/// in the study, so predictions move by well under a percent while the
+/// ripple cost drops by orders of magnitude).
+const FLOW_QUANTUM_PS: u64 = 1_000_000;
+
+/// A fluid flow in flight.
+struct Flow {
+    msg: Arc<MsgMeta>,
+    route: Arc<[LinkId]>,
+    remaining: f64,
+    rate: f64, // bytes/sec
+    last_update: Time,
+    completion: Option<EventId>,
+    tail_latency: Time,
+}
+
+/// Max-min fair fluid network.
+pub struct FlowNet {
+    flows: HashMap<u64, Flow>,
+    link_bytes: Vec<u64>,
+    /// Flow updates performed across all re-solves (the ripple-effect
+    /// cost metric: every settled flow per re-solve counts).
+    recomputes: u64,
+    /// A re-solve event is already queued for the current timestamp.
+    resolve_pending: bool,
+    // Dense scratch buffers reused across re-solves (indexed by link).
+    scr_residual: Vec<f64>,
+    scr_count: Vec<u32>,
+    scr_touched: Vec<u32>,
+}
+
+impl FlowNet {
+    fn inject(&mut self, eng: &mut Engine<SimState>, msg: MsgMeta, route: Arc<[LinkId]>) {
+        let id = msg.id;
+        let hop_lat_route = route.len() as u64;
+        for l in route.iter() {
+            self.link_bytes[l.idx()] += msg.bytes;
+        }
+        let bytes = msg.bytes.max(1) as f64;
+        let flow = Flow {
+            msg: Arc::new(msg),
+            route,
+            remaining: bytes,
+            rate: 0.0,
+            last_update: eng.now(),
+            completion: None,
+            tail_latency: Time::ZERO, // filled below with the table's hop latency
+        };
+        self.flows.insert(id, flow);
+        // Tail latency needs the link table; patched in the resolve.
+        let _ = hop_lat_route;
+        self.schedule_resolve(eng);
+    }
+
+    /// Queue one re-solve at the next quantum boundary, batching all
+    /// arrivals and departures in the window. Deferring arrivals by up
+    /// to [`FLOW_QUANTUM_PS`] collapses a P-flow burst (an all-to-all
+    /// round, say) into a single ripple re-solve instead of P of them —
+    /// this is why the flow model is cheaper than per-packet simulation,
+    /// as the paper's Figure 1 measures.
+    fn schedule_resolve(&mut self, eng: &mut Engine<SimState>) {
+        if self.resolve_pending {
+            return;
+        }
+        self.resolve_pending = true;
+        let at = Time::from_ps(
+            (eng.now().as_ps() / FLOW_QUANTUM_PS + 1) * FLOW_QUANTUM_PS,
+        );
+        eng.schedule_at(
+            at,
+            Box::new(|eng, st: &mut SimState| {
+                let NetState::Flow(net) = &mut st.net else { unreachable!() };
+                net.resolve_pending = false;
+                flow_resolve(eng, net, &st.links);
+            }),
+        );
+    }
+}
+
+/// Settle elapsed transfer progress, re-solve max-min rates, and
+/// reschedule completions whose rate changed (the ripple).
+fn flow_resolve(eng: &mut Engine<SimState>, net: &mut FlowNet, links: &LinkTable) {
+    net.recomputes += net.flows.len() as u64; // every active flow updates
+    let now = eng.now();
+    // 1. Settle progress at old rates; collect a deterministic order.
+    let mut order: Vec<u64> = Vec::with_capacity(net.flows.len());
+    for (&id, f) in net.flows.iter_mut() {
+        let dt = (now - f.last_update).as_secs_f64();
+        f.remaining = (f.remaining - f.rate * dt).max(0.0);
+        f.last_update = now;
+        if f.tail_latency == Time::ZERO {
+            f.tail_latency = links.hop_lat() * f.route.len() as u64;
+        }
+        order.push(id);
+    }
+    order.sort_unstable();
+
+    // 2. Water-filling max-min allocation over the active links, using
+    // dense scratch buffers (no per-resolve hashing).
+    debug_assert!(net.scr_touched.is_empty());
+    for f in net.flows.values() {
+        for l in f.route.iter() {
+            let i = l.idx();
+            if net.scr_count[i] == 0 {
+                net.scr_touched.push(l.0);
+                net.scr_residual[i] = links.cap(*l);
+            }
+            net.scr_count[i] += 1;
+        }
+    }
+    let mut rates: Vec<f64> = vec![0.0; order.len()];
+    let mut frozen: Vec<bool> = vec![false; order.len()];
+    let mut n_frozen = 0usize;
+    while n_frozen < order.len() {
+        // Tightest link.
+        let mut best: Option<(usize, f64)> = None;
+        for &l in &net.scr_touched {
+            let i = l as usize;
+            if net.scr_count[i] == 0 {
+                continue;
+            }
+            let share = net.scr_residual[i] / net.scr_count[i] as f64;
+            if best.is_none_or(|(_, s)| share < s) {
+                best = Some((i, share));
+            }
+        }
+        let Some((tight, share)) = best else { break };
+        // Freeze that link's unfrozen flows at the fair share.
+        for (k, &id) in order.iter().enumerate() {
+            if frozen[k] {
+                continue;
+            }
+            let f = &net.flows[&id];
+            if !f.route.iter().any(|l| l.idx() == tight) {
+                continue;
+            }
+            frozen[k] = true;
+            rates[k] = share;
+            n_frozen += 1;
+            for l in f.route.iter() {
+                let i = l.idx();
+                net.scr_residual[i] = (net.scr_residual[i] - share).max(0.0);
+                net.scr_count[i] -= 1;
+            }
+        }
+    }
+    // Reset scratch for the next resolve.
+    for &l in &net.scr_touched {
+        net.scr_count[l as usize] = 0;
+    }
+    net.scr_touched.clear();
+
+    // 3. Apply rates; reschedule only the completions that moved.
+    // Completion times are quantized up to the same grid so that flows
+    // draining together complete at the same instant and their removals
+    // batch into a single ripple re-solve.
+    const QUANTUM_PS: u64 = FLOW_QUANTUM_PS;
+    for (k, id) in order.into_iter().enumerate() {
+        let f = net.flows.get_mut(&id).expect("flow exists");
+        let rate = rates[k].max(1.0);
+        let rate_changed = (rate - f.rate).abs() > f.rate * 1e-12 + 1e-6;
+        f.rate = rate;
+        if !rate_changed && f.completion.is_some() {
+            continue; // same rate, same remaining trajectory
+        }
+        if let Some(ev) = f.completion.take() {
+            eng.cancel(ev);
+        }
+        let secs = f.remaining / f.rate;
+        let at = now + Time::from_secs_f64(secs);
+        let at = Time::from_ps(at.as_ps().div_ceil(QUANTUM_PS) * QUANTUM_PS);
+        let ev = eng
+            .schedule_at(at, Box::new(move |eng, st: &mut SimState| flow_complete(eng, st, id)));
+        f.completion = Some(ev);
+    }
+}
+
+/// A flow drained: remove it, ripple the rates, and fire callbacks.
+fn flow_complete(eng: &mut Engine<SimState>, st: &mut SimState, id: u64) {
+    let NetState::Flow(net) = &mut st.net else { unreachable!("flow event in non-flow model") };
+    let Some(flow) = net.flows.remove(&id) else { return };
+    net.schedule_resolve(eng);
+    let m = &flow.msg;
+    let (src, dst, tag, mid) = (m.src, m.dst, m.tag, m.id);
+    // Sender buffer freed at drain; payload lands after the route's
+    // accumulated hop latency.
+    let deliver_at = eng.now() + flow.tail_latency;
+    eng.schedule_at(eng.now(), Box::new(move |eng, st: &mut SimState| on_release(eng, st, src, mid)));
+    eng.schedule_at(
+        deliver_at,
+        Box::new(move |eng, st: &mut SimState| on_deliver(eng, st, dst, src, tag, mid)),
+    );
+}
+
+// ---------------------------------------------------------------------
+// Packet-flow model
+// ---------------------------------------------------------------------
+
+/// Fluid queue state per link for the congestion-sampling model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FluidQueue {
+    backlog: f64, // bytes
+    last: Time,
+}
+
+impl FluidQueue {
+    /// Drain the queue to time `t` at service rate `cap` (bytes/sec),
+    /// returning the remaining backlog. Samples arriving out of time
+    /// order (a packet-flow approximation artifact) do not rewind the
+    /// queue clock.
+    fn drained(&self, t: Time, cap: f64) -> f64 {
+        if t <= self.last {
+            return self.backlog;
+        }
+        let dt = (t - self.last).as_secs_f64();
+        (self.backlog - cap * dt).max(0.0)
+    }
+}
+
+/// Hybrid packet-flow network: coarse packets sample link congestion.
+pub struct PFlowNet {
+    packet_bytes: u64,
+    queues: Vec<FluidQueue>,
+    link_bytes: Vec<u64>,
+    packets: u64,
+}
+
+impl PFlowNet {
+    fn inject(
+        &mut self,
+        eng: &mut Engine<SimState>,
+        msg: MsgMeta,
+        route: Arc<[LinkId]>,
+        links: &LinkTable,
+    ) {
+        let n_packets = msg.bytes.div_ceil(self.packet_bytes).max(1);
+        self.packets += n_packets;
+        let hop_lat = links.hop_lat();
+        let mut rem = msg.bytes.max(1);
+        let mut release_at = eng.now();
+        let mut deliver_at = eng.now();
+        for _ in 0..n_packets {
+            let bytes = rem.min(self.packet_bytes);
+            rem -= bytes.min(rem);
+            // Walk the route, sampling each link's expected queueing
+            // delay and adding our own bytes to its backlog. Channel
+            // multiplexing: the packet's own serialization is charged
+            // once (at injection); downstream links charge only their
+            // sampled queueing wait plus hop latency, so back-to-back
+            // packets pipeline instead of re-serializing per hop (the
+            // packet model's documented overestimate).
+            let mut t = eng.now();
+            for (h, l) in route.iter().enumerate() {
+                let cap = links.cap(*l);
+                let q = &mut self.queues[l.idx()];
+                let backlog = q.drained(t, cap);
+                let wait = Time::from_secs_f64(backlog / cap);
+                q.backlog = backlog + bytes as f64;
+                q.last = q.last.max(t);
+                self.link_bytes[l.idx()] += bytes;
+                t = t + wait + hop_lat;
+                if h == 0 {
+                    t += links.ser(*l, bytes);
+                    // Injection complete once the packet clears the NIC.
+                    release_at = t.saturating_sub(hop_lat);
+                }
+            }
+            deliver_at = t;
+        }
+        let m = msg;
+        let (src, dst, tag, id) = (m.src, m.dst, m.tag, m.id);
+        eng.schedule_at(
+            release_at.max(eng.now()),
+            Box::new(move |eng, st: &mut SimState| on_release(eng, st, src, id)),
+        );
+        eng.schedule_at(
+            deliver_at.max(eng.now()),
+            Box::new(move |eng, st: &mut SimState| on_deliver(eng, st, dst, src, tag, id)),
+        );
+    }
+}

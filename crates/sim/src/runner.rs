@@ -1,0 +1,488 @@
+//! The MPI replay driver: rank processes advancing through trace events
+//! (and lowered collective schedules) on the discrete-event engine.
+
+use crate::lower::{coll_tag, lower, Schedule};
+use crate::msg::{Mailbox, Message};
+use crate::net::{inject, LinkTable, ModelKind, MsgMeta, NetState};
+use masim_des::Engine;
+use masim_topo::{Machine, Mapping};
+use masim_trace::{EventKind, Rank, Time, Trace};
+use std::collections::HashMap;
+
+/// Simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Target machine (topology + network scalars).
+    pub machine: Machine,
+    /// Rank→node placement.
+    pub mapping: Mapping,
+    /// Which network model to run.
+    pub model: ModelKind,
+    /// Computation-time multiplier.
+    pub compute_scale: f64,
+}
+
+impl SimConfig {
+    /// Default configuration: block mapping (as the original runs used)
+    /// at the trace's recorded ranks-per-node, unit compute scale.
+    pub fn new(machine: Machine, model: ModelKind, trace: &Trace) -> SimConfig {
+        let mapping = Mapping::block(trace.num_ranks(), trace.meta.ranks_per_node);
+        SimConfig { machine, mapping, model, compute_scale: 1.0 }
+    }
+}
+
+/// Simulation outcome.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Model that produced this result.
+    pub model: ModelKind,
+    /// Predicted application time (slowest rank).
+    pub total: Time,
+    /// Per-rank finish times.
+    pub per_rank: Vec<Time>,
+    /// Predicted communication time summed over ranks (finish − scaled
+    /// computation).
+    pub comm_time: Time,
+    /// DES events executed.
+    pub events: u64,
+    /// Point-to-point messages injected (including lowered collectives).
+    pub messages: u64,
+    /// Model work units (packets routed, or flow-rate re-solves).
+    pub work_units: u64,
+    /// Busiest directed link's total bytes (contention indicator).
+    pub max_link_bytes: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PStatus {
+    Idle,
+    Computing,
+    BlockedSend,
+    BlockedRecv,
+    Waiting,
+    CollRound,
+    Done,
+}
+
+struct CollExec {
+    sched: Schedule,
+    round: usize,
+    ordinal: u32,
+}
+
+struct Proc {
+    cursor: usize,
+    status: PStatus,
+    /// Application nonblocking requests: id → completed?
+    reqs: HashMap<u32, bool>,
+    /// Requests a `Wait`/`WaitAll` is currently blocked on.
+    wait_set: Vec<u32>,
+    coll: Option<CollExec>,
+    coll_count: u32,
+    /// Outstanding receives + send releases in the current collective
+    /// round.
+    round_pending: u32,
+    compute_total: Time,
+    finish: Time,
+    blocked_send_msg: u64,
+}
+
+impl Proc {
+    fn new() -> Proc {
+        Proc {
+            cursor: 0,
+            status: PStatus::Idle,
+            reqs: HashMap::new(),
+            wait_set: Vec::new(),
+            coll: None,
+            coll_count: 0,
+            round_pending: 0,
+            compute_total: Time::ZERO,
+            finish: Time::ZERO,
+            blocked_send_msg: 0,
+        }
+    }
+}
+
+/// What a sender-release event means for the source rank.
+enum RelPurpose {
+    BlockingSend(Rank),
+    AppReq(Rank, u32),
+    CollRound(Rank),
+}
+
+/// The shared simulation state (the DES engine's `S`).
+pub struct SimState<'a> {
+    pub(crate) machine: Machine,
+    pub(crate) mapping: Mapping,
+    pub(crate) net: NetState,
+    pub(crate) links: LinkTable,
+    trace: &'a Trace,
+    procs: Vec<Proc>,
+    mailboxes: Vec<Mailbox>,
+    releases: HashMap<u64, RelPurpose>,
+    compute_scale: f64,
+    next_msg_id: u64,
+    messages: u64,
+    done: usize,
+}
+
+// Receive-token encoding: rank in the high 32 bits, purpose below.
+const TOKEN_BLOCKING: u32 = u32::MAX;
+const TOKEN_COLL: u32 = 0x8000_0000;
+
+fn token(rank: Rank, code: u32) -> u64 {
+    ((rank.0 as u64) << 32) | code as u64
+}
+
+impl<'a> SimState<'a> {
+    fn new(trace: &'a Trace, cfg: &SimConfig) -> SimState<'a> {
+        let n = trace.num_ranks() as usize;
+        assert_eq!(cfg.mapping.ranks(), trace.num_ranks(), "mapping/trace rank mismatch");
+        cfg.mapping.validate_for(&cfg.machine).expect("mapping does not fit machine");
+        let links = LinkTable::new(&cfg.machine, trace.num_ranks());
+        SimState {
+            machine: cfg.machine.clone(),
+            mapping: cfg.mapping.clone(),
+            net: NetState::new(cfg.model, links.len()),
+            links,
+            trace,
+            procs: (0..n).map(|_| Proc::new()).collect(),
+            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+            releases: HashMap::new(),
+            compute_scale: cfg.compute_scale,
+            next_msg_id: 0,
+            messages: 0,
+            done: 0,
+        }
+    }
+
+    fn send_message(
+        &mut self,
+        eng: &mut Engine<SimState<'a>>,
+        src: Rank,
+        dst: Rank,
+        bytes: u64,
+        tag: u32,
+        purpose: RelPurpose,
+    ) -> u64 {
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        self.messages += 1;
+        self.releases.insert(id, purpose);
+        let meta = MsgMeta { id, src, dst, bytes: bytes.max(1), tag };
+        inject(eng, self, meta);
+        let _ = Message { id, src, dst, bytes, tag }; // keep public type exercised
+        id
+    }
+}
+
+/// Advance rank `r` until it blocks or finishes.
+fn advance<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) {
+    loop {
+        debug_assert_eq!(st.procs[r.idx()].status, PStatus::Idle);
+
+        // Inside a collective: run its rounds first.
+        if st.procs[r.idx()].coll.is_some()
+            && enter_coll_rounds(eng, st, r) {
+                return; // blocked inside the collective
+            }
+            // Collective finished; fall through to trace events.
+
+        let cursor = st.procs[r.idx()].cursor;
+        let stream = &st.trace.events[r.idx()];
+        if cursor >= stream.len() {
+            let p = &mut st.procs[r.idx()];
+            p.status = PStatus::Done;
+            p.finish = eng.now();
+            st.done += 1;
+            return;
+        }
+        let ev = &stream[cursor];
+        st.procs[r.idx()].cursor += 1;
+
+        match &ev.kind {
+            EventKind::Compute => {
+                let d = ev.dur.scale(st.compute_scale);
+                let p = &mut st.procs[r.idx()];
+                p.compute_total += d;
+                p.status = PStatus::Computing;
+                eng.schedule_in(
+                    d,
+                    Box::new(move |eng, st: &mut SimState| {
+                        st.procs[r.idx()].status = PStatus::Idle;
+                        advance(eng, st, r);
+                    }),
+                );
+                return;
+            }
+            EventKind::Send { peer, bytes, tag } => {
+                let id = st.send_message(eng, r, *peer, *bytes, *tag, RelPurpose::BlockingSend(r));
+                let p = &mut st.procs[r.idx()];
+                p.status = PStatus::BlockedSend;
+                p.blocked_send_msg = id;
+                return;
+            }
+            EventKind::Isend { peer, bytes, tag, req } => {
+                st.procs[r.idx()].reqs.insert(req.0, false);
+                st.send_message(eng, r, *peer, *bytes, *tag, RelPurpose::AppReq(r, req.0));
+            }
+            EventKind::Recv { peer, tag, .. } => {
+                let tok = token(r, TOKEN_BLOCKING);
+                if st.mailboxes[r.idx()].post(*peer, *tag, tok).is_none() {
+                    st.procs[r.idx()].status = PStatus::BlockedRecv;
+                    return;
+                }
+            }
+            EventKind::Irecv { peer, tag, req, .. } => {
+                let done = st.mailboxes[r.idx()].post(*peer, *tag, token(r, req.0)).is_some();
+                st.procs[r.idx()].reqs.insert(req.0, done);
+            }
+            EventKind::Wait { req } => {
+                let p = &mut st.procs[r.idx()];
+                if p.reqs.remove(&req.0).expect("wait on unknown request") {
+                    // Already complete.
+                } else {
+                    p.reqs.insert(req.0, false);
+                    p.wait_set = vec![req.0];
+                    p.status = PStatus::Waiting;
+                    return;
+                }
+            }
+            EventKind::WaitAll { reqs } => {
+                let p = &mut st.procs[r.idx()];
+                let pending: Vec<u32> =
+                    reqs.iter().filter(|id| !p.reqs[&id.0]).map(|id| id.0).collect();
+                if pending.is_empty() {
+                    for id in reqs {
+                        p.reqs.remove(&id.0);
+                    }
+                } else {
+                    for id in reqs {
+                        if p.reqs[&id.0] {
+                            p.reqs.remove(&id.0);
+                        }
+                    }
+                    p.wait_set = pending;
+                    p.status = PStatus::Waiting;
+                    return;
+                }
+            }
+            EventKind::Coll { kind, bytes, root } => {
+                let p = &mut st.procs[r.idx()];
+                let ordinal = p.coll_count;
+                p.coll_count += 1;
+                let sched = lower(*kind, r, st.trace.num_ranks(), *bytes, *root);
+                p.coll = Some(CollExec { sched, round: 0, ordinal });
+                // Loop continues into enter_coll_rounds.
+            }
+        }
+    }
+}
+
+/// Execute collective rounds until blocked (true) or done (false).
+fn enter_coll_rounds<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) -> bool {
+    loop {
+        let (round_idx, ordinal, n_rounds) = {
+            let p = &st.procs[r.idx()];
+            let c = p.coll.as_ref().expect("in collective");
+            (c.round, c.ordinal, c.sched.rounds.len())
+        };
+        if round_idx >= n_rounds {
+            st.procs[r.idx()].coll = None;
+            return false;
+        }
+        let round = {
+            let p = &st.procs[r.idx()];
+            p.coll.as_ref().unwrap().sched.rounds[round_idx].clone()
+        };
+        let tag = coll_tag(ordinal, round_idx as u32);
+        let mut pending = 0u32;
+        // Post receives first (they may already be unexpected-matched).
+        for &(peer, _bytes) in &round.recvs {
+            if st.mailboxes[r.idx()].post(peer, tag, token(r, TOKEN_COLL)).is_none() {
+                pending += 1;
+            }
+        }
+        // Issue sends.
+        for &(peer, bytes) in &round.sends {
+            st.send_message(eng, r, peer, bytes, tag, RelPurpose::CollRound(r));
+            pending += 1;
+        }
+        let p = &mut st.procs[r.idx()];
+        p.coll.as_mut().unwrap().round = round_idx + 1;
+        if pending > 0 {
+            p.round_pending = pending;
+            p.status = PStatus::CollRound;
+            return true;
+        }
+        // Empty (or fully satisfied) round: continue to the next.
+    }
+}
+
+/// A message reached its destination rank.
+pub(crate) fn on_deliver<'a>(
+    eng: &mut Engine<SimState<'a>>,
+    st: &mut SimState<'a>,
+    dst: Rank,
+    src: Rank,
+    tag: u32,
+    _msg_id: u64,
+) {
+    let Some(tok) = st.mailboxes[dst.idx()].deliver(src, tag, eng.now()) else {
+        return; // queued as unexpected
+    };
+    recv_complete(eng, st, tok);
+}
+
+/// A posted receive just matched.
+fn recv_complete<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, tok: u64) {
+    let r = Rank((tok >> 32) as u32);
+    let code = (tok & 0xFFFF_FFFF) as u32;
+    let p = &mut st.procs[r.idx()];
+    if code == TOKEN_BLOCKING {
+        debug_assert_eq!(p.status, PStatus::BlockedRecv);
+        p.status = PStatus::Idle;
+        advance(eng, st, r);
+    } else if code == TOKEN_COLL {
+        debug_assert!(p.round_pending > 0);
+        p.round_pending -= 1;
+        if p.round_pending == 0 && p.status == PStatus::CollRound {
+            p.status = PStatus::Idle;
+            advance(eng, st, r);
+        }
+    } else {
+        // Application request completion.
+        if let Some(done) = p.reqs.get_mut(&code) {
+            *done = true;
+        }
+        try_finish_wait(eng, st, r);
+    }
+}
+
+/// A sender may reuse its buffer (message fully injected / drained).
+pub(crate) fn on_release<'a>(
+    eng: &mut Engine<SimState<'a>>,
+    st: &mut SimState<'a>,
+    _src: Rank,
+    msg_id: u64,
+) {
+    let Some(purpose) = st.releases.remove(&msg_id) else {
+        return;
+    };
+    match purpose {
+        RelPurpose::BlockingSend(r) => {
+            let p = &mut st.procs[r.idx()];
+            debug_assert_eq!(p.status, PStatus::BlockedSend);
+            debug_assert_eq!(p.blocked_send_msg, msg_id);
+            p.status = PStatus::Idle;
+            advance(eng, st, r);
+        }
+        RelPurpose::AppReq(r, req) => {
+            if let Some(done) = st.procs[r.idx()].reqs.get_mut(&req) {
+                *done = true;
+            }
+            try_finish_wait(eng, st, r);
+        }
+        RelPurpose::CollRound(r) => {
+            let p = &mut st.procs[r.idx()];
+            debug_assert!(p.round_pending > 0);
+            p.round_pending -= 1;
+            if p.round_pending == 0 && p.status == PStatus::CollRound {
+                p.status = PStatus::Idle;
+                advance(eng, st, r);
+            }
+        }
+    }
+}
+
+/// If rank `r` is blocked in `Wait`/`WaitAll` and everything it waits on
+/// completed, resume it.
+fn try_finish_wait<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) {
+    let p = &mut st.procs[r.idx()];
+    if p.status != PStatus::Waiting {
+        return;
+    }
+    if p.wait_set.iter().all(|id| p.reqs[id]) {
+        for id in std::mem::take(&mut p.wait_set) {
+            p.reqs.remove(&id);
+        }
+        p.status = PStatus::Idle;
+        advance(eng, st, r);
+    }
+}
+
+/// Run a simulation and return the full per-link byte counters (for
+/// utilization reports; `SimResult` itself carries only the maximum).
+pub fn link_bytes_of(trace: &Trace, cfg: &SimConfig) -> Vec<u64> {
+    let mut eng: Engine<SimState<'_>> = Engine::new();
+    let mut st = SimState::new(trace, cfg);
+    for r in 0..trace.num_ranks() {
+        eng.schedule_at(
+            Time::ZERO,
+            Box::new(move |eng, st: &mut SimState| advance(eng, st, Rank(r))),
+        );
+    }
+    eng.run(&mut st);
+    st.net.link_bytes().to_vec()
+}
+
+/// Run the simulation to completion and collect results.
+///
+/// Panics if the replay deadlocks (validate traces first) or the mapping
+/// does not fit the machine.
+pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimResult {
+    simulate_budgeted(trace, cfg, u64::MAX).expect("unlimited budget cannot be exhausted")
+}
+
+/// Run the simulation with a work budget (DES events plus model work
+/// units). Returns `None` when the budget is exhausted — the analogue of
+/// the paper's tool failures, where SST/Macro's packet and flow models
+/// completed only 216 and 162 of the 235 traces.
+pub fn simulate_budgeted(trace: &Trace, cfg: &SimConfig, max_work: u64) -> Option<SimResult> {
+    let mut eng: Engine<SimState<'_>> = Engine::new();
+    let mut st = SimState::new(trace, cfg);
+    let n = trace.num_ranks();
+    for r in 0..n {
+        eng.schedule_at(
+            Time::ZERO,
+            Box::new(move |eng, st: &mut SimState| advance(eng, st, Rank(r))),
+        );
+    }
+    let mut check = 0u32;
+    while eng.step(&mut st) {
+        check += 1;
+        // Budget check every 1024 events (work counters are monotone).
+        if check == 1024 {
+            check = 0;
+            if eng.processed().saturating_add(st.net.work_units()) > max_work {
+                return None;
+            }
+        }
+    }
+    assert_eq!(
+        st.done,
+        n as usize,
+        "simulation deadlocked: {}/{} ranks finished ({} model)",
+        st.done,
+        n,
+        cfg.model.name()
+    );
+    let per_rank: Vec<Time> = st.procs.iter().map(|p| p.finish).collect();
+    let total = per_rank.iter().copied().max().unwrap_or(Time::ZERO);
+    let comm_time = st
+        .procs
+        .iter()
+        .map(|p| p.finish.saturating_sub(p.compute_total))
+        .sum();
+    Some(SimResult {
+        model: cfg.model,
+        total,
+        per_rank,
+        comm_time,
+        events: eng.processed(),
+        messages: st.messages,
+        work_units: st.net.work_units(),
+        max_link_bytes: st.net.link_bytes().iter().copied().max().unwrap_or(0),
+    })
+}

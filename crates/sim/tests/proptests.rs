@@ -1,0 +1,124 @@
+//! Property-based tests for the simulator's collective lowering and
+//! network models.
+
+use masim_sim::lower::{lower, Schedule};
+use masim_sim::{simulate, ModelKind, SimConfig};
+use masim_topo::{Machine, NetworkConfig, Torus3d};
+use masim_trace::{CollKind, Rank, RankBuilder, Time, Trace, TraceMeta};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn arb_kind() -> impl Strategy<Value = CollKind> {
+    prop::sample::select(CollKind::ALL.to_vec())
+}
+
+/// Cross-rank schedule consistency for arbitrary (kind, p, bytes, root).
+fn check(kind: CollKind, p: u32, bytes: u64, root: u32) -> Result<(), TestCaseError> {
+    let root = Rank(root % p);
+    let scheds: Vec<Schedule> = (0..p).map(|r| lower(kind, Rank(r), p, bytes, root)).collect();
+    let rounds = scheds[0].rounds.len();
+    for s in &scheds {
+        prop_assert_eq!(s.rounds.len(), rounds);
+    }
+    for round in 0..rounds {
+        let mut sends: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
+        let mut recvs: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
+        for (r, s) in scheds.iter().enumerate() {
+            for &(peer, b) in &s.rounds[round].sends {
+                prop_assert!(peer.0 < p);
+                sends.entry((r as u32, peer.0)).or_default().push(b);
+            }
+            for &(peer, b) in &s.rounds[round].recvs {
+                prop_assert!(peer.0 < p);
+                recvs.entry((peer.0, r as u32)).or_default().push(b);
+            }
+        }
+        prop_assert_eq!(sends, recvs, "{} p={} round {}", kind, p, round);
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Lowered collectives pair sends and receives exactly, for any
+    /// world size (including non-powers-of-two), payload, and root.
+    #[test]
+    fn lowering_is_consistent(
+        kind in arb_kind(),
+        p in 2u32..40,
+        bytes in prop::sample::select(vec![0u64, 8, 512, 4096, 64 * 1024, 1 << 20]),
+        root in 0u32..40,
+    ) {
+        check(kind, p, bytes, root)?;
+    }
+
+    /// Simulated random pairwise exchanges terminate and respect the
+    /// lower bound: no model finishes faster than the largest message's
+    /// uncontended Hockney time.
+    #[test]
+    fn simulation_respects_hockney_lower_bound(
+        pairs in 1usize..5,
+        bytes in 1_000u64..200_000,
+    ) {
+        let ranks = (pairs * 2) as u32;
+        let machine = Machine::new(
+            "t",
+            Arc::new(Torus3d::new(2, 2, 2, 2)),
+            NetworkConfig::new(10.0, 2_000),
+            4,
+        );
+        prop_assume!(ranks <= machine.capacity());
+        let meta = TraceMeta {
+            app: "prop".into(),
+            machine: "t".into(),
+            ranks,
+            ranks_per_node: 1,
+            problem_size: 1,
+            seed: 0,
+        };
+        let mut trace = Trace::empty(meta);
+        for p in 0..pairs {
+            let a = Rank((2 * p) as u32);
+            let b = Rank((2 * p + 1) as u32);
+            let mut ba = RankBuilder::new(a);
+            ba.send(b, bytes, p as u32, Time::ZERO);
+            let mut bb = RankBuilder::new(b);
+            bb.recv(a, bytes, p as u32, Time::ZERO);
+            trace.events[a.idx()] = ba.finish();
+            trace.events[b.idx()] = bb.finish();
+        }
+        prop_assert_eq!(trace.validate(), Ok(()));
+        let floor = machine.net.bandwidth.transfer_time(bytes);
+        for model in ModelKind::study_models() {
+            let cfg = SimConfig {
+                machine: machine.clone(),
+                mapping: masim_topo::Mapping::block(ranks, 1),
+                model,
+                compute_scale: 1.0,
+            };
+            let r = simulate(&trace, &cfg);
+            prop_assert!(
+                r.total >= floor,
+                "{}: {:?} beat the Hockney floor {:?}",
+                model.name(),
+                r.total,
+                floor
+            );
+            // And nothing runs forever: 1000x the floor is generous.
+            prop_assert!(r.total < floor * 1000 + Time::from_ms(1));
+        }
+    }
+
+    /// Compute scaling is monotone: a faster CPU never slows the app.
+    #[test]
+    fn compute_scale_monotone(scale in 0.1f64..1.0) {
+        let machine = Machine::cielito();
+        let cfg = masim_workloads::GenConfig::test_default(masim_workloads::App::MiniFe, 8);
+        let trace = masim_workloads::generate(&cfg);
+        let base = SimConfig::new(machine.clone(), ModelKind::Flow, &trace);
+        let fast = SimConfig { compute_scale: scale, ..base.clone() };
+        let t_base = simulate(&trace, &base).total;
+        let t_fast = simulate(&trace, &fast).total;
+        prop_assert!(t_fast <= t_base, "{t_fast:?} > {t_base:?} at scale {scale}");
+    }
+}

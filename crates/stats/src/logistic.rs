@@ -1,0 +1,279 @@
+//! Parametric logistic regression fit by iteratively reweighted least
+//! squares (Fisher scoring) — the `glm(..., family = binomial)` the
+//! paper's R script uses.
+//!
+//! Features are standardized internally for numeric stability (the
+//! Table III features span 12 orders of magnitude); reported
+//! coefficients are transformed back to the raw scale, which is why
+//! Table IV mixes magnitudes like `3.04E-01` (ranks) and `-3.34E-09`
+//! (nanosecond-scale times).
+
+use crate::matrix::Matrix;
+
+/// A fitted logistic model.
+#[derive(Clone, Debug)]
+pub struct Logistic {
+    /// Intercept on the raw feature scale.
+    pub intercept: f64,
+    /// Per-feature coefficients on the raw feature scale.
+    pub coefs: Vec<f64>,
+    /// Final log-likelihood on the training data.
+    pub log_likelihood: f64,
+    /// IRLS iterations used.
+    pub iterations: u32,
+}
+
+impl Logistic {
+    /// Linear predictor for one observation.
+    pub fn linear(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coefs.len());
+        self.intercept + x.iter().zip(&self.coefs).map(|(a, b)| a * b).sum::<f64>()
+    }
+
+    /// Predicted probability of the positive class.
+    pub fn prob(&self, x: &[f64]) -> f64 {
+        sigmoid(self.linear(x))
+    }
+
+    /// Hard classification at the 0.5 threshold.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.prob(x) >= 0.5
+    }
+
+    /// Akaike information criterion: `2k − 2·loglik` with `k` counting
+    /// the intercept.
+    pub fn aic(&self) -> f64 {
+        let k = self.coefs.len() as f64 + 1.0;
+        2.0 * k - 2.0 * self.log_likelihood
+    }
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Fitting failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FitError {
+    /// Shapes disagree or the data set is empty.
+    BadInput,
+    /// IRLS failed to make progress even with ridge damping.
+    Singular,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::BadInput => write!(f, "empty data or inconsistent feature lengths"),
+            FitError::Singular => write!(f, "IRLS system singular (perfectly collinear features?)"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Maximum Fisher-scoring iterations.
+const MAX_ITER: u32 = 60;
+/// Log-likelihood convergence tolerance.
+const TOL: f64 = 1e-9;
+/// Ridge penalty applied on the standardized scale: keeps the normal
+/// matrix invertible under (quasi-)separation, which small data sets
+/// like the 188-observation training splits hit routinely.
+const RIDGE: f64 = 1e-4;
+
+/// Fit `P(y=1 | x)` on rows `x` and boolean labels `y`.
+pub fn fit(x: &[Vec<f64>], y: &[bool]) -> Result<Logistic, FitError> {
+    if x.is_empty() || x.len() != y.len() {
+        return Err(FitError::BadInput);
+    }
+    let k = x[0].len();
+    if x.iter().any(|r| r.len() != k) {
+        return Err(FitError::BadInput);
+    }
+    let n = x.len();
+
+    // Standardize features; constant columns get sigma 1 (their
+    // coefficient will be driven to ~0 by the ridge).
+    let mut mean = vec![0.0; k];
+    let mut sigma = vec![0.0; k];
+    for j in 0..k {
+        let m: f64 = x.iter().map(|r| r[j]).sum::<f64>() / n as f64;
+        let v: f64 = x.iter().map(|r| (r[j] - m).powi(2)).sum::<f64>() / n as f64;
+        mean[j] = m;
+        sigma[j] = if v.sqrt() > 1e-300 { v.sqrt() } else { 1.0 };
+    }
+    let design = Matrix::from_rows(
+        &x.iter()
+            .map(|r| {
+                let mut row = Vec::with_capacity(k + 1);
+                row.push(1.0);
+                row.extend(r.iter().enumerate().map(|(j, v)| (v - mean[j]) / sigma[j]));
+                row
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let mut beta = vec![0.0; k + 1];
+    let mut ll_old = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    for it in 1..=MAX_ITER {
+        iterations = it;
+        let eta = design.mat_vec(&beta);
+        let p: Vec<f64> = eta.iter().map(|&z| sigmoid(z)).collect();
+        // Weights clamped away from 0 for stability.
+        let w: Vec<f64> = p.iter().map(|&pi| (pi * (1.0 - pi)).max(1e-10)).collect();
+        let resid: Vec<f64> =
+            y.iter().zip(&p).map(|(&yi, &pi)| (yi as u8 as f64) - pi).collect();
+        let grad = design.t_mat_vec(&resid);
+        let mut hess = design.t_weighted_self(&w);
+        for j in 0..=k {
+            hess[(j, j)] += RIDGE;
+        }
+        let step = hess.solve(&grad).ok_or(FitError::Singular)?;
+        for j in 0..=k {
+            beta[j] += step[j];
+        }
+        // Converged?
+        let ll = log_lik(&design, &beta, y);
+        if (ll - ll_old).abs() < TOL {
+            ll_old = ll;
+            break;
+        }
+        ll_old = ll;
+    }
+
+    // Back-transform to raw scale.
+    let mut coefs = Vec::with_capacity(k);
+    let mut intercept = beta[0];
+    for j in 0..k {
+        let c = beta[j + 1] / sigma[j];
+        coefs.push(c);
+        intercept -= c * mean[j];
+    }
+    Ok(Logistic { intercept, coefs, log_likelihood: ll_old, iterations })
+}
+
+fn log_lik(design: &Matrix, beta: &[f64], y: &[bool]) -> f64 {
+    let eta = design.mat_vec(beta);
+    eta.iter()
+        .zip(y)
+        .map(|(&z, &yi)| {
+            let p = sigmoid(z).clamp(1e-12, 1.0 - 1e-12);
+            if yi {
+                p.ln()
+            } else {
+                (1.0 - p).ln()
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2×2 table with known odds ratio: coefficient must equal its log.
+    #[test]
+    fn recovers_log_odds_ratio() {
+        // x=0: 10 positive, 30 negative; x=1: 30 positive, 10 negative.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..10 {
+            xs.push(vec![0.0]);
+            ys.push(true);
+        }
+        for _ in 0..30 {
+            xs.push(vec![0.0]);
+            ys.push(false);
+        }
+        for _ in 0..30 {
+            xs.push(vec![1.0]);
+            ys.push(true);
+        }
+        for _ in 0..10 {
+            xs.push(vec![1.0]);
+            ys.push(false);
+        }
+        let m = fit(&xs, &ys).unwrap();
+        let expect = (30.0f64 / 10.0 / (10.0 / 30.0)).ln(); // log OR = ln 9
+        assert!((m.coefs[0] - expect).abs() < 0.05, "{} vs {expect}", m.coefs[0]);
+        // Intercept = log odds at x=0 = ln(10/30).
+        assert!((m.intercept - (10.0f64 / 30.0).ln()).abs() < 0.05);
+    }
+
+    #[test]
+    fn balanced_noise_gives_flat_model() {
+        // Feature period 5 against label period 2: over 100 samples each
+        // feature value occurs with both labels equally often, so the
+        // feature carries exactly zero information.
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 5) as f64]).collect();
+        let ys: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let m = fit(&xs, &ys).unwrap();
+        assert!(m.coefs[0].abs() < 0.05, "{}", m.coefs[0]);
+        assert!((m.prob(&[2.0]) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn separable_data_is_tamed_by_ridge() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let ys: Vec<bool> = (0..40).map(|i| i >= 20).collect();
+        let m = fit(&xs, &ys).unwrap();
+        // Perfect separation: ridge keeps it finite and predictive.
+        assert!(m.coefs[0].is_finite());
+        assert!(m.predict(&[39.0]));
+        assert!(!m.predict(&[0.0]));
+    }
+
+    #[test]
+    fn raw_scale_invariance() {
+        // Scaling a feature by 1e9 must scale its coefficient by 1e-9
+        // (this is how Table IV gets its E-09 entries).
+        let xs_small: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let xs_big: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 * 1e9]).collect();
+        let ys: Vec<bool> = (0..60).map(|i| i % 3 != 0).collect();
+        let a = fit(&xs_small, &ys).unwrap();
+        let b = fit(&xs_big, &ys).unwrap();
+        assert!((a.coefs[0] - b.coefs[0] * 1e9).abs() < 1e-6 * a.coefs[0].abs().max(1e-9));
+        assert!((a.intercept - b.intercept).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multivariate_uses_informative_feature() {
+        // Feature 0 informative, feature 1 noise.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..200 {
+            let informative = (i % 2) as f64;
+            let noise = ((i * 7) % 5) as f64;
+            xs.push(vec![informative, noise]);
+            ys.push(i % 2 == 0);
+        }
+        let m = fit(&xs, &ys).unwrap();
+        assert!(m.coefs[0].abs() > 5.0 * m.coefs[1].abs());
+    }
+
+    #[test]
+    fn aic_penalizes_extra_parameters() {
+        let xs1: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 2) as f64]).collect();
+        let xs2: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![(i % 2) as f64, ((i / 3) % 7) as f64]).collect();
+        let ys: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let a = fit(&xs1, &ys).unwrap();
+        let b = fit(&xs2, &ys).unwrap();
+        // The noise feature buys (almost) no likelihood but costs 2 AIC.
+        assert!(b.aic() > a.aic() - 0.5, "aic {} vs {}", b.aic(), a.aic());
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        assert_eq!(fit(&[], &[]).unwrap_err(), FitError::BadInput);
+        let xs = vec![vec![1.0], vec![1.0, 2.0]];
+        assert_eq!(fit(&xs, &[true, false]).unwrap_err(), FitError::BadInput);
+    }
+}

@@ -1,0 +1,195 @@
+//! Monte Carlo cross-validation (Section VI-B.2): repeatedly sample 80 %
+//! of the observations as a training set without replacement, evaluate
+//! on the held-out 20 %, and aggregate the test metrics over the runs.
+
+use crate::metrics::Confusion;
+use crate::select::{forward_select, Selection};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One cross-validation round's outcome.
+#[derive(Clone, Debug)]
+pub struct CvRound {
+    /// Variables the step-wise selection chose (indices into the
+    /// candidate features).
+    pub chosen: Vec<usize>,
+    /// Raw-scale coefficients, aligned with `chosen`.
+    pub coefs: Vec<f64>,
+    /// Test-set confusion counts.
+    pub confusion: Confusion,
+}
+
+/// Aggregated Monte Carlo cross-validation results.
+#[derive(Clone, Debug)]
+pub struct CvReport {
+    /// Per-round outcomes, in round order.
+    pub rounds: Vec<CvRound>,
+    /// Number of candidate variables.
+    pub num_candidates: usize,
+}
+
+impl CvReport {
+    /// Fraction of rounds in which candidate `j` was selected
+    /// (Table IV's "% Selected" column).
+    pub fn selection_rate(&self, j: usize) -> f64 {
+        let n = self.rounds.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.rounds.iter().filter(|r| r.chosen.contains(&j)).count() as f64 / n as f64
+    }
+
+    /// Mean raw-scale coefficient of candidate `j` over the rounds that
+    /// selected it (Table IV's "Coefficient" column).
+    pub fn mean_coefficient(&self, j: usize) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for r in &self.rounds {
+            if let Some(pos) = r.chosen.iter().position(|&c| c == j) {
+                sum += r.coefs[pos];
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Candidates ranked by selection rate (descending), ties broken by
+    /// index — the rows of Table IV.
+    pub fn ranked_candidates(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.num_candidates).collect();
+        idx.sort_by(|&a, &b| {
+            self.selection_rate(b)
+                .partial_cmp(&self.selection_rate(a))
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// Per-round misclassification rates.
+    pub fn misclassification_rates(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.confusion.misclassification_rate()).collect()
+    }
+
+    /// Per-round false-negative rates.
+    pub fn fn_rates(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.confusion.fn_rate()).collect()
+    }
+
+    /// Per-round false-positive rates.
+    pub fn fp_rates(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.confusion.fp_rate()).collect()
+    }
+}
+
+/// Run `rounds` rounds of MC-CV on candidates `x` / labels `y`:
+/// `train_frac` of the data trains a step-wise-selected logistic model
+/// (≤ `max_vars` variables); the rest tests it. Deterministic in `seed`.
+pub fn monte_carlo_cv(
+    x: &[Vec<f64>],
+    y: &[bool],
+    rounds: usize,
+    train_frac: f64,
+    max_vars: usize,
+    seed: u64,
+) -> CvReport {
+    assert_eq!(x.len(), y.len());
+    assert!(x.len() >= 10, "too few observations for CV");
+    assert!((0.1..0.95).contains(&train_frac));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = x.len();
+    let n_train = ((n as f64) * train_frac).round() as usize;
+    let mut out = Vec::with_capacity(rounds);
+    let mut idx: Vec<usize> = (0..n).collect();
+
+    for _ in 0..rounds {
+        idx.shuffle(&mut rng);
+        let (train_idx, test_idx) = idx.split_at(n_train);
+        let xt: Vec<Vec<f64>> = train_idx.iter().map(|&i| x[i].clone()).collect();
+        let yt: Vec<bool> = train_idx.iter().map(|&i| y[i]).collect();
+        let sel: Selection = forward_select(&xt, &yt, max_vars);
+        let pred: Vec<bool> = test_idx.iter().map(|&i| sel.predict(&x[i])).collect();
+        let actual: Vec<bool> = test_idx.iter().map(|&i| y[i]).collect();
+        out.push(CvRound {
+            chosen: sel.chosen.clone(),
+            coefs: sel.model.coefs.clone(),
+            confusion: Confusion::tally(&pred, &actual),
+        });
+    }
+    CvReport { rounds: out, num_candidates: x[0].len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::trimmed_mean;
+
+    fn dataset() -> (Vec<Vec<f64>>, Vec<bool>) {
+        // Feature 0: strong signal with 10% label noise; feature 1: noise.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200i64 {
+            let label = i % 2 == 0;
+            let flips = (i % 10) == 7;
+            let f0 = ((label != flips) as u8) as f64 + ((i % 3) as f64) * 0.01;
+            let f1 = ((i * 11) % 13) as f64;
+            x.push(vec![f0, f1]);
+            y.push(label);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn cv_is_deterministic_in_seed() {
+        let (x, y) = dataset();
+        let a = monte_carlo_cv(&x, &y, 10, 0.8, 3, 99);
+        let b = monte_carlo_cv(&x, &y, 10, 0.8, 3, 99);
+        for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+            assert_eq!(ra.chosen, rb.chosen);
+            assert_eq!(ra.confusion, rb.confusion);
+        }
+        let c = monte_carlo_cv(&x, &y, 10, 0.8, 3, 100);
+        assert!(a.rounds.iter().zip(&c.rounds).any(|(p, q)| p.confusion != q.confusion));
+    }
+
+    #[test]
+    fn signal_feature_selected_every_round() {
+        let (x, y) = dataset();
+        let r = monte_carlo_cv(&x, &y, 20, 0.8, 3, 7);
+        assert!((r.selection_rate(0) - 1.0).abs() < 1e-12);
+        assert!(r.selection_rate(1) < 0.5);
+        assert_eq!(r.ranked_candidates()[0], 0);
+    }
+
+    #[test]
+    fn error_rates_reflect_label_noise() {
+        let (x, y) = dataset();
+        let r = monte_carlo_cv(&x, &y, 20, 0.8, 3, 7);
+        let mr = trimmed_mean(&r.misclassification_rates(), 0.02);
+        // 10% of the labels are flipped; the model cannot beat that but
+        // should get close to it.
+        assert!(mr > 0.02 && mr < 0.2, "MR {mr}");
+    }
+
+    #[test]
+    fn mean_coefficient_sign_is_stable() {
+        let (x, y) = dataset();
+        let r = monte_carlo_cv(&x, &y, 20, 0.8, 3, 7);
+        // f0 high => label true: positive coefficient.
+        assert!(r.mean_coefficient(0) > 0.0);
+    }
+
+    #[test]
+    fn test_split_sizes() {
+        let (x, y) = dataset();
+        let r = monte_carlo_cv(&x, &y, 5, 0.8, 3, 7);
+        for round in &r.rounds {
+            assert_eq!(round.confusion.total(), 40); // 20% of 200
+        }
+    }
+}

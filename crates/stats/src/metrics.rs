@@ -1,0 +1,207 @@
+//! Classification metrics and the paper's trimmed-mean aggregation.
+
+/// Confusion-matrix counts for a binary classifier. "Positive" is the
+/// paper's "requires simulation" label.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Confusion {
+    /// Predicted positive, actually positive.
+    pub tp: usize,
+    /// Predicted positive, actually negative.
+    pub fp: usize,
+    /// Predicted negative, actually negative.
+    pub tn: usize,
+    /// Predicted negative, actually positive.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against labels.
+    pub fn tally(pred: &[bool], actual: &[bool]) -> Confusion {
+        assert_eq!(pred.len(), actual.len());
+        let mut c = Confusion::default();
+        for (&p, &a) in pred.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Misclassification rate: wrong / total.
+    pub fn misclassification_rate(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.fp + self.fn_) as f64 / self.total() as f64
+    }
+
+    /// False-negative rate: FN / (FN + TP) — the paper's definition.
+    pub fn fn_rate(&self) -> f64 {
+        let d = self.fn_ + self.tp;
+        if d == 0 {
+            0.0
+        } else {
+            self.fn_ as f64 / d as f64
+        }
+    }
+
+    /// False-positive rate: FP / (FP + TN) — the paper's definition.
+    pub fn fp_rate(&self) -> f64 {
+        let d = self.fp + self.tn;
+        if d == 0 {
+            0.0
+        } else {
+            self.fp as f64 / d as f64
+        }
+    }
+
+    /// Accuracy (1 − misclassification rate).
+    pub fn accuracy(&self) -> f64 {
+        1.0 - self.misclassification_rate()
+    }
+}
+
+/// Trimmed mean discarding the top and bottom `trim` fraction of the
+/// sorted values (the paper trims 2 % on each side of its 100 test
+/// runs). NaNs are rejected.
+pub fn trimmed_mean(values: &[f64], trim: f64) -> f64 {
+    assert!((0.0..0.5).contains(&trim), "trim fraction must be in [0, 0.5)");
+    assert!(!values.is_empty(), "trimmed mean of nothing");
+    assert!(values.iter().all(|v| v.is_finite()), "non-finite value");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let cut = ((values.len() as f64) * trim).floor() as usize;
+    let kept = &sorted[cut..sorted.len() - cut];
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+/// ROC curve points for scored predictions: sweep the decision
+/// threshold over every distinct score and emit (false-positive rate,
+/// true-positive rate) pairs, from (0,0) to (1,1).
+pub fn roc_points(scores: &[f64], labels: &[bool]) -> Vec<(f64, f64)> {
+    assert_eq!(scores.len(), labels.len());
+    assert!(!scores.is_empty());
+    let pos = labels.iter().filter(|&&l| l).count().max(1) as f64;
+    let neg = labels.iter().filter(|&&l| !l).count().max(1) as f64;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut pts = vec![(0.0, 0.0)];
+    let mut i = 0;
+    while i < order.len() {
+        // Process ties together so the curve is threshold-consistent.
+        let s = scores[order[i]];
+        while i < order.len() && scores[order[i]] == s {
+            if labels[order[i]] {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        pts.push((fp / neg, tp / pos));
+    }
+    pts
+}
+
+/// Area under the ROC curve by trapezoidal integration.
+pub fn auc(points: &[(f64, f64)]) -> f64 {
+    points
+        .windows(2)
+        .map(|w| (w[1].0 - w[0].0) * (w[0].1 + w[1].1) / 2.0)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_tally() {
+        let pred = [true, true, false, false, true];
+        let actual = [true, false, false, true, true];
+        let c = Confusion::tally(&pred, &actual);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(c.total(), 5);
+        assert!((c.misclassification_rate() - 0.4).abs() < 1e-12);
+        assert!((c.fn_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.fp_rate() - 0.5).abs() < 1e-12);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_and_empty_edge_cases() {
+        let c = Confusion::tally(&[true, false], &[true, false]);
+        assert_eq!(c.misclassification_rate(), 0.0);
+        let all_neg = Confusion::tally(&[false, false], &[false, false]);
+        assert_eq!(all_neg.fn_rate(), 0.0, "no positives: rate defined as 0");
+        assert_eq!(Confusion::default().misclassification_rate(), 0.0);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_outliers() {
+        // 50 ones plus two wild outliers; 2% trim on 52 values cuts one
+        // from each end.
+        let mut v = vec![1.0; 50];
+        v.push(1000.0);
+        v.push(-1000.0);
+        let m = trimmed_mean(&v, 0.02);
+        assert!((m - 1.0).abs() < 1e-12, "{m}");
+    }
+
+    #[test]
+    fn trimmed_mean_zero_trim_is_mean() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((trimmed_mean(&v, 0.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn trimmed_mean_rejects_nan() {
+        let _ = trimmed_mean(&[1.0, f64::NAN], 0.02);
+    }
+
+    #[test]
+    fn roc_perfect_separation_has_auc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        let pts = roc_points(&scores, &labels);
+        assert_eq!(pts.first(), Some(&(0.0, 0.0)));
+        assert_eq!(pts.last(), Some(&(1.0, 1.0)));
+        assert!((auc(&pts) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_reversed_scores_have_auc_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(auc(&roc_points(&scores, &labels)) < 1e-12);
+    }
+
+    #[test]
+    fn roc_random_scores_near_half() {
+        let scores: Vec<f64> = (0..200).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
+        let labels: Vec<bool> = (0..200).map(|i| i % 2 == 0).collect();
+        let a = auc(&roc_points(&scores, &labels));
+        assert!((a - 0.5).abs() < 0.12, "AUC {a}");
+    }
+
+    #[test]
+    fn roc_handles_ties() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        let pts = roc_points(&scores, &labels);
+        // One tie block: straight diagonal.
+        assert_eq!(pts, vec![(0.0, 0.0), (1.0, 1.0)]);
+        assert!((auc(&pts) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Step-wise forward feature selection by AIC (Section VI-B.2).
+//!
+//! Starting from the intercept-only model, each step adds the candidate
+//! variable that most improves the Akaike information criterion; the
+//! process stops when no candidate improves AIC or the variable cap
+//! (five, per the paper, to avoid over-fitting and multi-collinearity)
+//! is reached.
+
+use crate::logistic::{fit, Logistic};
+
+/// Result of a forward-selection run.
+#[derive(Clone, Debug)]
+pub struct Selection {
+    /// Indices of the chosen variables (into the candidate feature
+    /// vector), in selection order.
+    pub chosen: Vec<usize>,
+    /// The model fitted on the chosen variables.
+    pub model: Logistic,
+    /// AIC trajectory: entry 0 is the intercept-only AIC, then one entry
+    /// per accepted variable.
+    pub aic_path: Vec<f64>,
+}
+
+impl Selection {
+    /// Predict with the selected model on a full candidate vector.
+    pub fn predict(&self, full_x: &[f64]) -> bool {
+        let x: Vec<f64> = self.chosen.iter().map(|&j| full_x[j]).collect();
+        self.model.predict(&x)
+    }
+
+    /// Probability with the selected model on a full candidate vector.
+    pub fn prob(&self, full_x: &[f64]) -> f64 {
+        let x: Vec<f64> = self.chosen.iter().map(|&j| full_x[j]).collect();
+        self.model.prob(&x)
+    }
+}
+
+/// Run forward selection over `x` (rows of candidate features) and
+/// labels `y`, adding at most `max_vars` variables.
+pub fn forward_select(x: &[Vec<f64>], y: &[bool], max_vars: usize) -> Selection {
+    assert!(!x.is_empty() && x.len() == y.len());
+    let k = x[0].len();
+    let mut chosen: Vec<usize> = Vec::new();
+    let null = fit(&vec![vec![]; x.len()], y).expect("intercept-only fit");
+    let mut best_model = null;
+    let mut aic_path = vec![best_model.aic()];
+
+    while chosen.len() < max_vars {
+        let mut best_step: Option<(usize, Logistic)> = None;
+        for j in 0..k {
+            if chosen.contains(&j) {
+                continue;
+            }
+            let cols: Vec<usize> = chosen.iter().copied().chain([j]).collect();
+            let sub: Vec<Vec<f64>> =
+                x.iter().map(|r| cols.iter().map(|&c| r[c]).collect()).collect();
+            let Ok(m) = fit(&sub, y) else { continue };
+            if best_step.as_ref().is_none_or(|(_, b)| m.aic() < b.aic()) {
+                best_step = Some((j, m));
+            }
+        }
+        match best_step {
+            Some((j, m)) if m.aic() < best_model.aic() - 1e-9 => {
+                chosen.push(j);
+                aic_path.push(m.aic());
+                best_model = m;
+            }
+            _ => break,
+        }
+    }
+    Selection { chosen, model: best_model, aic_path }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic data where feature 1 is decisive, feature 0 and 2 noise.
+    fn dataset() -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..240 {
+            let signal = (i % 2) as f64;
+            let noise_a = ((i * 13) % 7) as f64;
+            let noise_b = ((i * 5) % 11) as f64;
+            x.push(vec![noise_a, signal, noise_b]);
+            y.push(i % 2 == 0);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn picks_the_informative_feature_first() {
+        let (x, y) = dataset();
+        let s = forward_select(&x, &y, 5);
+        assert_eq!(s.chosen[0], 1, "chosen {:?}", s.chosen);
+        // Noise features do not improve AIC, so selection stops at one.
+        assert_eq!(s.chosen.len(), 1, "chosen {:?}", s.chosen);
+    }
+
+    #[test]
+    fn aic_path_is_decreasing() {
+        let (x, y) = dataset();
+        let s = forward_select(&x, &y, 5);
+        for w in s.aic_path.windows(2) {
+            assert!(w[1] < w[0], "AIC path not improving: {:?}", s.aic_path);
+        }
+    }
+
+    #[test]
+    fn respects_variable_cap() {
+        // Make several mildly informative features.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..300i64 {
+            let label = i % 2 == 0;
+            let noisy = |salt: i64| {
+                let flip = (i * salt) % 5 == 0;
+                (label != flip) as u8 as f64
+            };
+            x.push(vec![noisy(3), noisy(7), noisy(11), noisy(13), noisy(17), noisy(19), noisy(23)]);
+            y.push(label);
+        }
+        let s = forward_select(&x, &y, 2);
+        assert!(s.chosen.len() <= 2);
+        assert!(!s.chosen.is_empty());
+    }
+
+    #[test]
+    fn selection_predicts() {
+        let (x, y) = dataset();
+        let s = forward_select(&x, &y, 5);
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| s.predict(xi) == yi)
+            .count();
+        assert!(correct as f64 / x.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn all_noise_selects_nothing() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![((i * 7) % 13) as f64]).collect();
+        let y: Vec<bool> = (0..100).map(|i| (i / 25) % 2 == 0).collect();
+        let s = forward_select(&x, &y, 5);
+        assert!(s.chosen.is_empty(), "chose {:?}", s.chosen);
+    }
+}

@@ -1,0 +1,166 @@
+//! Two-level fat tree (leaf/spine Clos), provided as the third topology
+//! class SST/Macro supports. None of the paper's three machines uses it,
+//! but it is exercised by ablation benches and examples.
+//!
+//! Every leaf switch connects to every spine switch. Up-routing picks the
+//! spine deterministically by hashing the destination leaf, which spreads
+//! flows while keeping simulations reproducible.
+
+use crate::topology::{LinkId, LinkKind, SwitchId, Topology};
+use masim_trace::NodeId;
+
+/// A leaf-spine fat tree.
+#[derive(Clone, Debug)]
+pub struct FatTree {
+    leaves: u32,
+    spines: u32,
+    nodes_per_leaf: u32,
+}
+
+impl FatTree {
+    /// Build a fat tree with `leaves` leaf switches, `spines` spine
+    /// switches, and `nodes_per_leaf` nodes per leaf.
+    pub fn new(leaves: u32, spines: u32, nodes_per_leaf: u32) -> FatTree {
+        assert!(leaves >= 2, "need at least two leaves");
+        assert!(spines >= 1 && nodes_per_leaf >= 1);
+        FatTree { leaves, spines, nodes_per_leaf }
+    }
+
+    /// Leaf switches count.
+    pub fn leaves(&self) -> u32 {
+        self.leaves
+    }
+
+    /// Spine switches count.
+    pub fn spines(&self) -> u32 {
+        self.spines
+    }
+
+    // Switch ids: leaves first, then spines.
+    fn spine(&self, i: u32) -> SwitchId {
+        SwitchId(self.leaves + i)
+    }
+
+    // Link layout: up links (leaf l -> spine s) = l*spines + s;
+    // down links = leaves*spines + s*leaves + l; then injection, ejection.
+    fn up_link(&self, leaf: u32, spine: u32) -> LinkId {
+        LinkId(leaf * self.spines + spine)
+    }
+
+    fn down_link(&self, spine: u32, leaf: u32) -> LinkId {
+        LinkId(self.leaves * self.spines + spine * self.leaves + leaf)
+    }
+
+    fn injection_base(&self) -> u32 {
+        2 * self.leaves * self.spines
+    }
+
+    fn injection_link(&self, n: NodeId) -> LinkId {
+        LinkId(self.injection_base() + n.0)
+    }
+
+    fn ejection_link(&self, n: NodeId) -> LinkId {
+        LinkId(self.injection_base() + self.num_nodes() + n.0)
+    }
+
+    fn leaf_of(&self, n: NodeId) -> u32 {
+        n.0 / self.nodes_per_leaf
+    }
+
+    /// Deterministic spine choice for a (src leaf, dst leaf) pair.
+    fn spine_for(&self, src_leaf: u32, dst_leaf: u32) -> u32 {
+        (src_leaf.wrapping_mul(31).wrapping_add(dst_leaf)) % self.spines
+    }
+}
+
+impl Topology for FatTree {
+    fn name(&self) -> String {
+        format!("fattree(l{} s{} p{})", self.leaves, self.spines, self.nodes_per_leaf)
+    }
+
+    fn num_nodes(&self) -> u32 {
+        self.leaves * self.nodes_per_leaf
+    }
+
+    fn num_switches(&self) -> u32 {
+        self.leaves + self.spines
+    }
+
+    fn num_links(&self) -> u32 {
+        self.injection_base() + 2 * self.num_nodes()
+    }
+
+    fn node_switch(&self, node: NodeId) -> SwitchId {
+        assert!(node.0 < self.num_nodes(), "node {node} out of range");
+        SwitchId(self.leaf_of(node))
+    }
+
+    fn link_kind(&self, link: LinkId) -> LinkKind {
+        let inj = self.injection_base();
+        if link.0 < inj {
+            LinkKind::Fabric
+        } else if link.0 < inj + self.num_nodes() {
+            LinkKind::Injection
+        } else {
+            LinkKind::Ejection
+        }
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId, path: &mut Vec<LinkId>) {
+        if src == dst {
+            return;
+        }
+        path.push(self.injection_link(src));
+        let (sl, dl) = (self.leaf_of(src), self.leaf_of(dst));
+        if sl != dl {
+            let sp = self.spine_for(sl, dl);
+            let _ = self.spine(sp); // spine ids exist for reporting
+            path.push(self.up_link(sl, sp));
+            path.push(self.down_link(sp, dl));
+        }
+        path.push(self.ejection_link(dst));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::check_route_shape;
+
+    #[test]
+    fn counts() {
+        let t = FatTree::new(4, 2, 8);
+        assert_eq!(t.num_nodes(), 32);
+        assert_eq!(t.num_switches(), 6);
+        assert_eq!(t.num_links(), 2 * 4 * 2 + 2 * 32);
+    }
+
+    #[test]
+    fn all_routes_well_formed() {
+        let t = FatTree::new(4, 2, 4);
+        for s in 0..t.num_nodes() {
+            for d in 0..t.num_nodes() {
+                check_route_shape(&t, NodeId(s), NodeId(d)).expect("route shape");
+            }
+        }
+    }
+
+    #[test]
+    fn intra_leaf_skips_fabric() {
+        let t = FatTree::new(4, 2, 4);
+        assert_eq!(t.fabric_hops(NodeId(0), NodeId(1)), 0);
+        assert_eq!(t.fabric_hops(NodeId(0), NodeId(4)), 2);
+    }
+
+    #[test]
+    fn spine_choice_is_deterministic_and_in_range() {
+        let t = FatTree::new(7, 3, 2);
+        for sl in 0..7 {
+            for dl in 0..7 {
+                let s = t.spine_for(sl, dl);
+                assert!(s < 3);
+                assert_eq!(s, t.spine_for(sl, dl));
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Machine configurations: a topology plus the paper's published
+//! bandwidth/latency scalars for Cielito, Hopper, and Edison.
+
+use crate::topology::Topology;
+use crate::{Dragonfly, Torus3d};
+use masim_trace::{Bandwidth, Time};
+use std::sync::Arc;
+
+/// The two scalars the paper uses to characterize an interconnect.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkConfig {
+    /// Per-link bandwidth.
+    pub bandwidth: Bandwidth,
+    /// End-to-end small-message latency (Hockney α).
+    pub latency: Time,
+}
+
+impl NetworkConfig {
+    /// Construct from the paper's units (Gb/s, ns).
+    pub fn new(gbps: f64, latency_ns: u64) -> NetworkConfig {
+        NetworkConfig { bandwidth: Bandwidth::from_gbps(gbps), latency: Time::from_ns(latency_ns) }
+    }
+
+    /// A copy with bandwidth scaled by `bw` and latency by `lat`
+    /// (MFACT's sensitivity sweep uses factors 1/8 … 8).
+    pub fn scaled(&self, bw: f64, lat: f64) -> NetworkConfig {
+        NetworkConfig { bandwidth: self.bandwidth.scale(bw), latency: self.latency.scale(lat) }
+    }
+}
+
+/// A target machine: topology, network scalars, and node shape.
+#[derive(Clone)]
+pub struct Machine {
+    /// Machine name ("cielito", "hopper", "edison").
+    pub name: String,
+    /// The interconnect.
+    pub topology: Arc<dyn Topology>,
+    /// Link bandwidth and end-to-end latency.
+    pub net: NetworkConfig,
+    /// CPU cores (max ranks) per node.
+    pub cores_per_node: u32,
+    /// Per-hop link latency, apportioned so that an average-length route
+    /// accumulates exactly `net.latency` end to end. This keeps the
+    /// simulator and MFACT in agreement in the uncongested limit.
+    hop_latency: Time,
+}
+
+impl Machine {
+    /// Build a machine, computing the per-hop latency split.
+    pub fn new(
+        name: impl Into<String>,
+        topology: Arc<dyn Topology>,
+        net: NetworkConfig,
+        cores_per_node: u32,
+    ) -> Machine {
+        assert!(cores_per_node >= 1);
+        let mean_links = topology.mean_route_links().max(1.0);
+        let hop_latency = Time::from_ps((net.latency.as_ps() as f64 / mean_links).round() as u64);
+        Machine { name: name.into(), topology, net, cores_per_node, hop_latency }
+    }
+
+    /// Per-hop (per-link) latency.
+    pub fn hop_latency(&self) -> Time {
+        self.hop_latency
+    }
+
+    /// Total rank capacity.
+    pub fn capacity(&self) -> u32 {
+        self.topology.num_nodes() * self.cores_per_node
+    }
+
+    /// Cielito: the 64-node Cray XE6 at LANL. Gemini 3-D torus (two
+    /// nodes per Gemini ASIC), 16 cores/node, {10 Gb/s, 2 500 ns}.
+    pub fn cielito() -> Machine {
+        Machine::new(
+            "cielito",
+            Arc::new(Torus3d::new(4, 4, 2, 2)),
+            NetworkConfig::new(10.0, 2_500),
+            16,
+        )
+    }
+
+    /// Hopper: NERSC's Cray XE6. Gemini 3-D torus, 24 cores/node,
+    /// {35 Gb/s, 2 575 ns}. Sized here to 192 nodes, enough for the
+    /// largest (1 728-rank) traces in the corpus.
+    pub fn hopper() -> Machine {
+        Machine::new(
+            "hopper",
+            Arc::new(Torus3d::new(6, 4, 4, 2)),
+            NetworkConfig::new(35.0, 2_575),
+            24,
+        )
+    }
+
+    /// Edison: NERSC's Cray XC30. Aries dragonfly, 24 cores/node,
+    /// {24 Gb/s, 1 300 ns}. Multi-channel dragonfly (one node per router
+    /// tile, 4 global channels per group pair with hash spreading, like
+    /// Aries adaptive routing), 168 nodes.
+    pub fn edison() -> Machine {
+        Machine::new(
+            "edison",
+            Arc::new(Dragonfly::new(7, 24, 1, 1)),
+            NetworkConfig::new(24.0, 1_300),
+            24,
+        )
+    }
+
+    /// All three study machines, in the paper's order.
+    pub fn all_study_machines() -> Vec<Machine> {
+        vec![Machine::cielito(), Machine::hopper(), Machine::edison()]
+    }
+
+    /// Look a study machine up by name.
+    pub fn by_name(name: &str) -> Option<Machine> {
+        match name {
+            "cielito" => Some(Machine::cielito()),
+            "hopper" => Some(Machine::hopper()),
+            "edison" => Some(Machine::edison()),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("name", &self.name)
+            .field("topology", &self.topology.name())
+            .field("bandwidth", &self.net.bandwidth)
+            .field("latency", &self.net.latency)
+            .field("cores_per_node", &self.cores_per_node)
+            .field("hop_latency", &self.hop_latency)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_parameters_match_paper() {
+        let c = Machine::cielito();
+        assert!((c.net.bandwidth.as_gbps() - 10.0).abs() < 1e-9);
+        assert_eq!(c.net.latency, Time::from_ns(2_500));
+        assert_eq!(c.cores_per_node, 16);
+        assert_eq!(c.capacity(), 1024);
+
+        let h = Machine::hopper();
+        assert!((h.net.bandwidth.as_gbps() - 35.0).abs() < 1e-9);
+        assert_eq!(h.net.latency, Time::from_ns(2_575));
+        assert!(h.capacity() >= 1728, "hopper must hold the largest traces");
+
+        let e = Machine::edison();
+        assert!((e.net.bandwidth.as_gbps() - 24.0).abs() < 1e-9);
+        assert_eq!(e.net.latency, Time::from_ns(1_300));
+        assert!(e.capacity() >= 1728);
+    }
+
+    #[test]
+    fn hop_latency_partitions_end_to_end() {
+        for m in Machine::all_study_machines() {
+            let mean = m.topology.mean_route_links();
+            let total = m.hop_latency().as_ps() as f64 * mean;
+            let target = m.net.latency.as_ps() as f64;
+            // Within 1% after rounding.
+            assert!(
+                (total - target).abs() / target < 0.01,
+                "{}: {total} vs {target}",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_round_trip() {
+        for name in ["cielito", "hopper", "edison"] {
+            assert_eq!(Machine::by_name(name).unwrap().name, name);
+        }
+        assert!(Machine::by_name("summit").is_none());
+    }
+
+    #[test]
+    fn scaled_config() {
+        let n = NetworkConfig::new(10.0, 1000);
+        let s = n.scaled(2.0, 0.5);
+        assert!((s.bandwidth.as_gbps() - 20.0).abs() < 1e-9);
+        assert_eq!(s.latency, Time::from_ns(500));
+    }
+}

@@ -1,0 +1,341 @@
+//! Extraction of the Table III candidate features from a trace.
+//!
+//! The paper's enhanced MFACT feeds 35 features into a logistic model.
+//! 34 of them are measurable directly from the trace and are computed
+//! here; the 35th ("CL", sensitivity to communication) comes from MFACT's
+//! classification and is appended by the study harness.
+//!
+//! Conventions (documented because the paper leaves them implicit):
+//! * times are in seconds;
+//! * `T` is the measured wall time (slowest rank);
+//! * all other time aggregates are summed across ranks (CPU-time-like),
+//!   and the `Po*` percentages are relative to the summed total, so a
+//!   perfectly balanced app has `PoCP + PoC = 100`;
+//! * "first barrier" / "first all-to-all collective" times are the
+//!   maximum recorded duration of that call across ranks, reflecting the
+//!   skew-absorbing role those calls play at application start-up;
+//! * counts are totals across ranks.
+
+use crate::event::{CollKind, EventKind};
+use crate::trace::Trace;
+use std::collections::HashSet;
+
+/// Number of measurable features (Table III minus `CL`).
+pub const NUM_FEATURES: usize = 34;
+
+/// Names of the measurable features, in `as_vec` order, matching the
+/// paper's variable mnemonics.
+pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
+    "R", "RN", "N", "T", "Tcp", "PoCP", "Tc", "PoC", "Tbr", "PoBR", "Tfbr", "PoFBR", "Tcoll",
+    "PoCOLL", "Tfcoll", "PoFCOLL", "Tp2p", "PoTp2p", "Tsyn", "PoSYN", "Tasyn", "PoASYN", "TB",
+    "NoM", "TBp2p", "CR", "CRComm", "NoCALL", "NoS", "NoIS", "NoR", "NoIR", "NoB", "NoC",
+];
+
+/// The measurable Table III features of one application trace.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Features {
+    /// Number of ranks.
+    pub r: f64,
+    /// Ranks per node.
+    pub rn: f64,
+    /// Number of nodes deployed.
+    pub n: f64,
+    /// Total execution (wall) time, seconds.
+    pub t: f64,
+    /// Computation time summed over ranks, seconds.
+    pub tcp: f64,
+    /// % of computation time.
+    pub po_cp: f64,
+    /// Communication time summed over ranks, seconds.
+    pub tc: f64,
+    /// % of communication time.
+    pub po_c: f64,
+    /// Barrier time summed over ranks, seconds.
+    pub tbr: f64,
+    /// % of barrier time.
+    pub po_br: f64,
+    /// First barrier time (max across ranks), seconds.
+    pub tfbr: f64,
+    /// % of first barrier time (relative to wall time).
+    pub po_fbr: f64,
+    /// Non-barrier collective time summed over ranks, seconds.
+    pub tcoll: f64,
+    /// % of collective time.
+    pub po_coll: f64,
+    /// First all-to-all collective time (max across ranks), seconds.
+    pub tfcoll: f64,
+    /// % of first all-to-all collective time (relative to wall time).
+    pub po_fcoll: f64,
+    /// Point-to-point time (sends, receives, waits) summed over ranks.
+    pub tp2p: f64,
+    /// % of point-to-point time.
+    pub po_tp2p: f64,
+    /// Blocking ("synchronous") point-to-point time summed over ranks.
+    pub tsyn: f64,
+    /// % of synchronous point-to-point time.
+    pub po_syn: f64,
+    /// Nonblocking point-to-point time (issue + wait) summed over ranks.
+    pub tasyn: f64,
+    /// % of asynchronous point-to-point time.
+    pub po_asyn: f64,
+    /// Total bytes sent (all operations).
+    pub tb: f64,
+    /// Number of messages sent (point-to-point sends).
+    pub no_m: f64,
+    /// Total point-to-point bytes sent.
+    pub tb_p2p: f64,
+    /// Average number of destination ranks per source.
+    pub cr: f64,
+    /// Average point-to-point bytes per (source, destination) pair.
+    pub cr_comm: f64,
+    /// Number of MPI calls.
+    pub no_call: f64,
+    /// Number of blocking sends.
+    pub no_s: f64,
+    /// Number of nonblocking sends.
+    pub no_is: f64,
+    /// Number of blocking receives.
+    pub no_r: f64,
+    /// Number of nonblocking receives.
+    pub no_ir: f64,
+    /// Number of barriers.
+    pub no_b: f64,
+    /// Number of (non-barrier) collectives.
+    pub no_c: f64,
+}
+
+impl Features {
+    /// Extract the features from a trace.
+    pub fn extract(trace: &Trace) -> Features {
+        let world = trace.num_ranks();
+        let mut f = Features {
+            r: world as f64,
+            rn: trace.meta.ranks_per_node as f64,
+            n: trace.meta.nodes() as f64,
+            t: trace.measured_time().as_secs_f64(),
+            ..Features::default()
+        };
+
+        let mut dests_per_src: Vec<HashSet<u32>> = vec![HashSet::new(); world as usize];
+        let mut first_barrier: f64 = 0.0;
+        let mut first_a2a: f64 = 0.0;
+
+        for (r, stream) in trace.events.iter().enumerate() {
+            let mut seen_barrier = false;
+            let mut seen_a2a = false;
+            for e in stream {
+                let d = e.dur.as_secs_f64();
+                match &e.kind {
+                    EventKind::Compute => f.tcp += d,
+                    EventKind::Send { peer, bytes, tag: _ } => {
+                        f.tc += d;
+                        f.tp2p += d;
+                        f.tsyn += d;
+                        f.no_call += 1.0;
+                        f.no_s += 1.0;
+                        f.no_m += 1.0;
+                        f.tb_p2p += *bytes as f64;
+                        dests_per_src[r].insert(peer.0);
+                    }
+                    EventKind::Isend { peer, bytes, .. } => {
+                        f.tc += d;
+                        f.tp2p += d;
+                        f.tasyn += d;
+                        f.no_call += 1.0;
+                        f.no_is += 1.0;
+                        f.no_m += 1.0;
+                        f.tb_p2p += *bytes as f64;
+                        dests_per_src[r].insert(peer.0);
+                    }
+                    EventKind::Recv { .. } => {
+                        f.tc += d;
+                        f.tp2p += d;
+                        f.tsyn += d;
+                        f.no_call += 1.0;
+                        f.no_r += 1.0;
+                    }
+                    EventKind::Irecv { .. } => {
+                        f.tc += d;
+                        f.tp2p += d;
+                        f.tasyn += d;
+                        f.no_call += 1.0;
+                        f.no_ir += 1.0;
+                    }
+                    EventKind::Wait { .. } | EventKind::WaitAll { .. } => {
+                        f.tc += d;
+                        f.tp2p += d;
+                        f.tasyn += d;
+                        f.no_call += 1.0;
+                    }
+                    EventKind::Coll { kind, .. } => {
+                        f.tc += d;
+                        f.no_call += 1.0;
+                        if *kind == CollKind::Barrier {
+                            f.tbr += d;
+                            f.no_b += 1.0;
+                            if !seen_barrier {
+                                seen_barrier = true;
+                                first_barrier = first_barrier.max(d);
+                            }
+                        } else {
+                            f.tcoll += d;
+                            f.no_c += 1.0;
+                            if kind.is_all_to_all() && !seen_a2a {
+                                seen_a2a = true;
+                                first_a2a = first_a2a.max(d);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        f.tb = trace.total_bytes() as f64;
+        f.tfbr = first_barrier;
+        f.tfcoll = first_a2a;
+
+        let total = f.tcp + f.tc;
+        let pct = |x: f64| if total > 0.0 { 100.0 * x / total } else { 0.0 };
+        f.po_cp = pct(f.tcp);
+        f.po_c = pct(f.tc);
+        f.po_br = pct(f.tbr);
+        f.po_coll = pct(f.tcoll);
+        f.po_tp2p = pct(f.tp2p);
+        f.po_syn = pct(f.tsyn);
+        f.po_asyn = pct(f.tasyn);
+        f.po_fbr = if f.t > 0.0 { 100.0 * f.tfbr / f.t } else { 0.0 };
+        f.po_fcoll = if f.t > 0.0 { 100.0 * f.tfcoll / f.t } else { 0.0 };
+
+        let pair_count: usize = dests_per_src.iter().map(HashSet::len).sum();
+        f.cr = pair_count as f64 / world as f64;
+        f.cr_comm = if pair_count > 0 { f.tb_p2p / pair_count as f64 } else { 0.0 };
+        f
+    }
+
+    /// Features as a vector in [`FEATURE_NAMES`] order, for the logistic
+    /// model.
+    pub fn as_vec(&self) -> [f64; NUM_FEATURES] {
+        [
+            self.r, self.rn, self.n, self.t, self.tcp, self.po_cp, self.tc, self.po_c, self.tbr,
+            self.po_br, self.tfbr, self.po_fbr, self.tcoll, self.po_coll, self.tfcoll,
+            self.po_fcoll, self.tp2p, self.po_tp2p, self.tsyn, self.po_syn, self.tasyn,
+            self.po_asyn, self.tb, self.no_m, self.tb_p2p, self.cr, self.cr_comm, self.no_call,
+            self.no_s, self.no_is, self.no_r, self.no_ir, self.no_b, self.no_c,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CollKind, Event, EventKind};
+    use crate::ids::{Rank, ReqId};
+    use crate::time::Time;
+    use crate::trace::{Trace, TraceMeta};
+
+    fn meta(ranks: u32, rpn: u32) -> TraceMeta {
+        TraceMeta {
+            app: "feat".into(),
+            machine: "unit".into(),
+            ranks,
+            ranks_per_node: rpn,
+            problem_size: 1,
+            seed: 0,
+        }
+    }
+
+    fn two_rank_trace() -> Trace {
+        let mut t = Trace::empty(meta(2, 2));
+        t.events[0] = vec![
+            Event::compute(Time::from_ms(6)),
+            Event::new(EventKind::Coll { kind: CollKind::Barrier, bytes: 0, root: Rank(0) }, Time::from_ms(1)),
+            Event::new(EventKind::Send { peer: Rank(1), bytes: 1000, tag: 0 }, Time::from_ms(1)),
+            Event::new(EventKind::Irecv { peer: Rank(1), bytes: 500, tag: 1, req: ReqId(0) }, Time::from_ms(1)),
+            Event::new(EventKind::Wait { req: ReqId(0) }, Time::from_ms(1)),
+            Event::new(EventKind::Coll { kind: CollKind::Alltoall, bytes: 100, root: Rank(0) }, Time::from_ms(2)),
+        ];
+        t.events[1] = vec![
+            Event::compute(Time::from_ms(4)),
+            Event::new(EventKind::Coll { kind: CollKind::Barrier, bytes: 0, root: Rank(0) }, Time::from_ms(3)),
+            Event::new(EventKind::Recv { peer: Rank(0), bytes: 1000, tag: 0 }, Time::from_ms(1)),
+            Event::new(EventKind::Isend { peer: Rank(0), bytes: 500, tag: 1, req: ReqId(0) }, Time::from_ms(1)),
+            Event::new(EventKind::Wait { req: ReqId(0) }, Time::from_ms(1)),
+            Event::new(EventKind::Coll { kind: CollKind::Alltoall, bytes: 100, root: Rank(0) }, Time::from_ms(2)),
+        ];
+        t
+    }
+
+    #[test]
+    fn structural_features() {
+        let t = two_rank_trace();
+        assert_eq!(t.validate(), Ok(()));
+        let f = Features::extract(&t);
+        assert_eq!(f.r, 2.0);
+        assert_eq!(f.rn, 2.0);
+        assert_eq!(f.n, 1.0);
+        assert_eq!(f.no_s, 1.0);
+        assert_eq!(f.no_is, 1.0);
+        assert_eq!(f.no_r, 1.0);
+        assert_eq!(f.no_ir, 1.0);
+        assert_eq!(f.no_b, 2.0); // one barrier per rank
+        assert_eq!(f.no_c, 2.0); // one alltoall per rank
+        assert_eq!(f.no_m, 2.0);
+        assert_eq!(f.no_call, 12.0 - 2.0); // all non-compute events
+    }
+
+    #[test]
+    fn time_features() {
+        let t = two_rank_trace();
+        let f = Features::extract(&t);
+        // Rank 0 total: 12ms, rank 1 total: 12ms -> wall 12ms.
+        assert!((f.t - 0.012).abs() < 1e-12);
+        assert!((f.tcp - 0.010).abs() < 1e-12);
+        assert!((f.tc - 0.014).abs() < 1e-12);
+        assert!((f.po_cp + f.po_c - 100.0).abs() < 1e-9);
+        assert!((f.tbr - 0.004).abs() < 1e-12);
+        // First barrier max across ranks is rank 1's 3ms.
+        assert!((f.tfbr - 0.003).abs() < 1e-12);
+        assert!((f.tcoll - 0.004).abs() < 1e-12);
+        assert!((f.tfcoll - 0.002).abs() < 1e-12);
+        // Blocking p2p: send(1ms) + recv(1ms) = 2ms.
+        assert!((f.tsyn - 0.002).abs() < 1e-12);
+        // Nonblocking: irecv+wait (2ms) + isend+wait (2ms) = 4ms.
+        assert!((f.tasyn - 0.004).abs() < 1e-12);
+        assert!((f.tp2p - 0.006).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_and_fanout_features() {
+        let t = two_rank_trace();
+        let f = Features::extract(&t);
+        assert_eq!(f.tb_p2p, 1500.0);
+        // TB: p2p 1500 + alltoall 100B to 1 peer from each of 2 ranks = 1700.
+        assert_eq!(f.tb, 1700.0);
+        // Each source reaches exactly one destination.
+        assert_eq!(f.cr, 1.0);
+        assert_eq!(f.cr_comm, 750.0);
+    }
+
+    #[test]
+    fn as_vec_matches_names() {
+        let f = Features::extract(&two_rank_trace());
+        let v = f.as_vec();
+        assert_eq!(v.len(), FEATURE_NAMES.len());
+        assert_eq!(v[0], f.r);
+        assert_eq!(v[33], f.no_c);
+        // Spot-check a middle entry against its name.
+        let idx = FEATURE_NAMES.iter().position(|&n| n == "PoSYN").unwrap();
+        assert_eq!(v[idx], f.po_syn);
+    }
+
+    #[test]
+    fn empty_streams_do_not_divide_by_zero() {
+        let mut t = Trace::empty(meta(1, 1));
+        t.events[0] = vec![Event::compute(Time::ZERO)];
+        let f = Features::extract(&t);
+        assert_eq!(f.po_c, 0.0);
+        assert_eq!(f.cr, 0.0);
+        assert_eq!(f.cr_comm, 0.0);
+        assert_eq!(f.po_fbr, 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Identifier newtypes shared across the workspace.
+//!
+//! Keeping ranks, nodes, and requests as distinct types prevents the
+//! classic index-confusion bugs in replay code (a rank is not a node once
+//! multiple ranks share a node, and both index different tables).
+
+use std::fmt;
+
+/// An MPI process rank within `MPI_COMM_WORLD` (0-based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    /// Rank as a `usize` index.
+    #[inline]
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A compute node in the target machine (0-based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Node as a `usize` index.
+    #[inline]
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A nonblocking-communication request handle, unique per rank.
+///
+/// Request ids are assigned by the trace generator in issue order; a
+/// `Wait`/`WaitAll` event names the ids it completes. Ids may be reused
+/// after completion, matching MPI request-object semantics.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ReqId(pub u32);
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Rank(3).to_string(), "r3");
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(ReqId(1).to_string(), "req1");
+    }
+
+    #[test]
+    fn idx_round_trip() {
+        assert_eq!(Rank(42).idx(), 42);
+        assert_eq!(NodeId(9).idx(), 9);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Rank(2) < Rank(10));
+        assert!(NodeId(0) < NodeId(1));
+    }
+}

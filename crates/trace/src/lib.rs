@@ -1,0 +1,69 @@
+//! `masim-trace`: the DUMPI-like MPI trace substrate shared by every
+//! other crate in the workspace.
+//!
+//! The paper's tools (MFACT and SST/Macro) are both *trace-driven*: they
+//! replay a recorded stream of MPI calls per rank. This crate provides
+//! that common substrate:
+//!
+//! * [`time::Time`] — integer picosecond simulated time;
+//! * [`units::Bandwidth`] — link rates and exact serialization times;
+//! * [`ids`] — `Rank` / `NodeId` / `ReqId` newtypes;
+//! * [`event`] — the MPI event model (point-to-point, nonblocking
+//!   requests, collectives, compute gaps) with measured durations;
+//! * [`trace`] — the per-rank trace container, a builder, and structural
+//!   validation (send/recv matching, request lifecycle, collective
+//!   agreement);
+//! * [`io`] — compact binary serialization plus a text dump (parsed
+//!   back by [`text::from_text`]);
+//! * [`features`] — the 34 measurable Table III features.
+//!
+//! # Example
+//!
+//! ```
+//! use masim_trace::{Rank, RankBuilder, Time, Trace, TraceMeta};
+//!
+//! let meta = TraceMeta {
+//!     app: "pingpong".into(),
+//!     machine: "demo".into(),
+//!     ranks: 2,
+//!     ranks_per_node: 1,
+//!     problem_size: 1,
+//!     seed: 0,
+//! };
+//! let mut trace = Trace::empty(meta);
+//!
+//! let mut r0 = RankBuilder::new(Rank(0));
+//! r0.compute(Time::from_us(10));
+//! r0.send(Rank(1), 4096, 0, Time::from_us(2));
+//! trace.events[0] = r0.finish();
+//!
+//! let mut r1 = RankBuilder::new(Rank(1));
+//! r1.recv(Rank(0), 4096, 0, Time::from_us(2));
+//! trace.events[1] = r1.finish();
+//!
+//! assert_eq!(trace.validate(), Ok(()));
+//! assert_eq!(trace.measured_time(), Time::from_us(12));
+//!
+//! // Round-trip through the binary format.
+//! let bytes = masim_trace::io::encode(&trace);
+//! assert_eq!(masim_trace::io::decode(&bytes).unwrap(), trace);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod features;
+pub mod ids;
+pub mod io;
+pub mod text;
+pub mod time;
+pub mod trace;
+pub mod units;
+
+pub use event::{CollKind, Event, EventKind};
+pub use features::{Features, FEATURE_NAMES, NUM_FEATURES};
+pub use ids::{NodeId, Rank, ReqId};
+pub use text::from_text;
+pub use time::Time;
+pub use trace::{RankBuilder, Trace, TraceError, TraceMeta};
+pub use units::Bandwidth;

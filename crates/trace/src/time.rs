@@ -1,0 +1,292 @@
+//! Simulation time as an integer picosecond count.
+//!
+//! Both tools in this workspace (the MFACT modeler and the SST/Macro-style
+//! simulator) do bandwidth arithmetic on multi-gigabit links with
+//! microsecond-scale latencies. Using floating-point seconds would make
+//! event ordering platform-dependent and accumulate rounding error over
+//! millions of events; using nanoseconds would truncate sub-nanosecond
+//! serialization terms (one byte at 35 Gb/s is ~0.23 ns). A `u64`
+//! picosecond counter is exact for all quantities in this study and covers
+//! about 213 days of simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, or a duration, in picoseconds.
+///
+/// `Time` is used for both instants and durations; the arithmetic provided
+/// is the usual affine mix (instant + duration, instant − instant, …).
+/// Subtraction is checked in debug builds via `u64` underflow panics, which
+/// in practice catches causality bugs in the simulator early.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// Zero time; the origin of every replay and simulation.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time; used as a sentinel "never".
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Picoseconds per nanosecond.
+    pub const PS_PER_NS: u64 = 1_000;
+    /// Picoseconds per microsecond.
+    pub const PS_PER_US: u64 = 1_000_000;
+    /// Picoseconds per millisecond.
+    pub const PS_PER_MS: u64 = 1_000_000_000;
+    /// Picoseconds per second.
+    pub const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Time {
+        Time(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Time {
+        Time(ns * Self::PS_PER_NS)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Time {
+        Time(us * Self::PS_PER_US)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Time {
+        Time(ms * Self::PS_PER_MS)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Time {
+        Time(s * Self::PS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest picosecond.
+    ///
+    /// Panics if `s` is negative or too large to represent.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Time {
+        assert!(s >= 0.0 && s.is_finite(), "time must be finite and non-negative: {s}");
+        let ps = s * Self::PS_PER_SEC as f64;
+        assert!(ps <= u64::MAX as f64, "time overflows picosecond counter: {s}s");
+        Time(ps.round() as u64)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Time in fractional nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / Self::PS_PER_NS as f64
+    }
+
+    /// Time in fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / Self::PS_PER_US as f64
+    }
+
+    /// Time in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / Self::PS_PER_SEC as f64
+    }
+
+    /// Saturating subtraction: `max(self − rhs, 0)`.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: Time) -> Option<Time> {
+        self.0.checked_add(rhs.0).map(Time)
+    }
+
+    /// Scale a duration by a dimensionless `f64` factor, rounding to the
+    /// nearest picosecond. Used for compute-speed scaling during replay.
+    ///
+    /// Panics if the factor is negative, NaN, or the result overflows.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Time {
+        assert!(factor >= 0.0 && factor.is_finite(), "scale factor must be finite and non-negative: {factor}");
+        let ps = self.0 as f64 * factor;
+        assert!(ps <= u64::MAX as f64, "scaled time overflows");
+        Time(ps.round() as u64)
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ps", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    /// Human-oriented rendering with an auto-selected unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= Self::PS_PER_SEC {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else if ps >= Self::PS_PER_MS {
+            write!(f, "{:.3}ms", ps as f64 / Self::PS_PER_MS as f64)
+        } else if ps >= Self::PS_PER_US {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else if ps >= Self::PS_PER_NS {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(Time::from_ns(1), Time::from_ps(1_000));
+        assert_eq!(Time::from_us(1), Time::from_ns(1_000));
+        assert_eq!(Time::from_ms(1), Time::from_us(1_000));
+        assert_eq!(Time::from_secs(1), Time::from_ms(1_000));
+    }
+
+    #[test]
+    fn secs_f64_round_trip() {
+        let t = Time::from_secs_f64(1.25);
+        assert_eq!(t.as_ps(), 1_250_000_000_000);
+        assert!((t.as_secs_f64() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_to_nearest() {
+        // 0.6 ps rounds up to 1 ps.
+        assert_eq!(Time::from_secs_f64(0.6e-12), Time(1));
+        // 0.4 ps rounds down to 0.
+        assert_eq!(Time::from_secs_f64(0.4e-12), Time(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_seconds_rejected() {
+        let _ = Time::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ns(10);
+        let b = Time::from_ns(3);
+        assert_eq!(a + b, Time::from_ns(13));
+        assert_eq!(a - b, Time::from_ns(7));
+        assert_eq!(a * 2, Time::from_ns(20));
+        assert_eq!(a / 2, Time::from_ns(5));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+    }
+
+    #[test]
+    fn scale_rounds() {
+        assert_eq!(Time(10).scale(0.5), Time(5));
+        assert_eq!(Time(10).scale(1.5), Time(15));
+        assert_eq!(Time(3).scale(0.5), Time(2)); // 1.5 rounds to 2
+        assert_eq!(Time(0).scale(1e9), Time(0));
+    }
+
+    #[test]
+    fn min_max_sum() {
+        let xs = [Time(1), Time(5), Time(3)];
+        assert_eq!(xs.iter().copied().sum::<Time>(), Time(9));
+        assert_eq!(Time(1).max(Time(2)), Time(2));
+        assert_eq!(Time(1).min(Time(2)), Time(1));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Time::from_secs(2)), "2.000000s");
+        assert_eq!(format!("{}", Time::from_ns(5)), "5.000ns");
+        assert_eq!(format!("{}", Time(7)), "7ps");
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the trace substrate.
+
+use masim_trace::{
+    io, CollKind, Event, EventKind, Rank, RankBuilder, ReqId, Time, Trace, TraceMeta,
+};
+use proptest::prelude::*;
+
+fn arb_coll_kind() -> impl Strategy<Value = CollKind> {
+    prop::sample::select(CollKind::ALL.to_vec())
+}
+
+fn arb_event(world: u32) -> impl Strategy<Value = Event> {
+    let rank = 0..world;
+    prop_oneof![
+        (0u64..10_000_000).prop_map(|ps| Event::compute(Time::from_ps(ps))),
+        (rank.clone(), 0u64..1_000_000, 0u32..8, 0u64..1_000_000).prop_map(
+            |(peer, bytes, tag, dur)| Event::new(
+                EventKind::Send { peer: Rank(peer), bytes, tag },
+                Time::from_ps(dur)
+            )
+        ),
+        (rank.clone(), 0u64..1_000_000, 0u32..8, 0u32..64, 0u64..1_000_000).prop_map(
+            |(peer, bytes, tag, req, dur)| Event::new(
+                EventKind::Isend { peer: Rank(peer), bytes, tag, req: ReqId(req) },
+                Time::from_ps(dur)
+            )
+        ),
+        (rank.clone(), 0u64..1_000_000, 0u32..8, 0u64..1_000_000).prop_map(
+            |(peer, bytes, tag, dur)| Event::new(
+                EventKind::Recv { peer: Rank(peer), bytes, tag },
+                Time::from_ps(dur)
+            )
+        ),
+        (rank.clone(), 0u64..1_000_000, 0u32..8, 0u32..64, 0u64..1_000_000).prop_map(
+            |(peer, bytes, tag, req, dur)| Event::new(
+                EventKind::Irecv { peer: Rank(peer), bytes, tag, req: ReqId(req) },
+                Time::from_ps(dur)
+            )
+        ),
+        (0u32..64, 0u64..1_000_000).prop_map(|(req, dur)| Event::new(
+            EventKind::Wait { req: ReqId(req) },
+            Time::from_ps(dur)
+        )),
+        (prop::collection::vec(0u32..64, 0..5), 0u64..1_000_000).prop_map(|(reqs, dur)| {
+            Event::new(
+                EventKind::WaitAll { reqs: reqs.into_iter().map(ReqId).collect() },
+                Time::from_ps(dur),
+            )
+        }),
+        (arb_coll_kind(), 0u64..1_000_000, rank, 0u64..1_000_000).prop_map(
+            |(kind, bytes, root, dur)| Event::new(
+                EventKind::Coll { kind, bytes, root: Rank(root) },
+                Time::from_ps(dur)
+            )
+        ),
+    ]
+}
+
+/// Arbitrary (not necessarily valid) traces: enough to exercise the
+/// serializer on every event shape.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (1u32..5, "[a-z]{1,8}", "[a-z]{1,8}", 1u32..4, 0u64..u64::MAX).prop_flat_map(
+        |(ranks, app, machine, rpn, seed)| {
+            prop::collection::vec(prop::collection::vec(arb_event(ranks), 1..20), ranks as usize)
+                .prop_map(move |events| Trace {
+                    meta: TraceMeta {
+                        app: app.clone(),
+                        machine: machine.clone(),
+                        ranks,
+                        ranks_per_node: rpn,
+                        problem_size: 1,
+                        seed,
+                    },
+                    events,
+                })
+        },
+    )
+}
+
+proptest! {
+    /// Binary encode/decode is an exact round trip for every event shape.
+    #[test]
+    fn encode_decode_round_trip(t in arb_trace()) {
+        let bytes = io::encode(&t);
+        let t2 = io::decode(&bytes).expect("decode");
+        prop_assert_eq!(t, t2);
+    }
+
+    /// Decoding any proper prefix fails with an error, never panics.
+    #[test]
+    fn truncated_decode_is_an_error(t in arb_trace(), frac in 0.0f64..1.0) {
+        let bytes = io::encode(&t);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(io::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Measured wall time never exceeds summed time and never underruns
+    /// the longest single event.
+    #[test]
+    fn time_aggregates_are_consistent(t in arb_trace()) {
+        let wall = t.measured_time();
+        let summed = t.total_comm_time() + t.total_compute_time();
+        prop_assert!(wall <= summed + Time::from_ps(1));
+        let longest = t
+            .events
+            .iter()
+            .flat_map(|es| es.iter())
+            .map(|e| e.dur)
+            .max()
+            .unwrap_or(Time::ZERO);
+        prop_assert!(wall >= longest);
+        let frac = t.comm_fraction();
+        prop_assert!((0.0..=1.0).contains(&frac));
+    }
+
+    /// Symmetric pairwise exchanges built with `RankBuilder` always
+    /// validate, and feature extraction matches hand counts.
+    #[test]
+    fn builder_pairwise_traces_validate(
+        pairs in 1usize..6,
+        bytes in 1u64..1_000_000,
+        rounds in 1usize..4,
+    ) {
+        let ranks = (pairs * 2) as u32;
+        let meta = TraceMeta {
+            app: "pp".into(),
+            machine: "prop".into(),
+            ranks,
+            ranks_per_node: 2,
+            problem_size: 1,
+            seed: 0,
+        };
+        let mut trace = Trace::empty(meta);
+        for p in 0..pairs {
+            let a = Rank((2 * p) as u32);
+            let b = Rank((2 * p + 1) as u32);
+            let mut ba = RankBuilder::new(a);
+            let mut bb = RankBuilder::new(b);
+            for round in 0..rounds {
+                let tag = round as u32;
+                ba.compute(Time::from_us(3));
+                bb.compute(Time::from_us(3));
+                let ra = ba.isend(b, bytes, tag, Time::from_ns(100));
+                let rb = bb.irecv(a, bytes, tag, Time::from_ns(100));
+                ba.wait(ra, Time::from_ns(100));
+                bb.wait(rb, Time::from_ns(100));
+            }
+            trace.events[a.idx()] = ba.finish();
+            trace.events[b.idx()] = bb.finish();
+        }
+        prop_assert_eq!(trace.validate(), Ok(()));
+        let f = masim_trace::Features::extract(&trace);
+        prop_assert_eq!(f.no_is as usize, pairs * rounds);
+        prop_assert_eq!(f.no_ir as usize, pairs * rounds);
+        prop_assert_eq!(f.tb_p2p as u64, (pairs * rounds) as u64 * bytes);
+        prop_assert!((f.po_cp + f.po_c - 100.0).abs() < 1e-6);
+    }
+
+    /// Bandwidth transfer times are monotone in bytes and inversely
+    /// monotone in rate.
+    #[test]
+    fn transfer_time_monotone(
+        gbps in 1.0f64..100.0,
+        a in 0u64..10_000_000,
+        b in 0u64..10_000_000,
+    ) {
+        let bw = masim_trace::Bandwidth::from_gbps(gbps);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bw.transfer_time(lo) <= bw.transfer_time(hi));
+        let faster = bw.scale(2.0);
+        prop_assert!(faster.transfer_time(hi) <= bw.transfer_time(hi));
+    }
+}

@@ -1,0 +1,186 @@
+//! Application generators, grouped by communication-pattern family.
+//!
+//! Each generator emits the application's documented communication
+//! skeleton. The goal is not numerical fidelity to any particular input
+//! deck but *pattern* fidelity: the regularity, message-size mix,
+//! collective usage, and load balance that drive the paper's
+//! modeling-vs-simulation accuracy gap.
+
+use crate::config::{App, GenConfig};
+use masim_trace::Trace;
+
+pub mod compute_bound;
+pub mod irregular;
+pub mod krylov;
+pub mod multigrid;
+pub mod sort;
+pub mod stencil;
+pub mod transpose;
+pub mod wavefront;
+
+/// Contention factor the original run experienced, used only for
+/// stamping measured durations (see `cost::StampModel`). Regular
+/// nearest-neighbor apps ran nearly contention-free; global-transpose
+/// and irregular many-to-many patterns congested links.
+pub fn stamp_contention(app: App) -> f64 {
+    match app {
+        App::Ep | App::Cmc => 1.0,
+        App::Lulesh | App::Cns | App::MiniFe | App::Nekbone => 1.05,
+        App::Bt | App::Cg | App::Lu | App::Mg | App::MultiGrid | App::Amg => 1.1,
+        App::Dt => 1.1,
+        App::Ft => 1.25,
+        App::BigFft => 1.3,
+        App::Is => 1.35,
+        App::FillBoundary => 1.4,
+        App::Cr => 1.45,
+    }
+}
+
+/// Generate the trace for `cfg.app`.
+pub fn generate(cfg: &GenConfig) -> Trace {
+    match cfg.app {
+        App::Ep => compute_bound::ep(cfg),
+        App::Cmc => compute_bound::cmc(cfg),
+        App::Lulesh => stencil::lulesh(cfg),
+        App::Cns => stencil::cns(cfg),
+        App::MiniFe => stencil::minife(cfg),
+        App::Bt => stencil::bt(cfg),
+        App::Ft => transpose::ft(cfg),
+        App::BigFft => transpose::bigfft(cfg),
+        App::Is => sort::is(cfg),
+        App::Mg => multigrid::mg(cfg),
+        App::MultiGrid => multigrid::multigrid_full(cfg),
+        App::Amg => multigrid::amg(cfg),
+        App::Lu => wavefront::lu(cfg),
+        App::Cg => krylov::cg(cfg),
+        App::Nekbone => krylov::nekbone(cfg),
+        App::Cr => irregular::cr(cfg),
+        App::FillBoundary => irregular::fill_boundary(cfg),
+        App::Dt => irregular::dt(cfg),
+    }
+}
+
+/// Message-size multiplier for the problem-scale knob (≈ NAS class):
+/// 1, 4, 16, 64 for sizes 1..=4.
+pub(crate) fn size_mult(size: u32) -> u64 {
+    1 << (2 * (size - 1))
+}
+
+/// Cap a per-rank volume so the whole-app traffic stays tractable for
+/// packet-level simulation regardless of world size. Real applications
+/// move far more data; scaling the *volume* while keeping the *pattern*
+/// preserves every ratio the study reports (documented in DESIGN.md).
+pub(crate) fn per_rank_volume(base: u64, ranks: u32) -> u64 {
+    // Sized so the full 235-trace study stays tractable for packet-level
+    // simulation on a single core; all volume *ratios* are preserved.
+    const TOTAL_CAP: u64 = 16 << 20; // 16 MiB per operation across ranks
+    base.min(TOTAL_CAP / ranks as u64).max(1024)
+}
+
+/// Integer cube root helper for 3-D decompositions.
+pub(crate) fn cube_side(ranks: u32) -> u32 {
+    let mut c = 1;
+    while (c + 1) * (c + 1) * (c + 1) <= ranks {
+        c += 1;
+    }
+    c
+}
+
+/// Integer square root helper for 2-D process grids.
+pub(crate) fn grid_side(ranks: u32) -> u32 {
+    let mut s = 1;
+    while (s + 1) * (s + 1) <= ranks {
+        s += 1;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenConfig;
+
+    /// Every generator yields a structurally valid trace that hits its
+    /// target communication fraction.
+    #[test]
+    fn all_apps_generate_valid_traces() {
+        for app in App::ALL {
+            let cfg = GenConfig::test_default(app, 16);
+            let t = generate(&cfg);
+            assert_eq!(t.validate(), Ok(()), "{app}");
+            assert_eq!(t.num_ranks(), cfg.ranks, "{app}");
+            let got = t.comm_fraction();
+            assert!(
+                (got - cfg.comm_fraction).abs() < 1e-6,
+                "{app}: target {} got {got}",
+                cfg.comm_fraction
+            );
+            assert!(t.num_events() > 0, "{app}");
+            assert_eq!(t.meta.app, app.name());
+        }
+    }
+
+    /// Generators are deterministic in the seed.
+    #[test]
+    fn generators_deterministic() {
+        for app in App::ALL {
+            let cfg = GenConfig::test_default(app, 16);
+            assert_eq!(generate(&cfg), generate(&cfg), "{app}");
+        }
+    }
+
+    /// Different seeds give different traces (for apps with randomness;
+    /// fully regular apps may coincide, so only check the irregular ones).
+    #[test]
+    fn seeds_differentiate_irregular_apps() {
+        for app in [App::Cr, App::FillBoundary, App::Is, App::Amg, App::Cmc] {
+            let a = generate(&GenConfig::test_default(app, 16));
+            let mut cfg = GenConfig::test_default(app, 16);
+            cfg.seed = 4242;
+            let b = generate(&cfg);
+            assert_ne!(a, b, "{app}");
+        }
+    }
+
+    /// Larger problem sizes move more data.
+    #[test]
+    fn size_knob_scales_volume() {
+        // (Apps whose per-op volume cap already binds at 16 ranks, like
+        // IS, are excluded: their volume saturates by design.)
+        for app in [App::Ft, App::Lulesh, App::Cg, App::Lu] {
+            let mut small = GenConfig::test_default(app, 16);
+            small.size = 1;
+            let mut big = small.clone();
+            big.size = 3;
+            let vs = generate(&small).total_bytes();
+            let vb = generate(&big).total_bytes();
+            assert!(vb > vs, "{app}: {vb} !> {vs}");
+        }
+    }
+
+    /// Scale helpers.
+    #[test]
+    fn helpers() {
+        assert_eq!(size_mult(1), 1);
+        assert_eq!(size_mult(4), 64);
+        assert_eq!(cube_side(27), 3);
+        assert_eq!(cube_side(63), 3);
+        assert_eq!(cube_side(64), 4);
+        assert_eq!(grid_side(16), 4);
+        assert_eq!(grid_side(24), 4);
+        assert_eq!(per_rank_volume(1 << 30, 1024), (16 << 20) / 1024);
+        assert_eq!(per_rank_volume(4096, 1024), 4096);
+        assert_eq!(per_rank_volume(1, 4), 1024, "floor applies");
+    }
+
+    /// Contention factors are sane and ordered: irregular/global > regular.
+    #[test]
+    fn contention_ordering() {
+        assert!(stamp_contention(App::Cr) > stamp_contention(App::Lulesh));
+        assert!(stamp_contention(App::Is) > stamp_contention(App::Cg));
+        for app in App::ALL {
+            let c = stamp_contention(app);
+            assert!((1.0..=1.5).contains(&c), "{app}: {c}");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Multigrid-family applications: NPB MG, the production MultiGrid
+//! application, and the AMG mini-app.
+//!
+//! V-cycles communicate at every grid level; message sizes shrink
+//! geometrically toward the coarse levels while *participation* also
+//! shrinks — at the coarsest levels most ranks idle, which is the
+//! structural load imbalance that makes the paper classify MG-family
+//! runs load-imbalance-bound at scale.
+
+use crate::apps::{per_rank_volume, size_mult, stamp_contention};
+use crate::config::GenConfig;
+use crate::synth::TraceSynth;
+use masim_trace::{CollKind, Rank, Trace};
+use rand::Rng;
+
+/// Active-rank ring edges at V-cycle level `l`: ranks at stride `2^l`
+/// exchange with their next active neighbor.
+fn level_ring_edges(ranks: u32, level: u32, bytes: u64) -> Vec<(u32, u32, u64)> {
+    let stride = 1u32 << level;
+    if stride >= ranks {
+        return Vec::new();
+    }
+    let mut edges = Vec::new();
+    let mut r = 0;
+    while r + stride < ranks {
+        edges.push((r, r + stride, bytes));
+        r += stride;
+    }
+    edges
+}
+
+/// Per-rank compute weights at level `l`: active ranks carry the work,
+/// idle ranks carry (almost) none. The `imbalance` knob adds jitter on
+/// top of the structural skew.
+fn level_weights(s: &mut TraceSynth, ranks: u32, level: u32, imbalance: f64) -> Vec<f64> {
+    let stride = 1u32 << level;
+    (0..ranks)
+        .map(|r| {
+            let active = r % stride == 0;
+            let jitter: f64 = s.rng().gen::<f64>() * imbalance;
+            if active {
+                1.0 + jitter
+            } else {
+                0.02
+            }
+        })
+        .collect()
+}
+
+/// Number of V-cycle levels for a world size (fine level plus coarsening
+/// until ≤ 4 ranks stay active, capped so traces stay bounded).
+fn levels_for(ranks: u32) -> u32 {
+    let mut l = 0;
+    while (ranks >> l) > 4 && l < 8 {
+        l += 1;
+    }
+    l.max(1)
+}
+
+/// Shared V-cycle skeleton; `depth_scale` deepens cycles for the full
+/// application, `halo_base` sets fine-level payloads.
+fn vcycle_app(cfg: &GenConfig, halo_base: u64, cycles_per_iter: u32) -> Trace {
+    let levels = levels_for(cfg.ranks);
+    let mut s = TraceSynth::new(cfg.clone(), stamp_contention(cfg.app));
+    s.coll_all(CollKind::Bcast, 512, Rank(0));
+    for _ in 0..cfg.iters * cycles_per_iter {
+        // Down-sweep: restrict.
+        for l in 0..levels {
+            let w = level_weights(&mut s, cfg.ranks, l, cfg.imbalance);
+            s.compute_round_weighted(&w);
+            let bytes = (halo_base >> l).max(64);
+            let edges = level_ring_edges(cfg.ranks, l, bytes);
+            if !edges.is_empty() {
+                s.symmetric_exchange(&edges, l);
+            }
+        }
+        // Up-sweep: prolongate.
+        for l in (0..levels).rev() {
+            let w = level_weights(&mut s, cfg.ranks, l, cfg.imbalance);
+            s.compute_round_weighted(&w);
+            let bytes = (halo_base >> l).max(64);
+            let edges = level_ring_edges(cfg.ranks, l, bytes);
+            if !edges.is_empty() {
+                s.symmetric_exchange(&edges, 100 + l);
+            }
+        }
+        // Residual norm.
+        s.coll_all(CollKind::Allreduce, 8, Rank(0));
+    }
+    s.finish()
+}
+
+/// NPB MG: V-cycles on a power-of-two world.
+pub fn mg(cfg: &GenConfig) -> Trace {
+    let halo = per_rank_volume(1024 * size_mult(cfg.size), cfg.ranks);
+    vcycle_app(cfg, halo, 1)
+}
+
+/// The production MultiGrid application: deeper cycling (two V-cycles
+/// per outer iteration) and a heavier fine-level halo, plus a setup
+/// `Allgather`.
+pub fn multigrid_full(cfg: &GenConfig) -> Trace {
+    let halo = per_rank_volume(2 * 1024 * size_mult(cfg.size), cfg.ranks);
+    // Reuse the skeleton but wrap with a setup phase by regenerating:
+    // build directly so the setup collective precedes the cycles.
+    let levels = levels_for(cfg.ranks);
+    let mut s = TraceSynth::new(cfg.clone(), stamp_contention(cfg.app));
+    s.coll_all(CollKind::Allgather, 128, Rank(0));
+    s.coll_all(CollKind::Bcast, 2048, Rank(0));
+    for _ in 0..cfg.iters {
+        for _cycle in 0..2 {
+            for l in 0..levels {
+                let w = level_weights(&mut s, cfg.ranks, l, cfg.imbalance);
+                s.compute_round_weighted(&w);
+                let bytes = (halo >> l).max(64);
+                let edges = level_ring_edges(cfg.ranks, l, bytes);
+                if !edges.is_empty() {
+                    s.symmetric_exchange(&edges, l);
+                }
+            }
+            for l in (0..levels).rev() {
+                let w = level_weights(&mut s, cfg.ranks, l, cfg.imbalance);
+                s.compute_round_weighted(&w);
+                let bytes = (halo >> l).max(64);
+                let edges = level_ring_edges(cfg.ranks, l, bytes);
+                if !edges.is_empty() {
+                    s.symmetric_exchange(&edges, 100 + l);
+                }
+            }
+            s.coll_all(CollKind::Allreduce, 8, Rank(0));
+        }
+        s.coll_all(CollKind::Reduce, 64, Rank(0));
+    }
+    s.finish()
+}
+
+/// AMG: algebraic multigrid with *irregular* level graphs.
+///
+/// Instead of rings, each active rank at a level exchanges with 3–7
+/// pseudo-random partners (the coarsened matrix graph), which spreads
+/// traffic non-locally — AMG's halos are heavier and less regular than
+/// geometric MG's, but payloads stay small enough that the paper still
+/// measures sub-1 % DIFFtotal.
+pub fn amg(cfg: &GenConfig) -> Trace {
+    let levels = levels_for(cfg.ranks).min(5);
+    let halo = per_rank_volume(512 * size_mult(cfg.size), cfg.ranks);
+    let mut s = TraceSynth::new(cfg.clone(), stamp_contention(cfg.app));
+    s.coll_all(CollKind::Allgather, 64, Rank(0));
+    // Build per-level irregular graphs once (the matrix hierarchy is
+    // fixed across iterations), deterministic in the seed.
+    let mut level_edges: Vec<Vec<(u32, u32, u64)>> = Vec::new();
+    for l in 0..levels {
+        let stride = 1u32 << l;
+        let active: Vec<u32> = (0..cfg.ranks).step_by(stride as usize).collect();
+        let bytes = (halo >> l).max(64);
+        let mut edges = Vec::new();
+        if active.len() >= 2 {
+            for (i, &a) in active.iter().enumerate() {
+                let degree = 3 + (s.rng().gen::<u32>() % 5) as usize;
+                for d in 1..=degree.min(active.len() - 1) {
+                    let j = (i + d * 7 + (s.rng().gen::<u32>() % 3) as usize) % active.len();
+                    if i == j {
+                        continue;
+                    }
+                    let b = active[j];
+                    edges.push((a.min(b), a.max(b), bytes));
+                }
+            }
+            edges.sort_unstable();
+            edges.dedup_by(|x, y| x.0 == y.0 && x.1 == y.1);
+        }
+        level_edges.push(edges);
+    }
+    for _ in 0..cfg.iters {
+        for (l, edges) in level_edges.iter().enumerate() {
+            let w = level_weights(&mut s, cfg.ranks, l as u32, cfg.imbalance);
+            s.compute_round_weighted(&w);
+            if !edges.is_empty() {
+                s.symmetric_exchange(edges, l as u32);
+            }
+        }
+        s.coll_all(CollKind::Allreduce, 8, Rank(0));
+        s.coll_all(CollKind::Allreduce, 8, Rank(0));
+    }
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::App;
+    use masim_trace::{EventKind, Features};
+
+    #[test]
+    fn level_ring_edges_shrink() {
+        let e0 = level_ring_edges(16, 0, 1024);
+        let e2 = level_ring_edges(16, 2, 1024);
+        assert_eq!(e0.len(), 15);
+        assert_eq!(e2.len(), 3); // ranks 0,4,8,12
+        assert!(level_ring_edges(16, 4, 1024).is_empty());
+    }
+
+    #[test]
+    fn levels_for_bounds() {
+        assert_eq!(levels_for(8), 1);
+        assert_eq!(levels_for(64), 4);
+        assert_eq!(levels_for(4096), 8); // capped
+    }
+
+    #[test]
+    fn mg_valid_with_structural_imbalance() {
+        let cfg = GenConfig::test_default(App::Mg, 16);
+        let t = mg(&cfg);
+        assert_eq!(t.validate(), Ok(()));
+        // Rank 0 participates at every level; rank 1 only at level 0, so
+        // rank 0 does more compute.
+        let comp = |r: usize| -> u64 {
+            t.events[r]
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Compute))
+                .map(|e| e.dur.as_ps())
+                .sum()
+        };
+        assert!(comp(0) > comp(1), "structural imbalance missing");
+    }
+
+    #[test]
+    fn multigrid_deeper_than_mg() {
+        let cfg_mg = GenConfig::test_default(App::Mg, 16);
+        let cfg_full = GenConfig::test_default(App::MultiGrid, 16);
+        let a = mg(&cfg_mg);
+        let b = multigrid_full(&cfg_full);
+        assert_eq!(b.validate(), Ok(()));
+        assert!(b.num_events() > a.num_events());
+    }
+
+    #[test]
+    fn amg_fanout_exceeds_ring() {
+        let cfg = GenConfig::test_default(App::Amg, 32);
+        let t = amg(&cfg);
+        assert_eq!(t.validate(), Ok(()));
+        let f = Features::extract(&t);
+        // Irregular graph: mean fan-out must beat a pure ring's ~2.
+        assert!(f.cr > 2.5, "fan-out {}", f.cr);
+    }
+
+    #[test]
+    fn amg_hierarchy_fixed_across_iterations() {
+        let mut cfg = GenConfig::test_default(App::Amg, 16);
+        cfg.iters = 2;
+        let t = amg(&cfg);
+        // Count rank 0's isends in each iteration: identical graphs mean
+        // identical counts per iteration.
+        let sends: Vec<usize> = t.events[0]
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Isend { .. }))
+            .map(|_| 1)
+            .collect();
+        assert_eq!(sends.len() % 2, 0, "sends split evenly across 2 iterations");
+    }
+}

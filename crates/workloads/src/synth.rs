@@ -1,0 +1,446 @@
+//! `TraceSynth`: the shared engine behind all application generators.
+//!
+//! A generator describes *what* the application communicates (patterns,
+//! message sizes, collectives) and where its compute rounds sit; the
+//! synthesizer handles everything else:
+//!
+//! * stamping measured durations via [`StampModel`];
+//! * request-id bookkeeping for nonblocking operations;
+//! * **calibration** — compute gaps are emitted as weighted placeholders
+//!   and sized at [`TraceSynth::finish`] so the trace's overall
+//!   communication fraction lands exactly on `cfg.comm_fraction` (this
+//!   is how the corpus reproduces Table Ib);
+//! * **skew waits** — per-round compute imbalance surfaces as recorded
+//!   wait time on the first blocking call after each gap, exactly as a
+//!   real DUMPI trace records it.
+
+use crate::config::GenConfig;
+use crate::cost::StampModel;
+use masim_trace::{CollKind, Event, EventKind, Rank, ReqId, Time, Trace, TraceMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One compute round: per-rank gap weights plus the events that absorb
+/// the round's skew as recorded wait time.
+#[derive(Default, Debug)]
+struct Round {
+    /// (rank, slot event index, weight).
+    slots: Vec<(u32, usize, f64)>,
+    /// (rank, absorber event index).
+    absorbers: Vec<(u32, usize)>,
+}
+
+/// The trace synthesizer. See module docs.
+pub struct TraceSynth {
+    cfg: GenConfig,
+    stamp: StampModel,
+    streams: Vec<Vec<Event>>,
+    next_req: Vec<u32>,
+    open_reqs: Vec<Vec<(u32, u64)>>, // (req id, bytes) still outstanding
+    rng: StdRng,
+    rounds: Vec<Round>,
+    awaiting_absorber: Vec<bool>,
+}
+
+impl TraceSynth {
+    /// Start synthesizing a trace for `cfg`, stamping measured times with
+    /// the given original-run `contention` factor (≥ 1).
+    pub fn new(cfg: GenConfig, contention: f64) -> TraceSynth {
+        cfg.check();
+        let n = cfg.ranks as usize;
+        let stamp = StampModel::new(cfg.gbps, cfg.latency, contention);
+        let rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        TraceSynth {
+            cfg,
+            stamp,
+            streams: vec![Vec::new(); n],
+            next_req: vec![0; n],
+            open_reqs: vec![Vec::new(); n],
+            rng,
+            rounds: Vec::new(),
+            awaiting_absorber: vec![false; n],
+        }
+    }
+
+    /// World size.
+    pub fn ranks(&self) -> u32 {
+        self.cfg.ranks
+    }
+
+    /// The generator's RNG (deterministic in `cfg.seed`).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// The stamping model, for generators that need custom durations.
+    pub fn stamp(&self) -> &StampModel {
+        &self.stamp
+    }
+
+    // ----- compute rounds -------------------------------------------------
+
+    /// Open a new compute round. Subsequent [`TraceSynth::compute`] calls
+    /// belong to it until the next `begin_round`.
+    pub fn begin_round(&mut self) {
+        self.rounds.push(Round::default());
+    }
+
+    /// Add a weighted compute gap for `rank` in the current round.
+    /// The actual duration is assigned at `finish` (calibration).
+    pub fn compute(&mut self, rank: Rank, weight: f64) {
+        assert!(weight >= 0.0 && weight.is_finite());
+        let round = self.rounds.last_mut().expect("compute() before begin_round()");
+        let idx = self.streams[rank.idx()].len();
+        self.streams[rank.idx()].push(Event::compute(Time::ZERO));
+        round.slots.push((rank.0, idx, weight));
+        self.awaiting_absorber[rank.idx()] = true;
+    }
+
+    /// Open a round and give every rank a gap of weight
+    /// `1 + imbalance·U(0,1)` — the standard imbalanced-iteration shape.
+    pub fn compute_round(&mut self) {
+        self.begin_round();
+        let imb = self.cfg.imbalance;
+        for r in 0..self.cfg.ranks {
+            let jitter: f64 = self.rng.gen();
+            self.compute(Rank(r), 1.0 + imb * jitter);
+        }
+    }
+
+    /// Like [`TraceSynth::compute_round`] but with explicit per-rank
+    /// weights (for structurally imbalanced apps such as coarse
+    /// multigrid levels).
+    pub fn compute_round_weighted(&mut self, weights: &[f64]) {
+        assert_eq!(weights.len(), self.cfg.ranks as usize);
+        self.begin_round();
+        for (r, &w) in weights.iter().enumerate() {
+            self.compute(Rank(r as u32), w);
+        }
+    }
+
+    fn register_absorber(&mut self, rank: Rank, idx: usize) {
+        if self.awaiting_absorber[rank.idx()] {
+            self.awaiting_absorber[rank.idx()] = false;
+            if let Some(round) = self.rounds.last_mut() {
+                round.absorbers.push((rank.0, idx));
+            }
+        }
+    }
+
+    // ----- point-to-point -------------------------------------------------
+
+    /// Blocking send.
+    pub fn send(&mut self, rank: Rank, peer: Rank, bytes: u64, tag: u32) {
+        let dur = self.stamp.p2p(bytes);
+        let idx = self.streams[rank.idx()].len();
+        self.streams[rank.idx()].push(Event::new(EventKind::Send { peer, bytes, tag }, dur));
+        self.register_absorber(rank, idx);
+    }
+
+    /// Blocking receive (absorbs round skew as recorded wait).
+    pub fn recv(&mut self, rank: Rank, peer: Rank, bytes: u64, tag: u32) {
+        let dur = self.stamp.p2p(bytes);
+        let idx = self.streams[rank.idx()].len();
+        self.streams[rank.idx()].push(Event::new(EventKind::Recv { peer, bytes, tag }, dur));
+        self.register_absorber(rank, idx);
+    }
+
+    /// Nonblocking send.
+    pub fn isend(&mut self, rank: Rank, peer: Rank, bytes: u64, tag: u32) -> ReqId {
+        let req = ReqId(self.next_req[rank.idx()]);
+        self.next_req[rank.idx()] += 1;
+        self.open_reqs[rank.idx()].push((req.0, bytes));
+        let dur = self.stamp.issue();
+        self.streams[rank.idx()].push(Event::new(EventKind::Isend { peer, bytes, tag, req }, dur));
+        req
+    }
+
+    /// Nonblocking receive.
+    pub fn irecv(&mut self, rank: Rank, peer: Rank, bytes: u64, tag: u32) -> ReqId {
+        let req = ReqId(self.next_req[rank.idx()]);
+        self.next_req[rank.idx()] += 1;
+        self.open_reqs[rank.idx()].push((req.0, bytes));
+        let dur = self.stamp.issue();
+        self.streams[rank.idx()].push(Event::new(EventKind::Irecv { peer, bytes, tag, req }, dur));
+        req
+    }
+
+    /// Wait on one request.
+    pub fn wait(&mut self, rank: Rank, req: ReqId) {
+        let pos = self.open_reqs[rank.idx()]
+            .iter()
+            .position(|&(r, _)| r == req.0)
+            .expect("wait on unknown request");
+        let (_, bytes) = self.open_reqs[rank.idx()].remove(pos);
+        let dur = self.stamp.wait(bytes);
+        let idx = self.streams[rank.idx()].len();
+        self.streams[rank.idx()].push(Event::new(EventKind::Wait { req }, dur));
+        self.register_absorber(rank, idx);
+    }
+
+    /// Wait on all outstanding requests of `rank`.
+    pub fn wait_all(&mut self, rank: Rank) {
+        if self.open_reqs[rank.idx()].is_empty() {
+            return;
+        }
+        let reqs: Vec<ReqId> =
+            self.open_reqs[rank.idx()].iter().map(|&(r, _)| ReqId(r)).collect();
+        let max_bytes =
+            self.open_reqs[rank.idx()].iter().map(|&(_, b)| b).max().unwrap_or(0);
+        self.open_reqs[rank.idx()].clear();
+        let dur = self.stamp.wait(max_bytes);
+        let idx = self.streams[rank.idx()].len();
+        self.streams[rank.idx()].push(Event::new(EventKind::WaitAll { reqs }, dur));
+        self.register_absorber(rank, idx);
+    }
+
+    /// Symmetric nonblocking exchange over undirected weighted `edges`:
+    /// every endpoint posts its receives, then its sends, then waits on
+    /// everything. Edges must be unique per unordered pair.
+    pub fn symmetric_exchange(&mut self, edges: &[(u32, u32, u64)], tag: u32) {
+        // Receives first on every rank (in edge order) …
+        for &(a, b, bytes) in edges {
+            debug_assert_ne!(a, b, "self-edge in exchange");
+            self.irecv(Rank(a), Rank(b), bytes, tag);
+            self.irecv(Rank(b), Rank(a), bytes, tag);
+        }
+        // … then the matching sends …
+        for &(a, b, bytes) in edges {
+            self.isend(Rank(a), Rank(b), bytes, tag);
+            self.isend(Rank(b), Rank(a), bytes, tag);
+        }
+        // … then every participating rank waits.
+        let mut participants: Vec<u32> = edges.iter().flat_map(|&(a, b, _)| [a, b]).collect();
+        participants.sort_unstable();
+        participants.dedup();
+        for r in participants {
+            self.wait_all(Rank(r));
+        }
+    }
+
+    // ----- collectives ----------------------------------------------------
+
+    /// A collective on one rank (generators must emit a consistent
+    /// sequence across ranks; prefer [`TraceSynth::coll_all`]).
+    pub fn coll(&mut self, rank: Rank, kind: CollKind, bytes: u64, root: Rank) {
+        let dur = self.stamp.collective(kind, bytes, self.cfg.ranks);
+        let idx = self.streams[rank.idx()].len();
+        self.streams[rank.idx()].push(Event::new(EventKind::Coll { kind, bytes, root }, dur));
+        self.register_absorber(rank, idx);
+    }
+
+    /// The same collective on every rank (uniform payload).
+    pub fn coll_all(&mut self, kind: CollKind, bytes: u64, root: Rank) {
+        for r in 0..self.cfg.ranks {
+            self.coll(Rank(r), kind, bytes, root);
+        }
+    }
+
+    /// An `Alltoallv` with per-rank total send volumes.
+    pub fn alltoallv(&mut self, totals: &[u64]) {
+        assert_eq!(totals.len(), self.cfg.ranks as usize);
+        for (r, &t) in totals.iter().enumerate() {
+            self.coll(Rank(r as u32), CollKind::Alltoallv, t, Rank(0));
+        }
+    }
+
+    /// A barrier on every rank.
+    pub fn barrier_all(&mut self) {
+        self.coll_all(CollKind::Barrier, 0, Rank(0));
+    }
+
+    // ----- finish ---------------------------------------------------------
+
+    /// Calibrate compute gaps and skew waits, then build the trace.
+    ///
+    /// Solves for the per-weight-unit gap duration `u` such that the
+    /// final communication fraction equals `cfg.comm_fraction` exactly,
+    /// accounting for the wait time the calibrated skew will add:
+    ///
+    /// ```text
+    /// (C + u·κ·D) / (C + u·κ·D + u·W) = f
+    /// ```
+    ///
+    /// where `C` is stamped comm time, `W` total gap weight, `D` the
+    /// total skew deficit reaching an absorber, and `κ ≤ 1` a damping
+    /// factor chosen to keep the solution positive when `f` is very low
+    /// but imbalance very high.
+    pub fn finish(mut self) -> Trace {
+        for (r, open) in self.open_reqs.iter().enumerate() {
+            assert!(open.is_empty(), "rank {r} finished with {} open requests", open.len());
+        }
+
+        let comm_ps: u128 = self
+            .streams
+            .iter()
+            .flat_map(|es| es.iter())
+            .filter(|e| !e.kind.is_compute())
+            .map(|e| e.dur.as_ps() as u128)
+            .sum();
+        let c = comm_ps as f64;
+
+        let w: f64 = self.rounds.iter().flat_map(|r| r.slots.iter()).map(|&(_, _, w)| w).sum();
+
+        // Per-round skew deficits that actually reach an absorber.
+        let mut deficits: Vec<(usize, usize, f64)> = Vec::new(); // (rank, ev idx, deficit weight)
+        for round in &self.rounds {
+            if round.slots.is_empty() {
+                continue;
+            }
+            let maxw = round.slots.iter().map(|&(_, _, w)| w).fold(0.0, f64::max);
+            for &(rank, _slot_idx, wgt) in &round.slots {
+                let deficit = maxw - wgt;
+                if deficit <= 0.0 {
+                    continue;
+                }
+                if let Some(&(_, abs_idx)) = round.absorbers.iter().find(|&&(ar, _)| ar == rank) {
+                    deficits.push((rank as usize, abs_idx, deficit));
+                }
+            }
+        }
+        let d: f64 = deficits.iter().map(|&(_, _, x)| x).sum();
+
+        let f = self.cfg.comm_fraction;
+        let mut kappa = 1.0;
+        let denom = |k: f64| f * w - (1.0 - f) * k * d;
+        if w > 0.0 && denom(kappa) <= 0.0 {
+            // Damp waits so at most half of the comm budget is skew wait.
+            kappa = 0.5 * f * w / ((1.0 - f) * d);
+        }
+        let unit = if w > 0.0 && c > 0.0 { c * (1.0 - f) / denom(kappa) } else { 0.0 };
+        assert!(unit >= 0.0 && unit.is_finite(), "calibration failed: unit={unit}");
+
+        // Patch compute slots.
+        for round in &self.rounds {
+            for &(rank, idx, wgt) in &round.slots {
+                self.streams[rank as usize][idx].dur = Time::from_ps((unit * wgt).round() as u64);
+            }
+        }
+        // Patch skew waits.
+        for (rank, idx, deficit) in deficits {
+            let extra = Time::from_ps((unit * kappa * deficit).round() as u64);
+            let dur = &mut self.streams[rank][idx].dur;
+            *dur += extra;
+        }
+
+        let meta = TraceMeta {
+            app: self.cfg.app.name().to_string(),
+            machine: self.cfg.machine.clone(),
+            ranks: self.cfg.ranks,
+            ranks_per_node: self.cfg.ranks_per_node,
+            problem_size: self.cfg.size,
+            seed: self.cfg.seed,
+        };
+        let trace = Trace { meta, events: self.streams };
+        debug_assert_eq!(trace.validate(), Ok(()), "generator produced an invalid trace");
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::App;
+
+    fn cfg(f: f64, imb: f64) -> GenConfig {
+        GenConfig {
+            comm_fraction: f,
+            imbalance: imb,
+            ..GenConfig::test_default(App::Ep, 8)
+        }
+    }
+
+    #[test]
+    fn calibration_hits_target_fraction_balanced() {
+        for &f in &[0.05, 0.2, 0.5, 0.8] {
+            let mut s = TraceSynth::new(cfg(f, 0.0), 1.0);
+            for _ in 0..4 {
+                s.compute_round();
+                s.coll_all(CollKind::Allreduce, 4096, Rank(0));
+            }
+            let t = s.finish();
+            assert_eq!(t.validate(), Ok(()));
+            let got = t.comm_fraction();
+            assert!((got - f).abs() < 1e-6, "target {f}, got {got}");
+        }
+    }
+
+    #[test]
+    fn calibration_hits_target_with_imbalance() {
+        for &f in &[0.1, 0.4] {
+            let mut s = TraceSynth::new(cfg(f, 0.5), 1.0);
+            for _ in 0..5 {
+                s.compute_round();
+                s.coll_all(CollKind::Allreduce, 8192, Rank(0));
+            }
+            let t = s.finish();
+            let got = t.comm_fraction();
+            assert!((got - f).abs() < 1e-6, "target {f}, got {got}");
+        }
+    }
+
+    #[test]
+    fn skew_waits_land_on_absorbers() {
+        let mut s = TraceSynth::new(cfg(0.3, 0.0), 1.0);
+        s.begin_round();
+        s.compute(Rank(0), 2.0); // slow rank
+        for r in 1..8 {
+            s.compute(Rank(r), 1.0);
+        }
+        s.coll_all(CollKind::Barrier, 0, Rank(0));
+        let t = s.finish();
+        // Every rank but 0 waited; their barrier durations exceed rank 0's.
+        let barrier_dur = |r: usize| t.events[r].last().unwrap().dur;
+        for r in 1..8 {
+            assert!(barrier_dur(r) > barrier_dur(0), "rank {r} should have waited");
+        }
+    }
+
+    #[test]
+    fn symmetric_exchange_produces_valid_trace() {
+        let mut s = TraceSynth::new(cfg(0.5, 0.1), 1.2);
+        s.compute_round();
+        s.symmetric_exchange(&[(0, 1, 1024), (2, 3, 2048), (4, 5, 512), (6, 7, 4096)], 9);
+        let t = s.finish();
+        assert_eq!(t.validate(), Ok(()));
+        // 2 irecv + 2 isend per edge plus one waitall per participant.
+        let n_events: usize = t.num_events();
+        assert_eq!(n_events, 8 /*compute*/ + 4 * 4 + 8);
+    }
+
+    #[test]
+    fn extreme_imbalance_low_fraction_still_calibrates() {
+        let mut s = TraceSynth::new(cfg(0.02, 1.0), 1.0);
+        for _ in 0..3 {
+            s.compute_round();
+            s.barrier_all();
+        }
+        let t = s.finish();
+        let got = t.comm_fraction();
+        assert!((got - 0.02).abs() < 1e-6, "got {got}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let make = |seed| {
+            let mut c = cfg(0.3, 0.4);
+            c.seed = seed;
+            let mut s = TraceSynth::new(c, 1.0);
+            s.compute_round();
+            s.coll_all(CollKind::Allreduce, 64, Rank(0));
+            s.finish()
+        };
+        assert_eq!(make(7), make(7));
+        assert_ne!(make(7), make(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "open requests")]
+    fn finish_rejects_open_requests() {
+        let mut s = TraceSynth::new(cfg(0.3, 0.0), 1.0);
+        s.begin_round();
+        s.compute(Rank(0), 1.0);
+        let _ = s.isend(Rank(0), Rank(1), 8, 0);
+        let _ = s.finish();
+    }
+}

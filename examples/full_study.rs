@@ -1,0 +1,21 @@
+//! Run the complete 235-trace study and print every report.
+use masim_core::report;
+use masim_core::{Dataset, Enhanced, Study, StudyConfig};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let study = Study::run(StudyConfig::default());
+    eprintln!("study wall time: {:?}", t0.elapsed());
+    println!("{}", report::table1(&study));
+    println!("{}", report::fig1(&study));
+    println!("{}", report::fig2(&study));
+    println!("{}", report::fig3(&study));
+    println!("{}", report::fig4(&study));
+    println!("{}", report::fig5(&study));
+    println!("{}", report::class_census(&study));
+    let d = Dataset::from_study(&study);
+    let e = Enhanced::train(&d, 17);
+    println!("{}", report::table4(&e));
+    println!("{}", report::predict_results(&d, &e));
+}

@@ -1,0 +1,164 @@
+//! Failure injection: malformed traces, degenerate configurations, and
+//! boundary conditions must fail loudly and precisely — never silently
+//! mis-simulate.
+
+use masim_mfact::{replay, ModelConfig};
+use masim_sim::{simulate, simulate_budgeted, ModelKind, SimConfig};
+use masim_topo::{Machine, Mapping, NetworkConfig};
+use masim_trace::{io, Event, EventKind, Rank, Time, Trace, TraceError, TraceMeta};
+
+fn meta(ranks: u32) -> TraceMeta {
+    TraceMeta {
+        app: "fi".into(),
+        machine: "t".into(),
+        ranks,
+        ranks_per_node: 1,
+        problem_size: 1,
+        seed: 0,
+    }
+}
+
+/// A truncated binary trace is rejected at every cut point.
+#[test]
+fn truncated_binary_rejected() {
+    let mut t = Trace::empty(meta(2));
+    t.events[0] = vec![Event::compute(Time::from_us(1))];
+    t.events[1] = vec![Event::new(EventKind::Coll {
+        kind: masim_trace::CollKind::Barrier,
+        bytes: 0,
+        root: Rank(0),
+    }, Time::ZERO)];
+    let bytes = io::encode(&t);
+    for cut in [1, 4, 8, bytes.len() / 2, bytes.len() - 1] {
+        assert!(io::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+    }
+}
+
+/// Unmatched receives are caught by validation before any tool runs.
+#[test]
+fn unmatched_receive_caught() {
+    let mut t = Trace::empty(meta(2));
+    t.events[0] = vec![Event::compute(Time::from_us(1))];
+    t.events[1] = vec![Event::new(
+        EventKind::Recv { peer: Rank(0), bytes: 64, tag: 0 },
+        Time::ZERO,
+    )];
+    assert!(matches!(t.validate(), Err(TraceError::UnmatchedMessage { .. })));
+}
+
+/// Zero-byte messages flow through both tools (MPI allows empty
+/// payloads; the wire still carries a header).
+#[test]
+fn zero_byte_messages_work() {
+    let mut t = Trace::empty(meta(2));
+    t.events[0] = vec![Event::new(EventKind::Send { peer: Rank(1), bytes: 0, tag: 0 }, Time::ZERO)];
+    t.events[1] = vec![Event::new(EventKind::Recv { peer: Rank(0), bytes: 0, tag: 0 }, Time::ZERO)];
+    assert_eq!(t.validate(), Ok(()));
+    let machine = Machine::cielito();
+    let m = replay(&t, &[ModelConfig::base(machine.net)]);
+    assert!(m[0].total > Time::ZERO, "latency still applies");
+    for model in ModelKind::study_models() {
+        let r = simulate(&t, &SimConfig::new(machine.clone(), model, &t));
+        assert!(r.total > Time::ZERO, "{}", model.name());
+    }
+}
+
+/// A single-rank trace (no communication possible) is fine everywhere.
+#[test]
+fn single_rank_trace_works() {
+    let mut t = Trace::empty(meta(1));
+    t.events[0] = vec![
+        Event::compute(Time::from_ms(1)),
+        Event::new(
+            EventKind::Coll { kind: masim_trace::CollKind::Barrier, bytes: 0, root: Rank(0) },
+            Time::ZERO,
+        ),
+    ];
+    assert_eq!(t.validate(), Ok(()));
+    let machine = Machine::cielito();
+    let m = replay(&t, &[ModelConfig::base(machine.net)]);
+    assert_eq!(m[0].per_rank.len(), 1);
+    for model in ModelKind::study_models() {
+        let r = simulate(&t, &SimConfig::new(machine.clone(), model, &t));
+        assert!(r.total >= Time::from_ms(1), "{}", model.name());
+    }
+}
+
+/// Zero bandwidth is rejected at configuration time, not discovered as
+/// an infinite simulation.
+#[test]
+#[should_panic(expected = "positive")]
+fn zero_bandwidth_rejected() {
+    let _ = NetworkConfig::new(0.0, 1_000);
+}
+
+/// A mapping that oversubscribes node cores is rejected before the
+/// simulation starts.
+#[test]
+#[should_panic(expected = "mapping does not fit")]
+fn oversubscribed_mapping_rejected() {
+    let machine = Machine::cielito(); // 16 cores/node
+    let mut t = Trace::empty(meta(34));
+    for r in 0..34 {
+        t.events[r] = vec![Event::compute(Time::from_us(1))];
+    }
+    let cfg = SimConfig {
+        machine: machine.clone(),
+        mapping: Mapping::block(34, 17), // 17 ranks on one 16-core node
+        model: ModelKind::Flow,
+        compute_scale: 1.0,
+    };
+    let _ = simulate(&t, &cfg);
+}
+
+/// Budget exhaustion returns `None` rather than a bogus partial result.
+#[test]
+fn budget_exhaustion_is_explicit() {
+    use masim_workloads::{generate, App, GenConfig};
+    let mut gcfg = GenConfig::test_default(App::Ft, 64);
+    gcfg.size = 3;
+    gcfg.comm_fraction = 0.6;
+    let t = generate(&gcfg);
+    let machine = Machine::cielito();
+    let cfg = SimConfig::new(machine, ModelKind::Packet { packet_bytes: 1024 }, &t);
+    assert!(simulate_budgeted(&t, &cfg, 2_000).is_none(), "tiny budget must fail");
+    let full = simulate_budgeted(&t, &cfg, u64::MAX).expect("unbounded run completes");
+    assert!(full.events > 2_000);
+}
+
+/// MFACT rejects replays of deadlocking traces instead of hanging.
+#[test]
+#[should_panic(expected = "deadlock")]
+fn mfact_detects_deadlock() {
+    let mut t = Trace::empty(meta(2));
+    t.events[0] = vec![Event::new(EventKind::Recv { peer: Rank(1), bytes: 8, tag: 0 }, Time::ZERO)];
+    t.events[1] = vec![Event::new(EventKind::Recv { peer: Rank(0), bytes: 8, tag: 0 }, Time::ZERO)];
+    let _ = replay(&t, &[ModelConfig::base(Machine::cielito().net)]);
+}
+
+/// The simulator detects the same deadlock.
+#[test]
+#[should_panic(expected = "deadlock")]
+fn simulator_detects_deadlock() {
+    let mut t = Trace::empty(meta(2));
+    t.events[0] = vec![Event::new(EventKind::Recv { peer: Rank(1), bytes: 8, tag: 0 }, Time::ZERO)];
+    t.events[1] = vec![Event::new(EventKind::Recv { peer: Rank(0), bytes: 8, tag: 0 }, Time::ZERO)];
+    let machine = Machine::cielito();
+    let cfg = SimConfig::new(machine, ModelKind::Flow, &t);
+    let _ = simulate(&t, &cfg);
+}
+
+/// Text parsing survives hostile input without panicking.
+#[test]
+fn hostile_text_input() {
+    for garbage in [
+        "",
+        "\n\n\n",
+        "# masim trace:",
+        "# masim trace: app= machine= ranks=abc rpn=1 size=1 seed=0",
+        "# masim trace: app=x machine=y ranks=1 rpn=1 size=1 seed=0\nr0 -5us compute",
+        "# masim trace: app=x machine=y ranks=1 rpn=1 size=1 seed=0\nr0 1us send -> r9 8B tag=0",
+    ] {
+        let _ = masim_trace::from_text(garbage); // must return Err, not panic
+    }
+}

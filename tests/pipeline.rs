@@ -1,0 +1,152 @@
+//! End-to-end integration tests spanning all crates: generator → trace
+//! I/O → MFACT → simulators → study → enhanced model.
+
+use masim_core::{run_one, Dataset, Enhanced, Study, StudyConfig};
+use masim_mfact::{classify, replay, AppClass, ModelConfig};
+use masim_sim::{simulate, ModelKind, SimConfig};
+use masim_topo::Machine;
+use masim_trace::{io, Features, Time};
+use masim_workloads::{build_corpus, generate, App, GenConfig, CORPUS_SIZE};
+
+/// Trace round trip: generate → encode → decode → identical replay.
+#[test]
+fn serialization_preserves_predictions() {
+    let machine = Machine::cielito();
+    let cfg = GenConfig::test_default(App::Cg, 64);
+    let trace = generate(&cfg);
+    let bytes = io::encode(&trace);
+    let back = io::decode(&bytes).expect("round trip");
+    assert_eq!(trace, back);
+    let a = replay(&trace, &[ModelConfig::base(machine.net)]);
+    let b = replay(&back, &[ModelConfig::base(machine.net)]);
+    assert_eq!(a[0].total, b[0].total);
+    assert_eq!(a[0].counters, b[0].counters);
+}
+
+/// The full pipeline on one trace: every tool produces a positive,
+/// internally consistent prediction.
+#[test]
+fn one_trace_full_pipeline() {
+    let entries = build_corpus(7);
+    let t = run_one(&entries[40], &StudyConfig::default());
+    assert!(t.mfact.completed());
+    assert!(t.pflow.completed());
+    let total = t.mfact.total.unwrap();
+    assert!(total > Time::ZERO);
+    // Communication prediction can exceed the wall total (it is summed
+    // over ranks) but must be finite and positive.
+    assert!(t.mfact.comm.unwrap() > Time::ZERO);
+    // DIFF is defined and small-ish for a mid-corpus entry.
+    let diff = t.diff_total_pflow().unwrap();
+    assert!(diff < 1.0, "diff {diff}");
+}
+
+/// Corpus-wide structural invariant: every generated trace validates
+/// and lands in its planned Table I buckets.
+#[test]
+fn corpus_traces_validate_and_hit_buckets() {
+    let entries = build_corpus(7);
+    assert_eq!(entries.len(), CORPUS_SIZE);
+    // Spot-check a spread of entries (full validation happens per-crate).
+    for e in entries.iter().step_by(17) {
+        let t = e.generate();
+        t.validate().unwrap_or_else(|err| panic!("{}: {err}", t.meta.label()));
+        let f = t.comm_fraction();
+        let (lo, hi, _) = masim_workloads::COMM_BUCKETS[e.comm_bucket];
+        assert!(
+            f >= lo - 1e-9 && f <= hi + 1e-9,
+            "{}: comm fraction {f} outside bucket [{lo}, {hi}]",
+            t.meta.label()
+        );
+    }
+}
+
+/// Classification ↔ simulation consistency: computation-bound traces
+/// must have tiny DIFF; the apps the paper calls out (CR) must show
+/// large DIFF at scale.
+#[test]
+fn classification_predicts_diff_extremes() {
+    let machine = Machine::hopper();
+    // EP: compute-bound.
+    let mut ep_cfg = GenConfig::test_default(App::Ep, 64);
+    ep_cfg.comm_fraction = 0.02;
+    ep_cfg.machine = "hopper".into();
+    ep_cfg.gbps = 35.0;
+    ep_cfg.latency = Time::from_ns(2_575);
+    ep_cfg.ranks_per_node = 24;
+    let ep = generate(&ep_cfg);
+    let c = classify(&ep, machine.net);
+    assert_eq!(c.class, AppClass::ComputationBound);
+    let m = replay(&ep, &[ModelConfig::base(machine.net)])[0].total;
+    let s = simulate(
+        &ep,
+        &SimConfig::new(machine.clone(), ModelKind::PacketFlow { packet_bytes: 8192 }, &ep),
+    )
+    .total;
+    let diff = (s.as_secs_f64() / m.as_secs_f64() - 1.0).abs();
+    assert!(diff < 0.02, "EP diff {diff}");
+
+    // CR at scale with a heavy communication share: simulation-worthy.
+    let mut cr_cfg = GenConfig::test_default(App::Cr, 256);
+    cr_cfg.comm_fraction = 0.7;
+    cr_cfg.machine = "hopper".into();
+    cr_cfg.gbps = 35.0;
+    cr_cfg.latency = Time::from_ns(2_575);
+    cr_cfg.ranks_per_node = 24;
+    cr_cfg.size = 2;
+    let cr = generate(&cr_cfg);
+    let c = classify(&cr, machine.net);
+    assert!(c.is_comm_sensitive(), "{c:?}");
+    let m = replay(&cr, &[ModelConfig::base(machine.net)])[0].total;
+    let s = simulate(
+        &cr,
+        &SimConfig::new(machine.clone(), ModelKind::PacketFlow { packet_bytes: 8192 }, &cr),
+    )
+    .total;
+    let diff = (s.as_secs_f64() / m.as_secs_f64() - 1.0).abs();
+    assert!(diff > 0.02, "CR diff {diff} unexpectedly small");
+}
+
+/// Study slice + enhanced model: the trained predictor beats guessing
+/// and its feature space matches Table III.
+#[test]
+fn study_to_enhanced_model() {
+    let study = Study::run_filtered(StudyConfig::default(), |i| i % 11 == 0);
+    let data = Dataset::from_study(&study);
+    assert!(data.len() >= 20);
+    assert_eq!(data.x[0].len(), masim_core::enhanced::NUM_CANDIDATES);
+    if data.y.iter().any(|&b| b) && data.y.iter().any(|&b| !b) {
+        let e = Enhanced::train(&data, 5);
+        assert!(e.success_rate() > 0.5);
+        // Table IV surface is well-formed.
+        let t4 = e.table_iv();
+        assert_eq!(t4.len().min(10), t4.len());
+        assert!(t4[0].1 > 0.0, "top variable never selected?");
+    }
+}
+
+/// Feature extraction agrees with the trace's own aggregates.
+#[test]
+fn features_consistent_with_trace() {
+    let cfg = GenConfig::test_default(App::MiniFe, 32);
+    let t = generate(&cfg);
+    let f = Features::extract(&t);
+    assert_eq!(f.r as u32, t.num_ranks());
+    assert!((f.t - t.measured_time().as_secs_f64()).abs() < 1e-12);
+    let comm_frac = f.po_c / 100.0;
+    assert!((comm_frac - t.comm_fraction()).abs() < 1e-9);
+}
+
+/// Determinism across the whole stack: same seed, same study numbers.
+#[test]
+fn end_to_end_determinism() {
+    let run = || {
+        let study = Study::run_filtered(StudyConfig::default(), |i| i == 30 || i == 150);
+        study
+            .traces
+            .iter()
+            .map(|t| (t.mfact.total, t.pflow.total, t.measured_total))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
