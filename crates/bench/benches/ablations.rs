@@ -4,8 +4,8 @@
 //! * flow-model ripple cost vs. traffic burstiness;
 //! * task mapping (block vs. random) vs. simulated time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use masim_bench::bench_entries;
+use masim_bench::harness::{Harness, DEFAULT_SAMPLES};
 use masim_sim::{simulate, ModelKind, SimConfig};
 use masim_topo::{Machine, Mapping};
 use std::hint::black_box;
@@ -13,52 +13,39 @@ use std::hint::black_box;
 /// Packet-size sweep: the packet model's run time should scale inversely
 /// with packet size while its prediction barely moves (the "minor cost
 /// in simulation accuracy" SST's guidance trades for scalability).
-fn packet_size_sweep(c: &mut Criterion) {
+fn packet_size_sweep(h: &mut Harness) {
     let machine = Machine::cielito();
     let entry = &bench_entries()[2]; // FT: bandwidth-heavy
     let trace = entry.generate();
-    let mut group = c.benchmark_group("ablation/packet_bytes");
-    group.sample_size(10);
     for kb in [1u64, 2, 4, 8, 16] {
-        let cfg = SimConfig::new(
-            machine.clone(),
-            ModelKind::Packet { packet_bytes: kb * 1024 },
-            &trace,
-        );
-        group.bench_with_input(BenchmarkId::from_parameter(kb), &cfg, |b, cfg| {
-            b.iter(|| black_box(simulate(&trace, cfg)))
+        let cfg =
+            SimConfig::new(machine.clone(), ModelKind::Packet { packet_bytes: kb * 1024 }, &trace);
+        h.bench(&format!("ablation/packet_bytes/{kb}"), DEFAULT_SAMPLES, || {
+            black_box(simulate(&trace, &cfg));
         });
     }
-    group.finish();
 }
 
 /// Flow ripple cost: regular nearest-neighbor traffic (few concurrent
 /// flows) vs. an all-to-all burst (many concurrent flows sharing links).
-fn flow_ripple(c: &mut Criterion) {
+fn flow_ripple(h: &mut Harness) {
     let machine = Machine::cielito();
     let entries = bench_entries();
-    let mut group = c.benchmark_group("ablation/flow_ripple");
-    group.sample_size(10);
     for entry in [&entries[0], &entries[2]] {
         let trace = entry.generate();
         let cfg = SimConfig::new(machine.clone(), ModelKind::Flow, &trace);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(entry.cfg.app.name()),
-            &cfg,
-            |b, cfg| b.iter(|| black_box(simulate(&trace, cfg))),
-        );
+        h.bench(&format!("ablation/flow_ripple/{}", entry.cfg.app.name()), DEFAULT_SAMPLES, || {
+            black_box(simulate(&trace, &cfg));
+        });
     }
-    group.finish();
 }
 
 /// Mapping sensitivity: random placement lengthens routes and shifts
 /// contention; the bench quantifies the simulation-cost side.
-fn mapping_sweep(c: &mut Criterion) {
+fn mapping_sweep(h: &mut Harness) {
     let machine = Machine::cielito();
     let entry = &bench_entries()[3]; // CR: irregular
     let trace = entry.generate();
-    let mut group = c.benchmark_group("ablation/mapping");
-    group.sample_size(10);
     for (name, mapping) in [
         ("block", Mapping::block(trace.num_ranks(), trace.meta.ranks_per_node)),
         ("random", Mapping::random(trace.num_ranks(), trace.meta.ranks_per_node, 3)),
@@ -69,12 +56,16 @@ fn mapping_sweep(c: &mut Criterion) {
             model: ModelKind::PacketFlow { packet_bytes: 8192 },
             compute_scale: 1.0,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| black_box(simulate(&trace, cfg)))
+        h.bench(&format!("ablation/mapping/{name}"), DEFAULT_SAMPLES, || {
+            black_box(simulate(&trace, &cfg));
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, packet_size_sweep, flow_ripple, mapping_sweep);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("ablations");
+    packet_size_sweep(&mut h);
+    flow_ripple(&mut h);
+    mapping_sweep(&mut h);
+    h.finish();
+}

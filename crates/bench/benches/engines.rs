@@ -2,7 +2,7 @@
 //! executor, trace generation/serialization, and the statistical kernel
 //! behind Table IV.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use masim_bench::harness::{Harness, DEFAULT_SAMPLES};
 use masim_des::{Engine, LogicalProcess, WindowedPdes};
 use masim_stats::{fit, monte_carlo_cv};
 use masim_trace::{io, Time};
@@ -10,25 +10,20 @@ use masim_workloads::{generate, App, GenConfig};
 use std::hint::black_box;
 
 /// Raw pending-event-set throughput: schedule/execute chains.
-fn des_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("des");
-    g.sample_size(20);
-    g.bench_function("event_chain_100k", |b| {
-        b.iter(|| {
-            let mut eng: Engine<u64> = Engine::new();
-            let mut count = 0u64;
-            fn tick(eng: &mut Engine<u64>, n: &mut u64) {
-                *n += 1;
-                if *n < 100_000 {
-                    eng.schedule_in(Time::from_ns(10), Box::new(tick));
-                }
+fn des_throughput(h: &mut Harness) {
+    h.bench("des/event_chain_100k", 20, || {
+        let mut eng: Engine<u64> = Engine::new();
+        let mut count = 0u64;
+        fn tick(eng: &mut Engine<u64>, n: &mut u64) {
+            *n += 1;
+            if *n < 100_000 {
+                eng.schedule_in(Time::from_ns(10), Box::new(tick));
             }
-            eng.schedule_at(Time::ZERO, Box::new(tick));
-            eng.run(&mut count);
-            black_box(count)
-        })
+        }
+        eng.schedule_at(Time::ZERO, Box::new(tick));
+        eng.run(&mut count);
+        black_box(count);
     });
-    g.finish();
 }
 
 struct RingLp {
@@ -49,39 +44,38 @@ impl LogicalProcess for RingLp {
 
 /// Conservative PDES: token rings at 1 and 4 worker threads (this host
 /// has one core, so this measures the coordination overhead envelope).
-fn pdes_window(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pdes/ring_16lp_20k_hops");
-    group.sample_size(10);
+fn pdes_window(h: &mut Harness) {
     for threads in [1usize, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &th| {
-            b.iter(|| {
-                let lps: Vec<RingLp> =
-                    (0..16).map(|i| RingLp { index: i, n: 16, hops: 20_000 }).collect();
-                let mut pdes = WindowedPdes::new(lps, Time::from_us(1), th);
-                pdes.seed(Time::ZERO, 0, 0);
-                pdes.run();
-                black_box(pdes.processed())
-            })
+        h.bench(&format!("pdes/ring_16lp_20k_hops/{threads}"), DEFAULT_SAMPLES, || {
+            let lps: Vec<RingLp> =
+                (0..16).map(|i| RingLp { index: i, n: 16, hops: 20_000 }).collect();
+            let mut pdes = WindowedPdes::new(lps, Time::from_us(1), threads);
+            pdes.seed(Time::ZERO, 0, 0);
+            pdes.run();
+            black_box(pdes.processed());
         });
     }
-    group.finish();
 }
 
 /// Corpus-generation and serialization throughput (Table I substrate).
-fn trace_generation(c: &mut Criterion) {
+fn trace_generation(h: &mut Harness) {
     let cfg = GenConfig::test_default(App::Lulesh, 64);
-    c.bench_function("workloads/generate_lulesh64", |b| {
-        b.iter(|| black_box(generate(&cfg)))
+    h.bench("workloads/generate_lulesh64", DEFAULT_SAMPLES, || {
+        black_box(generate(&cfg));
     });
     let trace = generate(&cfg);
-    c.bench_function("trace/encode", |b| b.iter(|| black_box(io::encode(&trace))));
+    h.bench("trace/encode", DEFAULT_SAMPLES, || {
+        black_box(io::encode(&trace));
+    });
     let bytes = io::encode(&trace);
-    c.bench_function("trace/decode", |b| b.iter(|| black_box(io::decode(&bytes).unwrap())));
+    h.bench("trace/decode", DEFAULT_SAMPLES, || {
+        black_box(io::decode(&bytes).expect("round-trip"));
+    });
 }
 
 /// The Table IV statistical kernel: logistic IRLS fit and a 10-round
 /// MC-CV with step-wise selection.
-fn train_model(c: &mut Criterion) {
+fn train_model(h: &mut Harness) {
     // Synthetic 235×10 dataset shaped like the study's.
     let n = 235;
     let x: Vec<Vec<f64>> = (0..n)
@@ -92,16 +86,19 @@ fn train_model(c: &mut Criterion) {
         })
         .collect();
     let y: Vec<bool> = (0..n).map(|i| (i * 31 + 51) % 97 > 48).collect();
-    c.bench_function("stats/logistic_fit_235x10", |b| {
-        b.iter(|| black_box(fit(&x, &y).unwrap()))
+    h.bench("stats/logistic_fit_235x10", DEFAULT_SAMPLES, || {
+        black_box(fit(&x, &y).expect("fit"));
     });
-    let mut g = c.benchmark_group("stats");
-    g.sample_size(10);
-    g.bench_function("mccv_10rounds", |b| {
-        b.iter(|| black_box(monte_carlo_cv(&x, &y, 10, 0.8, 5, 7)))
+    h.bench("stats/mccv_10rounds", DEFAULT_SAMPLES, || {
+        black_box(monte_carlo_cv(&x, &y, 10, 0.8, 5, 7));
     });
-    g.finish();
 }
 
-criterion_group!(benches, des_throughput, pdes_window, trace_generation, train_model);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("engines");
+    des_throughput(&mut h);
+    pdes_window(&mut h);
+    trace_generation(&mut h);
+    train_model(&mut h);
+    h.finish();
+}

@@ -1,58 +1,55 @@
 //! Figure 1 / Table II core measurement: wall-clock cost of modeling vs.
 //! each simulation granularity on representative traces.
 //!
-//! Criterion reports the absolute times; the `repro` harness derives the
-//! paper's ratio buckets from the same machinery over the full corpus.
+//! The harness reports the absolute times; the `repro` binary derives
+//! the paper's ratio buckets from the same machinery over the full
+//! corpus.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use masim_bench::bench_entries;
+use masim_bench::harness::{Harness, DEFAULT_SAMPLES};
 use masim_mfact::{replay, ModelConfig};
 use masim_sim::{simulate, ModelKind, SimConfig};
 use masim_topo::Machine;
 use std::hint::black_box;
 
-fn tool_time(c: &mut Criterion) {
+fn tool_time(h: &mut Harness) {
     let machine = Machine::cielito();
-    let mut group = c.benchmark_group("tool_time");
-    group.sample_size(10);
-
     for entry in bench_entries() {
         let trace = entry.generate();
         let label = format!("{}({})", entry.cfg.app, entry.cfg.ranks);
 
-        group.bench_with_input(BenchmarkId::new("mfact", &label), &trace, |b, t| {
-            b.iter(|| black_box(replay(t, &[ModelConfig::base(machine.net)])))
+        h.bench(&format!("tool_time/mfact/{label}"), DEFAULT_SAMPLES, || {
+            black_box(replay(&trace, &[ModelConfig::base(machine.net)]));
         });
         for model in ModelKind::study_models() {
             let cfg = SimConfig::new(machine.clone(), model, &trace);
-            group.bench_with_input(
-                BenchmarkId::new(model.name(), &label),
-                &trace,
-                |b, t| b.iter(|| black_box(simulate(t, &cfg))),
-            );
+            h.bench(&format!("tool_time/{}/{label}", model.name()), DEFAULT_SAMPLES, || {
+                black_box(simulate(&trace, &cfg));
+            });
         }
     }
-    group.finish();
 }
 
 /// MFACT's multi-configuration scaling: 1 vs 7 vs 15 configurations in a
 /// single replay (the tool's signature capability — cost should grow far
 /// slower than linearly).
-fn mfact_multi_config(c: &mut Criterion) {
+fn mfact_multi_config(h: &mut Harness) {
     let machine = Machine::cielito();
     let entry = &bench_entries()[1]; // CG
     let trace = entry.generate();
-    let mut group = c.benchmark_group("mfact_multi_config");
     for n in [1usize, 7, 15] {
         let configs: Vec<ModelConfig> = (0..n)
             .map(|i| ModelConfig::base(machine.net.scaled(1.0 + i as f64 * 0.5, 1.0)))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &configs, |b, cfgs| {
-            b.iter(|| black_box(replay(&trace, cfgs)))
+        h.bench(&format!("mfact_multi_config/{n}"), DEFAULT_SAMPLES, || {
+            black_box(replay(&trace, &configs));
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, tool_time, mfact_multi_config);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("tool_time");
+    tool_time(&mut h);
+    mfact_multi_config(&mut h);
+    h.finish();
+}

@@ -3,17 +3,32 @@
 //! ```sh
 //! cargo run --release -p masim-bench --bin repro -- all
 //! cargo run --release -p masim-bench --bin repro -- fig2 fig5
+//! cargo run --release -p masim-bench --bin repro -- all --metrics reports/metrics
+//! cargo run --release -p masim-bench --bin repro -- bench-summary
 //! ```
 //!
 //! Reports are printed and written under `reports/`. The full study
 //! (235 traces × 4 tools) runs once per invocation and is shared by all
 //! requested reports; budget-limited tool failures are part of the
 //! result, mirroring the paper's 216/162/235 completion counts.
+//!
+//! With `--metrics <dir>`, every trace×tool run also writes a JSON+CSV
+//! observability sidecar (counters, gauges, wall-clock spans) under
+//! `<dir>`, and the run ends by folding them into a top-level
+//! `BENCH_obs.json` of per-tool wall-clock and throughput aggregates.
+//! `bench-summary` re-folds an existing sidecar directory without
+//! re-running anything. `--tiny` shrinks the Table II heavyweights to
+//! smoke-test scale (CI uses `table2 --tiny --metrics`).
 
 use masim_core::report;
-use masim_core::{Dataset, Enhanced, Study, StudyConfig};
+use masim_core::{Dataset, Enhanced, Study, StudyConfig, TOOL_WALL_SPAN};
+use masim_obs::json::Value;
+use masim_obs::run::parse_json;
+use masim_obs::RunMetrics;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 const ALL: [&str; 11] = [
@@ -25,36 +40,102 @@ const ALL: [&str; 11] = [
 /// the model several times): `stability`.
 const EXTRA: [&str; 1] = ["stability"];
 
+/// Where the folded per-tool summary lands.
+const BENCH_OBS: &str = "BENCH_obs.json";
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "all") {
-        args = ALL.iter().map(|s| s.to_string()).collect();
+    if let Err(e) = run() {
+        eprintln!("repro: {e}");
+        std::process::exit(1);
     }
-    for a in &args {
-        if !ALL.contains(&a.as_str()) && !EXTRA.contains(&a.as_str()) {
-            eprintln!("unknown report '{a}'; available: {ALL:?}, {EXTRA:?}, or 'all'");
-            std::process::exit(2);
+}
+
+struct Options {
+    reports: Vec<String>,
+    /// Sidecar directory from `--metrics <dir>`.
+    metrics: Option<PathBuf>,
+    /// Shrink table2 to smoke-test scale.
+    tiny: bool,
+    /// `bench-summary` subcommand: fold an existing sidecar dir.
+    summarize: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { reports: Vec::new(), metrics: None, tiny: false, summarize: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--metrics" => {
+                let dir = it.next().ok_or("--metrics requires a directory argument")?;
+                opts.metrics = Some(PathBuf::from(dir));
+            }
+            "--tiny" => opts.tiny = true,
+            "bench-summary" => opts.summarize = true,
+            _ => opts.reports.push(a),
         }
     }
-    fs::create_dir_all("reports").expect("create reports/");
+    if opts.reports.is_empty() && !opts.summarize {
+        opts.reports = ALL.iter().map(|s| s.to_string()).collect();
+    } else if opts.reports.iter().any(|a| a == "all") {
+        opts.reports = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    for a in &opts.reports {
+        if !ALL.contains(&a.as_str()) && !EXTRA.contains(&a.as_str()) {
+            return Err(format!(
+                "unknown report '{a}'; available: {ALL:?}, {EXTRA:?}, 'all', or 'bench-summary'"
+            ));
+        }
+    }
+    Ok(opts)
+}
+
+/// `Option::as_ref` with an error message instead of a panic: a missing
+/// study or model is an internal sequencing bug, not a reason to abort
+/// the process without saying which report tripped it.
+fn need<'a, T>(opt: &'a Option<T>, what: &str, report: &str) -> Result<&'a T, String> {
+    opt.as_ref().ok_or_else(|| {
+        format!("internal: report '{report}' needs the {what}, but it was not prepared")
+    })
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let metrics_dir = opts.metrics.clone();
+    if let Some(dir) = &metrics_dir {
+        fs::create_dir_all(dir)
+            .map_err(|e| format!("create metrics dir {}: {e}", dir.display()))?;
+    }
+    if opts.summarize && opts.reports.is_empty() {
+        let dir = metrics_dir.unwrap_or_else(|| PathBuf::from("reports/metrics"));
+        return fold_sidecars(&dir);
+    }
+    fs::create_dir_all("reports").map_err(|e| format!("create reports/: {e}"))?;
 
     // Which reports need the full study / the trained model?
-    let needs_study =
-        args.iter().any(|a| !matches!(a.as_str(), "table2" | "table3"));
+    let needs_study = opts.reports.iter().any(|a| !matches!(a.as_str(), "table2" | "table3"));
     let needs_model =
-        args.iter().any(|a| matches!(a.as_str(), "table4" | "predict" | "stability"));
+        opts.reports.iter().any(|a| matches!(a.as_str(), "table4" | "predict" | "stability"));
 
+    let mut sidecar_count = 0usize;
     let study: Option<Study> = if needs_study {
         eprintln!("running the full 235-trace study (single core; several minutes)...");
         let t0 = Instant::now();
-        let s = Study::run(StudyConfig::default());
+        let s = if let Some(dir) = &metrics_dir {
+            let (s, sidecars) = Study::run_filtered_observed(StudyConfig::default(), |_| true);
+            for (idx, runs) in &sidecars {
+                sidecar_count += write_sidecars(dir, &format!("trace{idx:03}"), runs)?;
+            }
+            s
+        } else {
+            Study::run(StudyConfig::default())
+        };
         eprintln!("study completed in {:?}", t0.elapsed());
         Some(s)
     } else {
         None
     };
     let trained: Option<(Dataset, Enhanced)> = if needs_model {
-        let s = study.as_ref().expect("study needed for the model");
+        let s = need(&study, "study", "table4/predict/stability")?;
         let d = Dataset::from_study(s);
         eprintln!("training the enhanced MFACT (100-round MC-CV)...");
         let e = Enhanced::train(&d, 17);
@@ -63,39 +144,152 @@ fn main() {
         None
     };
 
-    for a in &args {
+    for a in &opts.reports {
         let text = match a.as_str() {
-            "table1" => report::table1(study.as_ref().unwrap()),
-            "fig1" => report::fig1(study.as_ref().unwrap()),
+            "table1" => report::table1(need(&study, "study", a)?),
+            "fig1" => report::fig1(need(&study, "study", a)?),
             "table2" => {
                 eprintln!("running the Table II heavyweights (unbudgeted)...");
-                report::table2(7)
+                let entries =
+                    if opts.tiny { tiny_table2_entries(7) } else { report::table2_entries(7) };
+                let (text, sidecars) = report::table2_observed(&entries, 7);
+                if let Some(dir) = &metrics_dir {
+                    for (stem, runs) in &sidecars {
+                        sidecar_count += write_sidecars(dir, &format!("table2_{stem}"), runs)?;
+                    }
+                }
+                text
             }
-            "fig2" => report::fig2(study.as_ref().unwrap()),
-            "fig3" => report::fig3(study.as_ref().unwrap()),
-            "fig4" => report::fig4(study.as_ref().unwrap()),
+            "fig2" => report::fig2(need(&study, "study", a)?),
+            "fig3" => report::fig3(need(&study, "study", a)?),
+            "fig4" => report::fig4(need(&study, "study", a)?),
             "fig5" => {
-                let s = study.as_ref().unwrap();
+                let s = need(&study, "study", a)?;
                 format!("{}{}", report::fig5(s), report::class_census(s))
             }
             "table3" => report::table3(),
-            "csv" => report::study_csv(study.as_ref().unwrap()),
+            "csv" => report::study_csv(need(&study, "study", a)?),
             "stability" => {
-                let (d, _) = trained.as_ref().unwrap();
+                let (d, _) = need(&trained, "trained model", a)?;
                 report::stability(d, &[7, 17, 42, 99, 123])
             }
-            "table4" => report::table4(&trained.as_ref().unwrap().1),
+            "table4" => report::table4(&need(&trained, "trained model", a)?.1),
             "predict" => {
-                let (d, e) = trained.as_ref().unwrap();
+                let (d, e) = need(&trained, "trained model", a)?;
                 report::predict_results(d, e)
             }
-            _ => unreachable!(),
+            _ => unreachable!("report names were validated in parse_args"),
         };
         println!("{text}");
         let ext = if a == "csv" { "csv" } else { "txt" };
         let path = format!("reports/{a}.{ext}");
-        let mut f = fs::File::create(&path).expect("write report");
-        f.write_all(text.as_bytes()).expect("write report");
+        let mut f = fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+        f.write_all(text.as_bytes()).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
+
+    if let Some(dir) = &metrics_dir {
+        eprintln!("wrote {sidecar_count} metric sidecar(s) under {}", dir.display());
+        fold_sidecars(dir)?;
+    } else if opts.summarize {
+        fold_sidecars(Path::new("reports/metrics"))?;
+    }
+    Ok(())
+}
+
+/// The Table II applications shrunk to seconds-scale for CI smoke runs.
+fn tiny_table2_entries(seed: u64) -> Vec<masim_workloads::CorpusEntry> {
+    let mut entries = report::table2_entries(seed);
+    for e in &mut entries {
+        e.cfg.ranks = e.cfg.app.legal_ranks(16);
+        e.cfg.ranks_per_node = 8;
+        e.cfg.size = 1;
+        e.cfg.iters = 2;
+        e.cfg.check();
+    }
+    entries
+}
+
+/// Write one JSON + one CSV sidecar per tool run; returns how many
+/// files were written.
+fn write_sidecars(dir: &Path, stem: &str, runs: &[RunMetrics]) -> Result<usize, String> {
+    let mut written = 0;
+    for rm in runs {
+        let tool = rm.labels().get("tool").cloned().unwrap_or_else(|| "run".into());
+        for ext in ["json", "csv"] {
+            let path = dir.join(format!("{stem}_{tool}.{ext}"));
+            let res = if ext == "json" { rm.write_json(&path) } else { rm.write_csv(&path) };
+            res.map_err(|e| format!("write sidecar {}: {e}", path.display()))?;
+            written += 1;
+        }
+    }
+    Ok(written)
+}
+
+/// `bench-summary`: fold every JSON sidecar in `dir` into
+/// `BENCH_obs.json` — per tool, the median and max tool wall-clock and
+/// the aggregate event throughput.
+fn fold_sidecars(dir: &Path) -> Result<(), String> {
+    // tool -> per-run (wall_ns, events)
+    let mut by_tool: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
+    let rd = fs::read_dir(dir).map_err(|e| format!("read metrics dir {}: {e}", dir.display()))?;
+    for ent in rd {
+        let path = ent.map_err(|e| format!("list {}: {e}", dir.display()))?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("read sidecar {}: {e}", path.display()))?;
+        let data =
+            parse_json(&text).map_err(|e| format!("parse sidecar {}: {e}", path.display()))?;
+        let Some(tool) = data.labels.get("tool").cloned() else { continue };
+        // The study tags tool wall-clock under one span name; sidecars
+        // without it (e.g. trace generation) fall back to their longest
+        // recorded span.
+        let wall_ns = data
+            .snapshot
+            .spans
+            .get(TOOL_WALL_SPAN)
+            .map(|s| s.sum_ns)
+            .or_else(|| data.snapshot.spans.values().map(|s| s.sum_ns).max())
+            .unwrap_or(0);
+        let events = ["des.engine.processed", "mfact.replay.events", "workloads.corpus.events"]
+            .iter()
+            .find_map(|k| data.snapshot.counters.get(*k))
+            .copied()
+            .unwrap_or(0);
+        by_tool.entry(tool).or_default().push((wall_ns, events));
+    }
+    if by_tool.is_empty() {
+        return Err(format!("no metric sidecars with a 'tool' label in {}", dir.display()));
+    }
+
+    let mut obj = Vec::new();
+    for (tool, mut runs) in by_tool {
+        runs.sort_unstable();
+        let walls: Vec<u64> = runs.iter().map(|r| r.0).collect();
+        let p50_ns = walls[(walls.len() - 1) / 2];
+        let max_ns = walls.last().copied().unwrap_or(0);
+        let total_wall_ns: u64 = walls.iter().sum();
+        let total_events: u64 = runs.iter().map(|r| r.1).sum();
+        let events_per_sec = if total_wall_ns > 0 {
+            total_events as f64 / (total_wall_ns as f64 / 1e9)
+        } else {
+            0.0
+        };
+        obj.push((
+            tool,
+            Value::Obj(vec![
+                ("wall_p50".into(), Value::Num(p50_ns as f64 / 1e9)),
+                ("wall_max".into(), Value::Num(max_ns as f64 / 1e9)),
+                ("events_per_sec".into(), Value::Num(events_per_sec)),
+                ("runs".into(), Value::UInt(walls.len() as u64)),
+            ]),
+        ));
+    }
+    let json = Value::Obj(obj).to_json();
+    fs::write(BENCH_OBS, &json).map_err(|e| format!("write {BENCH_OBS}: {e}"))?;
+    println!("{json}");
+    eprintln!("wrote {BENCH_OBS}");
+    Ok(())
 }

@@ -1,14 +1,15 @@
-//! `masim-bench`: criterion benchmarks and the `repro` harness that
+//! `masim-bench`: micro-benchmarks and the `repro` harness that
 //! regenerates every table and figure of the paper.
 //!
 //! * `cargo run --release -p masim-bench --bin repro -- all` writes each
-//!   table/figure under `reports/`;
-//! * `cargo bench` runs the criterion suites (tool execution-time
+//!   table/figure under `reports/`; add `--metrics reports/metrics` to
+//!   also write per-trace/per-tool observability sidecars;
+//! * `cargo bench` runs the offline bench suites (tool execution-time
 //!   comparisons, engine micro-benchmarks, and the packet-size /
-//!   classifier ablations).
+//!   classifier ablations) on the dependency-free [`harness`].
 
-/// Representative traces used by the criterion timing benches: small
-/// enough for statistical repetition, spanning the modeling-friendly and
+/// Representative traces used by the timing benches: small enough for
+/// statistical repetition, spanning the modeling-friendly and
 /// simulation-worthy regimes.
 pub fn bench_entries() -> Vec<masim_workloads::CorpusEntry> {
     use masim_trace::Time;
@@ -36,4 +37,100 @@ pub fn bench_entries() -> Vec<masim_workloads::CorpusEntry> {
         mk(App::Ft, 64, 0.5, 1),
         mk(App::Cr, 64, 0.6, 1),
     ]
+}
+
+pub mod harness {
+    //! A minimal benchmark harness for `harness = false` bench targets.
+    //!
+    //! The container has no registry access, so the suites cannot pull a
+    //! benchmarking crate; this gives them the 10% of criterion they
+    //! used: named benchmarks, a substring filter from `cargo bench --
+    //! <filter>`, warm-up plus N timed samples, and a min/mean/max table
+    //! aggregated through [`masim_obs::SpanStats`].
+
+    use masim_obs::SpanStats;
+    use std::time::Instant;
+
+    /// Default timed samples per benchmark.
+    pub const DEFAULT_SAMPLES: u32 = 10;
+
+    /// One bench suite: parses argv, runs matching benchmarks, prints a
+    /// result table as it goes.
+    pub struct Harness {
+        suite: &'static str,
+        filter: Vec<String>,
+        ran: usize,
+    }
+
+    impl Harness {
+        /// Build from `cargo bench` argv: `--`-flags (`--bench`,
+        /// `--exact`, ...) are ignored, any bare word is a substring
+        /// filter; no words means run everything.
+        pub fn new(suite: &'static str) -> Self {
+            let filter: Vec<String> =
+                std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+            println!("suite: {suite}");
+            println!("{:<44} {:>10} {:>10} {:>10}  samples", "benchmark", "min", "mean", "max");
+            Harness { suite, filter, ran: 0 }
+        }
+
+        fn matches(&self, name: &str) -> bool {
+            self.filter.is_empty() || self.filter.iter().any(|f| name.contains(f))
+        }
+
+        /// Run `f` once untimed as warm-up, then `samples` timed
+        /// iterations, and print the aggregate row.
+        pub fn bench<F: FnMut()>(&mut self, name: &str, samples: u32, mut f: F) {
+            if !self.matches(name) {
+                return;
+            }
+            f();
+            let mut stats = SpanStats::default();
+            for _ in 0..samples.max(1) {
+                let t0 = Instant::now();
+                f();
+                stats.record(t0.elapsed().as_nanos() as u64);
+            }
+            println!(
+                "{:<44} {:>10} {:>10} {:>10}  {}",
+                name,
+                fmt_ns(stats.min_ns),
+                fmt_ns(stats.mean_ns()),
+                fmt_ns(stats.max_ns),
+                stats.count
+            );
+            self.ran += 1;
+        }
+
+        /// Print the suite footer.
+        pub fn finish(self) {
+            println!("{}: {} benchmark(s) run", self.suite, self.ran);
+        }
+    }
+
+    /// Human-scale duration: picks ns/us/ms/s by magnitude.
+    pub fn fmt_ns(ns: u64) -> String {
+        if ns >= 1_000_000_000 {
+            format!("{:.3}s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            format!("{:.2}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            format!("{:.1}us", ns as f64 / 1e3)
+        } else {
+            format!("{ns}ns")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fmt_picks_magnitude() {
+            assert_eq!(fmt_ns(12), "12ns");
+            assert_eq!(fmt_ns(1_500), "1.5us");
+            assert_eq!(fmt_ns(2_500_000), "2.50ms");
+            assert_eq!(fmt_ns(3_250_000_000), "3.250s");
+        }
+    }
 }

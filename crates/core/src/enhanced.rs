@@ -9,7 +9,9 @@
 //! MFACT classified the run as *not* communication-sensitive.
 
 use crate::study::Study;
-use masim_stats::{auc, fit, monte_carlo_cv, roc_points, trimmed_mean, Confusion, CvReport, Logistic};
+use masim_stats::{
+    auc, fit, monte_carlo_cv, roc_points, trimmed_mean, Confusion, CvReport, Logistic,
+};
 use masim_trace::features::{FEATURE_NAMES, NUM_FEATURES};
 
 /// DIFFtotal threshold above which a run "requires simulation".
@@ -118,13 +120,9 @@ impl Enhanced {
     pub fn train(data: &Dataset, seed: u64) -> Enhanced {
         assert!(data.len() >= 20, "need a real dataset to train on");
         let cv = monte_carlo_cv(&data.x, &data.y, CV_ROUNDS, TRAIN_FRAC, MAX_VARS, seed);
-        let top_vars: Vec<usize> =
-            cv.ranked_candidates().into_iter().take(MAX_VARS).collect();
-        let sub: Vec<Vec<f64>> = data
-            .x
-            .iter()
-            .map(|r| top_vars.iter().map(|&j| r[j]).collect())
-            .collect();
+        let top_vars: Vec<usize> = cv.ranked_candidates().into_iter().take(MAX_VARS).collect();
+        let sub: Vec<Vec<f64>> =
+            data.x.iter().map(|r| top_vars.iter().map(|&j| r[j]).collect()).collect();
         let final_model = fit(&sub, &data.y).expect("final fit");
         Enhanced { cv, top_vars, final_model }
     }
@@ -209,10 +207,7 @@ mod tests {
         // absolute floor. The full-corpus comparison lives in
         // EXPERIMENTS.md (repro predict).
         if d.len() >= 40 {
-            assert!(
-                enhanced >= naive - 0.02,
-                "enhanced {enhanced} should not trail naive {naive}"
-            );
+            assert!(enhanced >= naive - 0.02, "enhanced {enhanced} should not trail naive {naive}");
         }
         assert!(enhanced > 0.6, "success rate {enhanced}");
     }
@@ -238,12 +233,7 @@ mod tests {
     fn recommend_is_consistent_with_final_model() {
         let d = dataset();
         let e = Enhanced::train(&d, 17);
-        let agree = d
-            .x
-            .iter()
-            .zip(&d.y)
-            .filter(|(x, &y)| e.recommend(x) == y)
-            .count();
+        let agree = d.x.iter().zip(&d.y).filter(|(x, &y)| e.recommend(x) == y).count();
         // In-sample agreement should at least match CV accuracy.
         assert!(agree as f64 / d.len() as f64 > 0.7);
     }

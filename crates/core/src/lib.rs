@@ -17,7 +17,10 @@ pub mod report;
 pub mod study;
 
 pub use enhanced::{Dataset, Enhanced, ErrorRates, DIFF_THRESHOLD};
-pub use study::{fraction_within, run_one, Study, StudyConfig, ToolRun, TraceStudy};
+pub use study::{
+    fraction_within, run_one, run_one_observed, ObservedTrace, Study, StudyConfig, ToolRun,
+    TraceStudy, TOOL_WALL_SPAN,
+};
 
 #[cfg(test)]
 pub(crate) mod testutil {

@@ -6,11 +6,18 @@
 //! `reports/`; EXPERIMENTS.md records paper-vs-measured values.
 
 use crate::enhanced::{Dataset, Enhanced};
-use crate::study::{fraction_within, run_one, Study, StudyConfig, ToolRun, TraceStudy};
+use crate::study::{fraction_within, run_one_observed, Study, StudyConfig, ToolRun, TraceStudy};
 use masim_mfact::AppClass;
-use masim_workloads::{App, CorpusEntry, GenConfig, RANK_BUCKETS};
+use masim_obs::RunMetrics;
 use masim_trace::Time;
+use masim_workloads::{App, CorpusEntry, GenConfig, RANK_BUCKETS};
 use std::fmt::Write as _;
+
+/// A report column: display name plus accessor for one simulator's run.
+type SimColumn = (&'static str, fn(&TraceStudy) -> &ToolRun);
+
+/// A Figure 5 grouping: display name plus class predicate.
+type ClassGroup = (&'static str, fn(AppClass) -> bool);
 
 /// Table I: corpus characteristics (rank and communication-time
 /// histograms), computed from the *generated* traces, not the plan.
@@ -33,15 +40,18 @@ pub fn table1(study: &Study) -> String {
     let _ = writeln!(out, "  {:>10}  {:>4}", "Total", study.traces.len());
 
     let _ = writeln!(out, "Table I(b): communication time (%)");
-    let edges = [(0.0, 5.0, "<=5"), (5.0, 10.0, "5-10"), (10.0, 20.0, "10-20"),
-        (20.0, 40.0, "20-40"), (40.0, 60.0, "40-60"), (60.0, 100.0, ">60")];
+    let edges = [
+        (0.0, 5.0, "<=5"),
+        (5.0, 10.0, "5-10"),
+        (10.0, 20.0, "10-20"),
+        (20.0, 40.0, "20-40"),
+        (40.0, 60.0, "40-60"),
+        (60.0, 100.0, ">60"),
+    ];
     let mut comm_hist = [0usize; 6];
     for t in &study.traces {
         let pct = t.features.po_c;
-        let b = edges
-            .iter()
-            .position(|&(lo, hi, _)| pct > lo && pct <= hi)
-            .unwrap_or(0);
+        let b = edges.iter().position(|&(lo, hi, _)| pct > lo && pct <= hi).unwrap_or(0);
         comm_hist[b] += 1;
     }
     for (i, &(_, _, label)) in edges.iter().enumerate() {
@@ -84,8 +94,8 @@ pub fn fig1(study: &Study) -> String {
     let _ = writeln!(out, "  {:<12} {:>6} {:>6} {:>6} {:>6}", "tool", "1st", "2nd", "3rd", "4th");
     for tool in 0..4 {
         let _ = write!(out, "  {:<12}", names[tool]);
-        for place in 0..4 {
-            let frac = place_counts[tool][place] as f64 / subset.len().max(1) as f64;
+        for &count in &place_counts[tool] {
+            let frac = count as f64 / subset.len().max(1) as f64;
             let _ = write!(out, " {:>5.0}%", frac * 100.0);
         }
         let _ = writeln!(out);
@@ -93,8 +103,12 @@ pub fn fig1(study: &Study) -> String {
 
     // Figure 1 buckets.
     let _ = writeln!(out, "Figure 1: simulation time as a multiple of MFACT's time");
-    let _ = writeln!(out, "  {:<12} {:>7} {:>8} {:>9} {:>8}", "model", "<=10x", "<=100x", "<=1000x", ">1000x");
-    let sims: [(&str, fn(&TraceStudy) -> &ToolRun); 3] =
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>7} {:>8} {:>9} {:>8}",
+        "model", "<=10x", "<=100x", "<=1000x", ">1000x"
+    );
+    let sims: [SimColumn; 3] =
         [("packet", |t| &t.packet), ("flow", |t| &t.flow), ("packet-flow", |t| &t.pflow)];
     for (name, get) in sims {
         let ratios: Vec<f64> = subset.iter().filter_map(|t| t.time_ratio(get(t))).collect();
@@ -144,6 +158,16 @@ pub fn table2_entries(seed: u64) -> Vec<CorpusEntry> {
 
 /// Table II: wall-clock seconds of each tool on the three named runs.
 pub fn table2(seed: u64) -> String {
+    table2_observed(&table2_entries(seed), seed).0
+}
+
+/// [`table2`] over caller-supplied entries, also returning each run's
+/// per-tool metric sidecars tagged with a stable `app<ranks>` stem so
+/// `repro --metrics` can write them to disk.
+pub fn table2_observed(
+    entries: &[CorpusEntry],
+    seed: u64,
+) -> (String, Vec<(String, Vec<RunMetrics>)>) {
     let cfg = StudyConfig { seed, ..StudyConfig::default() };
     let mut out = String::new();
     let _ = writeln!(
@@ -151,14 +175,16 @@ pub fn table2(seed: u64) -> String {
         "Table II: execution time in seconds (this host)\n  {:<14} {:>10} {:>10} {:>10} {:>10}",
         "app", "Pkt", "Flow", "Pkt-flow", "MFACT"
     );
-    for e in table2_entries(seed) {
+    let mut sidecars = Vec::new();
+    for e in entries {
         let big = StudyConfig {
             packet_budget: u64::MAX,
             flow_budget: u64::MAX,
             pflow_budget: u64::MAX,
             ..cfg.clone()
         };
-        let t = run_one(&e, &big);
+        let obs = run_one_observed(e, &big);
+        let t = &obs.study;
         let _ = writeln!(
             out,
             "  {:<14} {:>10.3} {:>10.3} {:>10.3} {:>10.4}",
@@ -168,8 +194,9 @@ pub fn table2(seed: u64) -> String {
             t.pflow.wall.as_secs_f64(),
             t.mfact.wall.as_secs_f64(),
         );
+        sidecars.push((format!("{}{}", e.cfg.app.name(), e.cfg.ranks), obs.sidecars));
     }
-    out
+    (out, sidecars)
 }
 
 /// Figure 2: CDFs of the relative difference between each simulator and
@@ -177,7 +204,7 @@ pub fn table2(seed: u64) -> String {
 pub fn fig2(study: &Study) -> String {
     let mut out = String::new();
     let thresholds = [0.01, 0.02, 0.05, 0.10, 0.20, 0.40];
-    let sims: [(&str, fn(&TraceStudy) -> &ToolRun); 3] =
+    let sims: [SimColumn; 3] =
         [("packet", |t| &t.packet), ("flow", |t| &t.flow), ("packet-flow", |t| &t.pflow)];
 
     for (title, comm) in [("(a) communication time", true), ("(b) total time", false)] {
@@ -222,20 +249,14 @@ fn per_app_report(study: &Study, nas: bool) -> String {
     let mut sst_norm_all = Vec::new();
     let mut mfact_norm_all = Vec::new();
     for app in apps {
-        let traces: Vec<&TraceStudy> = study
-            .traces
-            .iter()
-            .filter(|t| t.entry.cfg.app == app && t.pflow.completed())
-            .collect();
+        let traces: Vec<&TraceStudy> =
+            study.traces.iter().filter(|t| t.entry.cfg.app == app && t.pflow.completed()).collect();
         if traces.is_empty() {
             continue;
         }
-        let max_comm = traces
-            .iter()
-            .filter_map(|t| t.diff_comm(&t.pflow).map(f64::abs))
-            .fold(0.0, f64::max);
-        let max_total =
-            traces.iter().filter_map(|t| t.diff_total(&t.pflow)).fold(0.0, f64::max);
+        let max_comm =
+            traces.iter().filter_map(|t| t.diff_comm(&t.pflow).map(f64::abs)).fold(0.0, f64::max);
+        let max_total = traces.iter().filter_map(|t| t.diff_total(&t.pflow)).fold(0.0, f64::max);
         let sst_norm: Vec<f64> = traces
             .iter()
             .map(|t| t.pflow.total.unwrap().as_secs_f64() / t.measured_total.as_secs_f64())
@@ -284,7 +305,7 @@ pub fn fig5(study: &Study) -> String {
     // latency-sensitive applications; our latency-bound runs are
     // wait/latency-dominated and bandwidth-insensitive, so they fall on
     // the "ncs" side with the load-imbalanced group.
-    let groups: [(&str, fn(AppClass) -> bool); 3] = [
+    let groups: [ClassGroup; 3] = [
         ("computation-bound", |c| c == AppClass::ComputationBound),
         ("load-imbalance-bound", |c| {
             matches!(c, AppClass::LoadImbalanceBound | AppClass::LatencyBound)
@@ -340,14 +361,7 @@ pub fn table4(enhanced: &Enhanced) -> String {
         "rank", "variable", "%selected", "coefficient"
     );
     for (i, (name, rate, coef)) in enhanced.table_iv().iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "  {:<6} {:<10} {:>9.0}% {:>14.3e}",
-            i + 1,
-            name,
-            rate * 100.0,
-            coef
-        );
+        let _ = writeln!(out, "  {:<6} {:<10} {:>9.0}% {:>14.3e}", i + 1, name, rate * 100.0, coef);
     }
     out
 }
@@ -363,11 +377,22 @@ pub fn predict_results(data: &Dataset, enhanced: &Enhanced) -> String {
         "  requires simulation (DIFFtotal > 2%): {}",
         data.y.iter().filter(|&&b| b).count()
     );
-    let _ = writeln!(out, "  naive (CL-only) success rate:    {:>6.1}%", data.naive_accuracy() * 100.0);
-    let _ = writeln!(out, "  enhanced MFACT success rate:     {:>6.1}%", enhanced.success_rate() * 100.0);
-    let _ = writeln!(out, "  trimmed misclassification rate:  {:>6.1}%", rates.misclassification * 100.0);
-    let _ = writeln!(out, "  trimmed false-negative rate:     {:>6.1}%", rates.false_negative * 100.0);
-    let _ = writeln!(out, "  trimmed false-positive rate:     {:>6.1}%", rates.false_positive * 100.0);
+    let _ =
+        writeln!(out, "  naive (CL-only) success rate:    {:>6.1}%", data.naive_accuracy() * 100.0);
+    let _ = writeln!(
+        out,
+        "  enhanced MFACT success rate:     {:>6.1}%",
+        enhanced.success_rate() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  trimmed misclassification rate:  {:>6.1}%",
+        rates.misclassification * 100.0
+    );
+    let _ =
+        writeln!(out, "  trimmed false-negative rate:     {:>6.1}%", rates.false_negative * 100.0);
+    let _ =
+        writeln!(out, "  trimmed false-positive rate:     {:>6.1}%", rates.false_positive * 100.0);
     let (_, auc) = enhanced.roc(data);
     let _ = writeln!(out, "  final-model in-sample ROC AUC:   {auc:>7.3}");
     out
@@ -437,6 +462,47 @@ pub fn class_census(study: &Study) -> String {
     )
 }
 
+/// Per-trace CSV dump of the full study (one row per trace), for
+/// external plotting and analysis. Columns are self-describing; times
+/// are seconds, wall-clock times are host seconds, DIFFs are fractions.
+pub fn study_csv(study: &Study) -> String {
+    let mut out = String::from(
+        "app,ranks,machine,comm_bucket,rank_bucket,comm_fraction,class,comm_sensitive,\
+         measured_total_s,mfact_total_s,packet_total_s,flow_total_s,pflow_total_s,\
+         mfact_wall_s,packet_wall_s,flow_wall_s,pflow_wall_s,\
+         diff_total_pflow,diff_comm_pflow,events\n",
+    );
+    let opt = |v: Option<Time>| v.map(|t| t.as_secs_f64().to_string()).unwrap_or_default();
+    let optf = |v: Option<f64>| v.map(|x| x.to_string()).unwrap_or_default();
+    for t in &study.traces {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            t.entry.cfg.app,
+            t.entry.cfg.ranks,
+            t.entry.cfg.machine,
+            t.entry.comm_bucket,
+            t.entry.rank_bucket,
+            t.entry.cfg.comm_fraction,
+            t.classification.class,
+            t.classification.is_comm_sensitive(),
+            t.measured_total.as_secs_f64(),
+            opt(t.mfact.total),
+            opt(t.packet.total),
+            opt(t.flow.total),
+            opt(t.pflow.total),
+            t.mfact.wall.as_secs_f64(),
+            t.packet.wall.as_secs_f64(),
+            t.flow.wall.as_secs_f64(),
+            t.pflow.wall.as_secs_f64(),
+            optf(t.diff_total_pflow()),
+            optf(t.diff_comm(&t.pflow)),
+            t.events,
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,7 +515,9 @@ mod tests {
     #[test]
     fn reports_render() {
         let s = small_study();
-        for text in [table1(s), fig1(s), fig2(s), fig3(s), fig4(s), fig5(s), table3(), class_census(s)] {
+        for text in
+            [table1(s), fig1(s), fig2(s), fig3(s), fig4(s), fig5(s), table3(), class_census(s)]
+        {
             assert!(!text.is_empty());
             assert!(!text.contains("NaN"), "{text}");
         }
@@ -535,45 +603,4 @@ mod tests {
             assert!(t.contains(name), "missing {name}");
         }
     }
-}
-
-/// Per-trace CSV dump of the full study (one row per trace), for
-/// external plotting and analysis. Columns are self-describing; times
-/// are seconds, wall-clock times are host seconds, DIFFs are fractions.
-pub fn study_csv(study: &Study) -> String {
-    let mut out = String::from(
-        "app,ranks,machine,comm_bucket,rank_bucket,comm_fraction,class,comm_sensitive,\
-         measured_total_s,mfact_total_s,packet_total_s,flow_total_s,pflow_total_s,\
-         mfact_wall_s,packet_wall_s,flow_wall_s,pflow_wall_s,\
-         diff_total_pflow,diff_comm_pflow,events\n",
-    );
-    let opt = |v: Option<Time>| v.map(|t| t.as_secs_f64().to_string()).unwrap_or_default();
-    let optf = |v: Option<f64>| v.map(|x| x.to_string()).unwrap_or_default();
-    for t in &study.traces {
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            t.entry.cfg.app,
-            t.entry.cfg.ranks,
-            t.entry.cfg.machine,
-            t.entry.comm_bucket,
-            t.entry.rank_bucket,
-            t.entry.cfg.comm_fraction,
-            t.classification.class,
-            t.classification.is_comm_sensitive(),
-            t.measured_total.as_secs_f64(),
-            opt(t.mfact.total),
-            opt(t.packet.total),
-            opt(t.flow.total),
-            opt(t.pflow.total),
-            t.mfact.wall.as_secs_f64(),
-            t.packet.wall.as_secs_f64(),
-            t.flow.wall.as_secs_f64(),
-            t.pflow.wall.as_secs_f64(),
-            optf(t.diff_total_pflow()),
-            optf(t.diff_comm(&t.pflow)),
-            t.events,
-        );
-    }
-    out
 }

@@ -5,6 +5,7 @@
 //! tiebreak makes runs bit-reproducible — two events at the same instant
 //! always execute in schedule order.
 
+use masim_obs::MetricSet;
 use masim_trace::Time;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -43,12 +44,19 @@ impl<S> Ord for Scheduled<S> {
 }
 
 /// A sequential discrete-event simulator over state `S`.
+///
+/// The engine keeps its own plain-integer telemetry (scheduled /
+/// processed / cancelled counts, pending-set high-water mark) so the hot
+/// loop never touches an atomic; [`Engine::export_metrics`] copies them
+/// into a [`MetricSet`] under `des.engine.*` after the run.
 pub struct Engine<S> {
     now: Time,
     seq: u64,
     queue: BinaryHeap<Scheduled<S>>,
     cancelled: HashSet<u64>,
     processed: u64,
+    cancelled_total: u64,
+    max_pending: usize,
 }
 
 impl<S> Default for Engine<S> {
@@ -66,6 +74,8 @@ impl<S> Engine<S> {
             queue: BinaryHeap::new(),
             cancelled: HashSet::new(),
             processed: 0,
+            cancelled_total: 0,
+            max_pending: 0,
         }
     }
 
@@ -87,6 +97,32 @@ impl<S> Engine<S> {
         self.queue.len() - self.cancelled.len()
     }
 
+    /// Total events ever scheduled (== next sequence number).
+    #[inline]
+    pub fn scheduled(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events cancelled before execution.
+    #[inline]
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled_total
+    }
+
+    /// Largest pending-set size observed so far.
+    #[inline]
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
+    }
+
+    /// Copy the engine's counters into `ms` under `des.engine.*`.
+    pub fn export_metrics(&self, ms: &MetricSet) {
+        ms.add("des.engine.scheduled", self.seq);
+        ms.add("des.engine.processed", self.processed);
+        ms.add("des.engine.cancelled", self.cancelled_total);
+        ms.gauge_max("des.engine.pending_hwm", self.max_pending as u64);
+    }
+
     /// Schedule `action` at absolute time `at`.
     ///
     /// Panics if `at` is in the past — scheduling backwards in time is
@@ -96,6 +132,12 @@ impl<S> Engine<S> {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Scheduled { at, seq, action });
+        // Saturate: cancelling an already-executed event leaves a stale
+        // entry in `cancelled` that no queue element backs.
+        let live = self.queue.len().saturating_sub(self.cancelled.len());
+        if live > self.max_pending {
+            self.max_pending = live;
+        }
         EventId(seq)
     }
 
@@ -109,7 +151,9 @@ impl<S> Engine<S> {
     /// already-cancelled) event is a no-op, matching the needs of
     /// reschedule-on-update patterns like the flow model's.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        if self.cancelled.insert(id.0) {
+            self.cancelled_total += 1;
+        }
     }
 
     /// Execute one event; returns false when the queue is empty.

@@ -13,6 +13,7 @@
 //! source sequence) before delivery, so the execution is bit-identical
 //! to the sequential merge of the same model regardless of thread count.
 
+use masim_obs::MetricSet;
 use masim_trace::Time;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -31,6 +32,10 @@ pub trait LogicalProcess: Send {
 
 type Queued<E> = Reverse<(Time, u64, usize, E)>;
 
+/// Cross-LP messages a worker emits within one window: (deliver-at,
+/// destination LP, sending LP, event).
+type Outbox<E> = Vec<(Time, usize, usize, E)>;
+
 /// The window-synchronized executor.
 pub struct WindowedPdes<P: LogicalProcess>
 where
@@ -43,6 +48,9 @@ where
     seq: u64,
     processed: u64,
     threads: usize,
+    windows: u64,
+    window_events_max: u64,
+    crossings: u64,
 }
 
 impl<P: LogicalProcess> WindowedPdes<P>
@@ -64,6 +72,9 @@ where
             seq: 0,
             processed: 0,
             threads: threads.max(1),
+            windows: 0,
+            window_events_max: 0,
+            crossings: 0,
         }
     }
 
@@ -85,6 +96,19 @@ where
         self.processed
     }
 
+    /// Windows executed so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Copy per-run PDES statistics into `ms` under `des.pdes.*`.
+    pub fn export_metrics(&self, ms: &MetricSet) {
+        ms.add("des.pdes.windows", self.windows);
+        ms.add("des.pdes.processed", self.processed);
+        ms.add("des.pdes.crossings", self.crossings);
+        ms.gauge_max("des.pdes.window_events_max", self.window_events_max);
+    }
+
     /// Borrow the LPs back after a run.
     pub fn into_lps(self) -> Vec<P> {
         self.lps
@@ -94,11 +118,7 @@ where
     pub fn run(&mut self) {
         loop {
             // Global next-event time.
-            let next = self
-                .queues
-                .iter()
-                .filter_map(|q| q.peek().map(|Reverse((t, ..))| *t))
-                .min();
+            let next = self.queues.iter().filter_map(|q| q.peek().map(|Reverse((t, ..))| *t)).min();
             let Some(next) = next else { break };
             self.now = next;
             let horizon = next.checked_add(self.lookahead).expect("time overflow");
@@ -116,18 +136,18 @@ where
         // Each worker drains its LPs' queues up to the horizon. Local
         // (self-directed) messages inside the window are processed in the
         // same pass; cross-LP messages are collected for the barrier.
-        let mut outboxes: Vec<Vec<(Time, usize, usize, P::Event)>> = Vec::new();
+        let mut outboxes: Vec<Outbox<P::Event>> = Vec::new();
         let mut counts: Vec<u64> = Vec::new();
         let lps = &mut self.lps;
         let queues = &mut self.queues;
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (chunk_idx, (lp_chunk, q_chunk)) in
                 lps.chunks_mut(chunk).zip(queues.chunks_mut(chunk)).enumerate()
             {
                 let base = chunk_idx * chunk;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
                     let mut processed = 0u64;
                     for (i, (lp, q)) in lp_chunk.iter_mut().zip(q_chunk.iter_mut()).enumerate() {
@@ -161,16 +181,20 @@ where
                 outboxes.push(out);
                 counts.push(c);
             }
-        })
-        .expect("PDES scope panicked");
+        });
 
-        self.processed += counts.iter().sum::<u64>();
+        let window_events: u64 = counts.iter().sum();
+        self.processed += window_events;
+        self.windows += 1;
+        if window_events > self.window_events_max {
+            self.window_events_max = window_events;
+        }
 
         // Deterministic delivery: sort by (arrival, src, insertion order
         // within src), then assign fresh sequence numbers.
-        let mut all: Vec<(Time, usize, usize, P::Event)> =
-            outboxes.into_iter().flatten().collect();
+        let mut all: Vec<(Time, usize, usize, P::Event)> = outboxes.into_iter().flatten().collect();
         all.sort_by_key(|a| (a.0, a.1));
+        self.crossings += all.len() as u64;
         for (at, _src, dst, ev) in all {
             let seq = self.seq;
             self.seq += 1;

@@ -72,10 +72,7 @@ fn menu(net: NetworkConfig) -> Vec<(String, ModelConfig)> {
         ("1/4 latency".into(), ModelConfig::base(net.scaled(1.0, 0.25))),
         ("2x compute".into(), ModelConfig { net, compute_scale: 0.5 }),
         ("4x compute".into(), ModelConfig { net, compute_scale: 0.25 }),
-        (
-            "2x everything".into(),
-            ModelConfig { net: net.scaled(2.0, 0.5), compute_scale: 0.5 },
-        ),
+        ("2x everything".into(), ModelConfig { net: net.scaled(2.0, 0.5), compute_scale: 0.5 }),
     ]
 }
 
@@ -107,12 +104,7 @@ pub fn advise(trace: &Trace, net: NetworkConfig) -> Advice {
         c.computation.as_secs_f64() / total,
     );
 
-    Advice {
-        class: classify(trace, net).class,
-        base_total: base,
-        options,
-        time_shares: shares,
-    }
+    Advice { class: classify(trace, net).class, base_total: base, options, time_shares: shares }
 }
 
 #[cfg(test)]

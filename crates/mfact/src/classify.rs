@@ -114,13 +114,7 @@ pub fn classify(trace: &Trace, net: NetworkConfig) -> Classification {
 
     let c = res[0].counters;
     let class = decide(bw_sensitivity, lat_sensitivity, c);
-    Classification {
-        class,
-        bw_sensitivity,
-        lat_sensitivity,
-        baseline: c,
-        base_total: base,
-    }
+    Classification { class, bw_sensitivity, lat_sensitivity, baseline: c, base_total: base }
 }
 
 /// The decision rule, separated out for direct unit testing.
@@ -207,7 +201,7 @@ mod tests {
     #[test]
     fn imbalanced_low_comm_app_classifies_load_imbalance() {
         let mut cfg = GenConfig::test_default(App::Cmc, 16);
-        cfg.comm_fraction = 0.25;
+        cfg.comm_fraction = 0.08;
         cfg.imbalance = 0.9;
         cfg.iters = 10;
         let t = generate(&cfg);
@@ -242,8 +236,7 @@ mod tests {
             AppClass::LatencyBound,
             AppClass::CommunicationBound,
         ];
-        let labels: std::collections::HashSet<&str> =
-            classes.iter().map(|c| c.label()).collect();
+        let labels: std::collections::HashSet<&str> = classes.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), classes.len());
     }
 }

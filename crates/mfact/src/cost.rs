@@ -69,10 +69,7 @@ pub fn collective(net: &NetworkConfig, kind: CollKind, bytes: u64, world: u32) -
             if bytes <= LONG_MSG_SWITCH {
                 CommCost { latency: alpha * logp, bandwidth: xfer(bytes) * logp }
             } else {
-                CommCost {
-                    latency: alpha * (2 * logp),
-                    bandwidth: xfer(2 * bytes * (p - 1) / p),
-                }
+                CommCost { latency: alpha * (2 * logp), bandwidth: xfer(2 * bytes * (p - 1) / p) }
             }
         }
         // Recursive doubling (short) / Rabenseifner (long).
@@ -80,47 +77,30 @@ pub fn collective(net: &NetworkConfig, kind: CollKind, bytes: u64, world: u32) -
             if bytes <= LONG_MSG_SWITCH {
                 CommCost { latency: alpha * logp, bandwidth: xfer(bytes) * logp }
             } else {
-                CommCost {
-                    latency: alpha * (2 * logp),
-                    bandwidth: xfer(2 * bytes * (p - 1) / p),
-                }
+                CommCost { latency: alpha * (2 * logp), bandwidth: xfer(2 * bytes * (p - 1) / p) }
             }
         }
         // Binomial gather/scatter: log rounds, root moves (p-1)·m bytes.
-        CollKind::Gather | CollKind::Scatter => CommCost {
-            latency: alpha * logp,
-            bandwidth: xfer(bytes * (p - 1)),
-        },
+        CollKind::Gather | CollKind::Scatter => {
+            CommCost { latency: alpha * logp, bandwidth: xfer(bytes * (p - 1)) }
+        }
         // Recursive-doubling allgather: log rounds, (p-1)·m bytes in.
-        CollKind::Allgather => CommCost {
-            latency: alpha * logp,
-            bandwidth: xfer(bytes * (p - 1)),
-        },
+        CollKind::Allgather => CommCost { latency: alpha * logp, bandwidth: xfer(bytes * (p - 1)) },
         // Pairwise-exchange reduce-scatter.
-        CollKind::ReduceScatter => CommCost {
-            latency: alpha * logp,
-            bandwidth: xfer(bytes * (p - 1) / p),
-        },
+        CollKind::ReduceScatter => {
+            CommCost { latency: alpha * logp, bandwidth: xfer(bytes * (p - 1) / p) }
+        }
         // Bruck (short): log rounds moving p·m/2 each; pairwise (long):
         // p-1 rounds of m each.
         CollKind::Alltoall => {
             if bytes <= A2A_BRUCK_SWITCH {
-                CommCost {
-                    latency: alpha * logp,
-                    bandwidth: xfer(bytes * p / 2) * logp,
-                }
+                CommCost { latency: alpha * logp, bandwidth: xfer(bytes * p / 2) * logp }
             } else {
-                CommCost {
-                    latency: alpha * (p - 1),
-                    bandwidth: xfer(bytes * (p - 1)),
-                }
+                CommCost { latency: alpha * (p - 1), bandwidth: xfer(bytes * (p - 1)) }
             }
         }
         // Alltoallv: pairwise over the rank's total send volume.
-        CollKind::Alltoallv => CommCost {
-            latency: alpha * (p - 1),
-            bandwidth: xfer(bytes),
-        },
+        CollKind::Alltoallv => CommCost { latency: alpha * (p - 1), bandwidth: xfer(bytes) },
     }
 }
 

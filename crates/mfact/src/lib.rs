@@ -53,4 +53,4 @@ pub mod replay;
 pub use advisor::{advise, Advice, WhatIf};
 pub use classify::{classify, AppClass, Classification, SENSITIVITY_THRESHOLD};
 pub use cost::{collective, p2p, CommCost};
-pub use replay::{replay, ConfigResult, Counters, ModelConfig};
+pub use replay::{replay, replay_observed, ConfigResult, Counters, ModelConfig};

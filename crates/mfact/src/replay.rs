@@ -11,6 +11,7 @@
 //! slowdowns drives the classifier in [`crate::classify`].
 
 use crate::cost::{collective, p2p};
+use masim_obs::MetricSet;
 use masim_topo::NetworkConfig;
 use masim_trace::{EventKind, Time, Trace};
 use std::collections::{HashMap, VecDeque};
@@ -105,7 +106,6 @@ struct Channel {
     /// `req == u32::MAX` marks a blocking receive (no request object).
     waiting: VecDeque<(u32, u32)>,
 }
-
 
 struct CollGroup {
     arrived: u32,
@@ -270,30 +270,28 @@ pub fn replay(trace: &Trace, configs: &[ModelConfig]) -> Vec<ConfigResult> {
                     reqs[r as usize]
                         .insert(req.0, ReqState::Recv(PendingRecv { avail, channel: key }));
                 }
-                EventKind::Wait { req } => {
-                    match reqs[r as usize].get(&req.0) {
-                        Some(ReqState::SendDone) => {
+                EventKind::Wait { req } => match reqs[r as usize].get(&req.0) {
+                    Some(ReqState::SendDone) => {
+                        reqs[r as usize].remove(&req.0);
+                    }
+                    Some(ReqState::Recv(p)) => match &p.avail {
+                        Some(avail) => {
+                            for i in 0..k {
+                                let a = avail[i];
+                                if a > clocks[base + i] {
+                                    counters[i].wait += a - clocks[base + i];
+                                    clocks[base + i] = a;
+                                }
+                            }
                             reqs[r as usize].remove(&req.0);
                         }
-                        Some(ReqState::Recv(p)) => match &p.avail {
-                            Some(avail) => {
-                                for i in 0..k {
-                                    let a = avail[i];
-                                    if a > clocks[base + i] {
-                                        counters[i].wait += a - clocks[base + i];
-                                        clocks[base + i] = a;
-                                    }
-                                }
-                                reqs[r as usize].remove(&req.0);
-                            }
-                            None => {
-                                blocked = Some(Block::Channel);
-                                break 'advance;
-                            }
-                        },
-                        None => panic!("rank {r} waits on unknown request {}", req.0),
-                    }
-                }
+                        None => {
+                            blocked = Some(Block::Channel);
+                            break 'advance;
+                        }
+                    },
+                    None => panic!("rank {r} waits on unknown request {}", req.0),
+                },
                 EventKind::WaitAll { reqs: ids } => {
                     // All receive requests must have matched sends.
                     for id in ids {
@@ -334,9 +332,7 @@ pub fn replay(trace: &Trace, configs: &[ModelConfig]) -> Vec<ConfigResult> {
                     });
                     group.arrived += 1;
                     group.bytes[r as usize] = *bytes;
-                    for i in 0..k {
-                        group.arrivals[base + i] = clocks[base + i];
-                    }
+                    group.arrivals[base..base + k].copy_from_slice(&clocks[base..base + k]);
                     if group.arrived == n as u32 {
                         // Everyone is here: complete the collective.
                         let group = coll_groups[ord].take().expect("group exists");
@@ -397,12 +393,41 @@ pub fn replay(trace: &Trace, configs: &[ModelConfig]) -> Vec<ConfigResult> {
         .map(|(i, cfg)| {
             let per_rank: Vec<Time> = (0..n).map(|r| clocks[r * k + i]).collect();
             let total = per_rank.iter().copied().max().unwrap_or(Time::ZERO);
-            let comm_time = (0..n)
-                .map(|r| clocks[r * k + i].saturating_sub(comp[r * k + i]))
-                .sum();
+            let comm_time = (0..n).map(|r| clocks[r * k + i].saturating_sub(comp[r * k + i])).sum();
             ConfigResult { config: *cfg, total, per_rank, comm_time, counters: counters[i] }
         })
         .collect()
+}
+
+/// Instrumented wrapper around [`replay`]: bit-identical results, plus
+/// `mfact.replay.*` telemetry on `ms` — events replayed, configurations
+/// swept, a wall-clock span, and a log₂-bucketed histogram of per-rank
+/// logical-clock advance under the first (baseline) configuration.
+pub fn replay_observed(
+    trace: &Trace,
+    configs: &[ModelConfig],
+    ms: &MetricSet,
+) -> Vec<ConfigResult> {
+    let span = ms.span("mfact.replay.replay");
+    let results = replay(trace, configs);
+    span.stop();
+    ms.add("mfact.replay.events", trace.num_events() as u64);
+    ms.add("mfact.replay.configs", configs.len() as u64);
+    if let Some(base) = results.first() {
+        for &t in &base.per_rank {
+            ms.add(&clock_advance_bucket(t), 1);
+        }
+    }
+    results
+}
+
+/// Histogram bucket name for a final per-rank logical clock: buckets are
+/// powers of two in nanoseconds (`b00` = under 1 ns, `b63` ≈ 292 years),
+/// so a sweep's counter names form a stable, mergeable histogram.
+fn clock_advance_bucket(t: Time) -> String {
+    let ns = t.as_ps() / Time::PS_PER_NS;
+    let exp = if ns == 0 { 0 } else { 64 - ns.leading_zeros() };
+    format!("mfact.replay.clock_advance_log2ns.b{exp:02}")
 }
 
 /// Deliver a send's availability vector: hand it to the oldest waiting
@@ -494,10 +519,8 @@ mod tests {
     #[test]
     fn faster_bandwidth_reduces_total() {
         let t = send_recv_trace();
-        let res = replay(
-            &t,
-            &[ModelConfig::base(net()), ModelConfig::base(net().scaled(8.0, 1.0))],
-        );
+        let res =
+            replay(&t, &[ModelConfig::base(net()), ModelConfig::base(net().scaled(8.0, 1.0))]);
         assert!(res[1].total < res[0].total);
         // Latency term unchanged.
         assert_eq!(res[0].counters.latency, res[1].counters.latency);
@@ -508,10 +531,7 @@ mod tests {
         let t = send_recv_trace();
         let res = replay(
             &t,
-            &[
-                ModelConfig::base(net()),
-                ModelConfig { net: net(), compute_scale: 0.125 },
-            ],
+            &[ModelConfig::base(net()), ModelConfig { net: net(), compute_scale: 0.125 }],
         );
         assert!(res[1].total < res[0].total);
         assert_eq!(res[1].counters.computation, res[0].counters.computation.scale(0.125));
@@ -609,18 +629,54 @@ mod tests {
     }
 
     #[test]
+    fn observed_replay_is_bit_identical_and_counts() {
+        let t = send_recv_trace();
+        let cfgs = ModelConfig::standard_sweep(net());
+        let plain = replay(&t, &cfgs);
+        let ms = MetricSet::new();
+        let observed = replay_observed(&t, &cfgs, &ms);
+        for (p, o) in plain.iter().zip(&observed) {
+            assert_eq!(p.total, o.total);
+            assert_eq!(p.per_rank, o.per_rank);
+            assert_eq!(p.counters, o.counters);
+        }
+        let snap = ms.snapshot();
+        assert_eq!(snap.counters["mfact.replay.events"], t.num_events() as u64);
+        assert_eq!(snap.counters["mfact.replay.configs"], cfgs.len() as u64);
+        // One histogram entry per rank of the baseline config.
+        let hist: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("mfact.replay.clock_advance_log2ns."))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(hist, t.num_ranks() as u64);
+        assert_eq!(snap.spans["mfact.replay.replay"].count, 1);
+    }
+
+    #[test]
+    fn clock_advance_buckets_are_log2() {
+        assert_eq!(clock_advance_bucket(Time::ZERO), "mfact.replay.clock_advance_log2ns.b00");
+        assert_eq!(clock_advance_bucket(Time::from_ns(1)), "mfact.replay.clock_advance_log2ns.b01");
+        assert_eq!(
+            clock_advance_bucket(Time::from_ns(1024)),
+            "mfact.replay.clock_advance_log2ns.b11"
+        );
+        assert_eq!(
+            clock_advance_bucket(Time::from_ns(1025)),
+            "mfact.replay.clock_advance_log2ns.b11"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "deadlock")]
     fn deadlock_detected() {
         let mut t = Trace::empty(meta(2));
         // Both ranks blocking-recv first: classic deadlock.
-        t.events[0] = vec![Event::new(
-            EventKind::Recv { peer: Rank(1), bytes: 8, tag: 0 },
-            Time::ZERO,
-        )];
-        t.events[1] = vec![Event::new(
-            EventKind::Recv { peer: Rank(0), bytes: 8, tag: 0 },
-            Time::ZERO,
-        )];
+        t.events[0] =
+            vec![Event::new(EventKind::Recv { peer: Rank(1), bytes: 8, tag: 0 }, Time::ZERO)];
+        t.events[1] =
+            vec![Event::new(EventKind::Recv { peer: Rank(0), bytes: 8, tag: 0 }, Time::ZERO)];
         let _ = replay(&t, &[ModelConfig::base(net())]);
     }
 }

@@ -1,27 +1,28 @@
-//! Property-based tests for the MFACT replay and classifier.
+//! Property-style tests for the MFACT replay and classifier, driven by a
+//! seeded deterministic generator so every run covers the same cases.
 
 use masim_mfact::{classify, replay, ModelConfig};
+use masim_rng::Rng;
 use masim_topo::NetworkConfig;
 use masim_trace::Time;
 use masim_workloads::{generate, App, GenConfig};
-use proptest::prelude::*;
 
-fn arb_app() -> impl Strategy<Value = App> {
-    prop::sample::select(App::ALL.to_vec())
+const CASES: u64 = 24;
+
+fn pick_app(r: &mut Rng) -> App {
+    *r.choose(&App::ALL)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Predicted totals respond monotonically to network quality: slower
-    /// bandwidth or higher latency never speeds an application up, and
-    /// the prediction never drops below the computation floor.
-    #[test]
-    fn replay_is_monotone_in_network_speed(
-        app in arb_app(),
-        f in 0.05f64..0.7,
-        seed in 0u64..50,
-    ) {
+/// Predicted totals respond monotonically to network quality: slower
+/// bandwidth or higher latency never speeds an application up, and
+/// the prediction never drops below the computation floor.
+#[test]
+fn replay_is_monotone_in_network_speed() {
+    let mut r = Rng::seed_from_u64(0x3fac_0001);
+    for _ in 0..CASES {
+        let app = pick_app(&mut r);
+        let f = r.gen_range_f64(0.05, 0.7);
+        let seed = r.gen_range_u64(0, 50);
         let mut cfg = GenConfig::test_default(app, 16);
         cfg.comm_fraction = f;
         cfg.seed = seed;
@@ -35,12 +36,12 @@ proptest! {
                 ModelConfig::base(net.scaled(1.0, 2.0)), // double latency
             ],
         );
-        prop_assert!(res[1].total >= res[0].total, "slower bandwidth sped things up");
-        prop_assert!(res[2].total >= res[0].total, "higher latency sped things up");
+        assert!(res[1].total >= res[0].total, "slower bandwidth sped things up");
+        assert!(res[2].total >= res[0].total, "higher latency sped things up");
         // Computation floor: the slowest rank's compute alone.
         let comp_floor = (0..trace.num_ranks())
-            .map(|r| {
-                trace.events[r as usize]
+            .map(|rr| {
+                trace.events[rr as usize]
                     .iter()
                     .filter(|e| e.kind.is_compute())
                     .map(|e| e.dur)
@@ -48,64 +49,72 @@ proptest! {
             })
             .max()
             .unwrap();
-        prop_assert!(res[0].total >= comp_floor);
+        assert!(res[0].total >= comp_floor);
     }
+}
 
-    /// Counters are internally consistent: non-negative by construction,
-    /// and the predicted total never exceeds computation + communication
-    /// charges + waits for the slowest rank (sanity envelope: the
-    /// aggregate counters bound any single rank's clock).
-    #[test]
-    fn counters_bound_the_prediction(app in arb_app(), seed in 0u64..50) {
+/// Counters are internally consistent: non-negative by construction,
+/// and the predicted total never exceeds computation + communication
+/// charges + waits for the slowest rank (sanity envelope: the
+/// aggregate counters bound any single rank's clock).
+#[test]
+fn counters_bound_the_prediction() {
+    let mut rng = Rng::seed_from_u64(0x3fac_0002);
+    for _ in 0..CASES {
+        let app = pick_app(&mut rng);
+        let seed = rng.gen_range_u64(0, 50);
         let mut cfg = GenConfig::test_default(app, 16);
         cfg.seed = seed;
         let trace = generate(&cfg);
         let net = NetworkConfig::new(24.0, 1_300);
         let r = &replay(&trace, &[ModelConfig::base(net)])[0];
-        let envelope = r.counters.computation
-            + r.counters.latency
-            + r.counters.bandwidth
-            + r.counters.wait;
-        prop_assert!(r.total <= envelope + Time::from_ps(1), "{:?} > {envelope:?}", r.total);
-        prop_assert!(r.comm_time >= Time::ZERO);
+        let envelope =
+            r.counters.computation + r.counters.latency + r.counters.bandwidth + r.counters.wait;
+        assert!(r.total <= envelope + Time::from_ps(1), "{:?} > {envelope:?}", r.total);
+        assert!(r.comm_time >= Time::ZERO);
         // Per-rank clocks are each below the aggregate envelope too.
         for &t in &r.per_rank {
-            prop_assert!(t <= envelope + Time::from_ps(1));
+            assert!(t <= envelope + Time::from_ps(1));
         }
     }
+}
 
-    /// Classification is deterministic and its sensitivity evidence is
-    /// consistent with the class it assigns.
-    #[test]
-    fn classification_consistent(app in arb_app(), f in 0.05f64..0.8) {
+/// Classification is deterministic and its sensitivity evidence is
+/// consistent with the class it assigns.
+#[test]
+fn classification_consistent() {
+    let mut r = Rng::seed_from_u64(0x3fac_0003);
+    for _ in 0..CASES {
+        let app = pick_app(&mut r);
+        let f = r.gen_range_f64(0.05, 0.8);
         let mut cfg = GenConfig::test_default(app, 16);
         cfg.comm_fraction = f;
         let trace = generate(&cfg);
         let net = NetworkConfig::new(35.0, 2_575);
         let a = classify(&trace, net);
         let b = classify(&trace, net);
-        prop_assert_eq!(a.class, b.class);
+        assert_eq!(a.class, b.class);
         if a.is_comm_sensitive() {
-            prop_assert!(
+            assert!(
                 a.bw_sensitivity > masim_mfact::SENSITIVITY_THRESHOLD,
                 "cs without bandwidth evidence: {a:?}"
             );
         }
-        prop_assert!(a.base_total > 0.0);
+        assert!(a.base_total > 0.0);
     }
+}
 
-    /// Compute scaling: an 8x faster CPU shrinks the prediction, and
-    /// never below the communication-only floor.
-    #[test]
-    fn compute_scaling_shrinks_total(app in arb_app()) {
+/// Compute scaling: an 8x faster CPU shrinks the prediction, and
+/// never below the communication-only floor.
+#[test]
+fn compute_scaling_shrinks_total() {
+    for app in App::ALL {
         let cfg = GenConfig::test_default(app, 16);
         let trace = generate(&cfg);
         let net = NetworkConfig::new(10.0, 2_500);
-        let res = replay(
-            &trace,
-            &[ModelConfig::base(net), ModelConfig { net, compute_scale: 0.125 }],
-        );
-        prop_assert!(res[1].total <= res[0].total);
-        prop_assert!(res[1].counters.computation < res[0].counters.computation);
+        let res =
+            replay(&trace, &[ModelConfig::base(net), ModelConfig { net, compute_scale: 0.125 }]);
+        assert!(res[1].total <= res[0].total);
+        assert!(res[1].counters.computation < res[0].counters.computation);
     }
 }

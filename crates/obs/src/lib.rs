@@ -1,0 +1,60 @@
+//! masim-obs — telemetry substrate for the masim workspace.
+//!
+//! Sits next to `masim-trace` at the bottom of the crate DAG: no
+//! dependencies, usable from every layer. Provides
+//!
+//! * always-on [`Counter`]/[`Gauge`] handles behind a [`MetricSet`]
+//!   registry (plain `AtomicU64`s — an increment is one relaxed RMW);
+//! * wall-clock [`span::SpanGuard`] timers recording
+//!   count/sum/min/max per deterministic span name;
+//! * a [`RunMetrics`] sink serialized to JSON and CSV sidecars under
+//!   `reports/metrics/` (hand-rolled writer and parser, no serde);
+//! * a rate-limited [`Progress`] reporter for long corpus runs.
+//!
+//! Metric names follow `crate.subsystem.metric`
+//! (e.g. `des.engine.processed`, `sim.flow.resolves`); span names use the
+//! same scheme and compose hierarchy into the name
+//! (e.g. `core.study.run_one/packet`).
+//!
+//! Instrumentation compiles out: building this crate with
+//! `--no-default-features` turns every registry operation into an inlined
+//! no-op, so `obs::count!`/`obs::span!` call sites in other crates cost
+//! nothing. The gating lives in *this* crate's method bodies — not in the
+//! macro expansion — so callers never need the feature themselves.
+
+pub mod json;
+pub mod metrics;
+pub mod progress;
+pub mod run;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, MetricSet, Snapshot};
+pub use progress::Progress;
+pub use run::RunMetrics;
+pub use span::{SpanGuard, SpanStats};
+
+/// Bump a named counter on a [`MetricSet`].
+///
+/// `count!(ms, "sim.packet.packets")` adds 1;
+/// `count!(ms, "sim.packet.hops", n)` adds `n`.
+/// Compiles to nothing when masim-obs is built without the `enabled`
+/// feature.
+#[macro_export]
+macro_rules! count {
+    ($ms:expr, $name:expr) => {
+        $ms.add($name, 1)
+    };
+    ($ms:expr, $name:expr, $n:expr) => {
+        $ms.add($name, $n as u64)
+    };
+}
+
+/// Open a wall-clock span on a [`MetricSet`]; the span records itself
+/// when the returned guard drops (or via [`SpanGuard::stop`], which also
+/// returns the elapsed time).
+#[macro_export]
+macro_rules! span {
+    ($ms:expr, $name:expr) => {
+        $ms.span($name)
+    };
+}

@@ -1,0 +1,253 @@
+//! Counter/gauge registry.
+//!
+//! A [`MetricSet`] is a cheaply clonable handle (`Arc` inside) to a named
+//! registry of atomics. Hot paths pre-register a [`Counter`] or [`Gauge`]
+//! once and then touch only the atomic; cold paths can use
+//! [`MetricSet::add`] / [`MetricSet::gauge_max`] by name.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::span::{SpanGuard, SpanStats};
+
+/// Monotonic counter handle. Clone freely; all clones share the cell.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-value / high-water-mark gauge handle.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if `v` is larger (high-water mark).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    spans: Mutex<BTreeMap<String, SpanStats>>,
+}
+
+/// Shared registry of counters, gauges, and span statistics.
+#[derive(Clone, Default)]
+pub struct MetricSet {
+    inner: Arc<Inner>,
+}
+
+/// Point-in-time copy of a [`MetricSet`], ordered by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
+    pub spans: BTreeMap<String, SpanStats>,
+}
+
+impl MetricSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch (registering on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().expect("obs counters poisoned");
+        let cell = map.entry(name.to_string()).or_default().clone();
+        Counter(cell)
+    }
+
+    /// Fetch (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().expect("obs gauges poisoned");
+        let cell = map.entry(name.to_string()).or_default().clone();
+        Gauge(cell)
+    }
+
+    /// Add `n` to counter `name`; registry lookup per call, so prefer a
+    /// pre-registered [`Counter`] in tight loops.
+    #[inline]
+    pub fn add(&self, name: &str, n: u64) {
+        #[cfg(feature = "enabled")]
+        {
+            self.counter(name).add(n);
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (name, n);
+        }
+    }
+
+    /// Raise gauge `name` to `v` if larger.
+    #[inline]
+    pub fn gauge_max(&self, name: &str, v: u64) {
+        #[cfg(feature = "enabled")]
+        {
+            self.gauge(name).record_max(v);
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (name, v);
+        }
+    }
+
+    /// Set gauge `name` to `v`.
+    #[inline]
+    pub fn gauge_set(&self, name: &str, v: u64) {
+        #[cfg(feature = "enabled")]
+        {
+            self.gauge(name).set(v);
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (name, v);
+        }
+    }
+
+    /// Open a wall-clock span; it records into this set when dropped or
+    /// stopped. With instrumentation compiled out the guard still measures
+    /// (so [`SpanGuard::stop`] returns real elapsed time) but records
+    /// nothing.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        #[cfg(feature = "enabled")]
+        {
+            SpanGuard::started(self.clone(), name)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = name;
+            SpanGuard::detached()
+        }
+    }
+
+    /// Merge one finished span observation into the registry.
+    /// Exposed for [`SpanGuard`] and for folding external measurements in.
+    pub fn record_span(&self, name: &str, elapsed_ns: u64) {
+        #[cfg(feature = "enabled")]
+        {
+            let mut map = self.inner.spans.lock().expect("obs spans poisoned");
+            map.entry(name.to_string()).or_default().record(elapsed_ns);
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (name, elapsed_ns);
+        }
+    }
+
+    /// Copy out every metric, ordered by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .expect("obs counters poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("obs gauges poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let spans = self.inner.spans.lock().expect("obs spans poisoned").clone();
+        Snapshot { counters, gauges, spans }
+    }
+
+    /// Fold every metric of `other` into `self` (counters/gauges summed /
+    /// maxed, span stats merged). Used to aggregate per-worker sets.
+    pub fn absorb(&self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            self.add(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauge_max(k, *v);
+        }
+        #[cfg(feature = "enabled")]
+        {
+            let mut map = self.inner.spans.lock().expect("obs spans poisoned");
+            for (k, s) in &other.spans {
+                map.entry(k.clone()).or_default().merge(s);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricSet").field("snapshot", &self.snapshot()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shared_across_handles() {
+        let ms = MetricSet::new();
+        let a = ms.counter("x.y.z");
+        let b = ms.counter("x.y.z");
+        a.inc();
+        b.add(4);
+        assert_eq!(ms.snapshot().counters["x.y.z"], 5);
+    }
+
+    #[cfg(feature = "enabled")] // asserts recorded state
+    #[test]
+    fn gauge_high_water() {
+        let ms = MetricSet::new();
+        ms.gauge_max("q.depth", 3);
+        ms.gauge_max("q.depth", 9);
+        ms.gauge_max("q.depth", 5);
+        assert_eq!(ms.snapshot().gauges["q.depth"], 9);
+    }
+
+    #[cfg(feature = "enabled")] // asserts recorded state
+    #[test]
+    fn absorb_sums_counters() {
+        let a = MetricSet::new();
+        let b = MetricSet::new();
+        a.add("n", 2);
+        b.add("n", 3);
+        b.gauge_max("g", 7);
+        b.record_span("s", 100);
+        a.absorb(&b.snapshot());
+        let snap = a.snapshot();
+        assert_eq!(snap.counters["n"], 5);
+        assert_eq!(snap.gauges["g"], 7);
+        assert_eq!(snap.spans["s"].count, 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Rate-limited progress reporting for long corpus runs.
+//!
+//! Prints `label: done/total (pct%) rate/s ETA ..s` lines to stderr, at
+//! most once per interval, so a 235-trace sweep shows life without
+//! flooding the terminal. Thread-safe: workers call [`Progress::tick`]
+//! concurrently.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub struct Progress {
+    label: String,
+    total: u64,
+    done: AtomicU64,
+    started: Instant,
+    min_interval: Duration,
+    last_print: Mutex<Option<Instant>>,
+    enabled: bool,
+}
+
+impl Progress {
+    /// Reporter for `total` units of work, printing at most every 500 ms.
+    pub fn new(label: &str, total: u64) -> Self {
+        Progress {
+            label: label.to_string(),
+            total,
+            done: AtomicU64::new(0),
+            started: Instant::now(),
+            min_interval: Duration::from_millis(500),
+            last_print: Mutex::new(None),
+            enabled: true,
+        }
+    }
+
+    /// A reporter that counts but never prints (tests, quiet mode).
+    pub fn silent(label: &str, total: u64) -> Self {
+        let mut p = Self::new(label, total);
+        p.enabled = false;
+        p
+    }
+
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` completed units; prints a line if the rate limiter
+    /// allows.
+    pub fn tick(&self, n: u64) {
+        let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        {
+            let mut last = self.last_print.lock().expect("progress lock poisoned");
+            match *last {
+                Some(t) if now.duration_since(t) < self.min_interval && done < self.total => return,
+                _ => *last = Some(now),
+            }
+        }
+        self.print_line(done);
+    }
+
+    /// Print the final line unconditionally.
+    pub fn finish(&self) {
+        if self.enabled {
+            self.print_line(self.done());
+        }
+    }
+
+    fn print_line(&self, done: u64) {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 { done as f64 / elapsed } else { 0.0 };
+        let pct = if self.total > 0 { 100.0 * done as f64 / self.total as f64 } else { 0.0 };
+        let eta = if rate > 0.0 && done < self.total {
+            format!(" ETA {:.0}s", (self.total - done) as f64 / rate)
+        } else {
+            String::new()
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(
+            err,
+            "{}: {}/{} ({:.1}%) {:.1}/s{}",
+            self.label, done, self.total, pct, rate, eta
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_counts_without_printing() {
+        let p = Progress::silent("test", 10);
+        for _ in 0..10 {
+            p.tick(1);
+        }
+        assert_eq!(p.done(), 10);
+        p.finish();
+    }
+}

@@ -1,0 +1,229 @@
+//! Run-level metrics sink.
+//!
+//! A [`RunMetrics`] bundles a [`MetricSet`] with identifying labels
+//! (trace name, tool, seed, …) and serializes the whole thing to a JSON
+//! or CSV sidecar under `reports/metrics/`. The JSON schema is flat and
+//! stable:
+//!
+//! ```json
+//! {"labels":{"tool":"mfact"},
+//!  "counters":{"des.engine.processed":12345},
+//!  "gauges":{"des.engine.pending_hwm":17},
+//!  "spans":{"core.study.run_one/mfact":
+//!           {"count":1,"sum_ns":52000,"min_ns":52000,"max_ns":52000}}}
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::json::{self, ParseError, Value};
+use crate::metrics::{MetricSet, Snapshot};
+use crate::span::SpanStats;
+
+#[derive(Clone, Default, Debug)]
+pub struct RunMetrics {
+    labels: BTreeMap<String, String>,
+    set: MetricSet,
+}
+
+impl RunMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap an existing registry (shared with the instrumented code).
+    pub fn with_set(set: MetricSet) -> Self {
+        RunMetrics { labels: BTreeMap::new(), set }
+    }
+
+    pub fn label(mut self, key: &str, value: &str) -> Self {
+        self.labels.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    pub fn set_label(&mut self, key: &str, value: &str) {
+        self.labels.insert(key.to_string(), value.to_string());
+    }
+
+    pub fn labels(&self) -> &BTreeMap<String, String> {
+        &self.labels
+    }
+
+    pub fn set(&self) -> &MetricSet {
+        &self.set
+    }
+
+    pub fn to_json(&self) -> String {
+        snapshot_to_json(&self.labels, &self.set.snapshot())
+    }
+
+    /// CSV with one row per metric:
+    /// `kind,name,value,count,sum_ns,min_ns,max_ns`.
+    pub fn to_csv(&self) -> String {
+        let snap = self.set.snapshot();
+        let mut out = String::from("kind,name,value,count,sum_ns,min_ns,max_ns\n");
+        for (k, v) in &self.labels {
+            let _ = writeln!(out, "label,{},{},,,,", csv_field(k), csv_field(v));
+        }
+        for (k, v) in &snap.counters {
+            let _ = writeln!(out, "counter,{},{},,,,", csv_field(k), v);
+        }
+        for (k, v) in &snap.gauges {
+            let _ = writeln!(out, "gauge,{},{},,,,", csv_field(k), v);
+        }
+        for (k, s) in &snap.spans {
+            let _ = writeln!(
+                out,
+                "span,{},,{},{},{},{}",
+                csv_field(k),
+                s.count,
+                s.sum_ns,
+                s.min_ns,
+                s.max_ns
+            );
+        }
+        out
+    }
+
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serialize labels + snapshot with sorted keys (BTreeMap order).
+pub fn snapshot_to_json(labels: &BTreeMap<String, String>, snap: &Snapshot) -> String {
+    let labels =
+        Value::Obj(labels.iter().map(|(k, v)| (k.clone(), Value::Str(v.clone()))).collect());
+    let counters =
+        Value::Obj(snap.counters.iter().map(|(k, v)| (k.clone(), Value::UInt(*v))).collect());
+    let gauges =
+        Value::Obj(snap.gauges.iter().map(|(k, v)| (k.clone(), Value::UInt(*v))).collect());
+    let spans = Value::Obj(
+        snap.spans
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    Value::Obj(vec![
+                        ("count".into(), Value::UInt(s.count)),
+                        ("sum_ns".into(), Value::UInt(s.sum_ns)),
+                        ("min_ns".into(), Value::UInt(s.min_ns)),
+                        ("max_ns".into(), Value::UInt(s.max_ns)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Value::Obj(vec![
+        ("labels".into(), labels),
+        ("counters".into(), counters),
+        ("gauges".into(), gauges),
+        ("spans".into(), spans),
+    ])
+    .to_json()
+}
+
+/// Labels + snapshot parsed back out of a sidecar.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunMetricsData {
+    pub labels: BTreeMap<String, String>,
+    pub snapshot: Snapshot,
+}
+
+/// Parse a sidecar produced by [`RunMetrics::to_json`] /
+/// [`snapshot_to_json`].
+pub fn parse_json(text: &str) -> Result<RunMetricsData, ParseError> {
+    let doc = json::parse(text)?;
+    let bad = |message: &str| ParseError { offset: 0, message: message.to_string() };
+
+    let mut data = RunMetricsData::default();
+    if let Some(fields) = doc.get("labels").and_then(Value::as_obj) {
+        for (k, v) in fields {
+            let v = v.as_str().ok_or_else(|| bad("label value not a string"))?;
+            data.labels.insert(k.clone(), v.to_string());
+        }
+    }
+    for (section, out) in
+        [("counters", &mut data.snapshot.counters), ("gauges", &mut data.snapshot.gauges)]
+    {
+        if let Some(fields) = doc.get(section).and_then(Value::as_obj) {
+            for (k, v) in fields {
+                let v = v.as_u64().ok_or_else(|| bad(&format!("{section} value not a u64")))?;
+                out.insert(k.clone(), v);
+            }
+        }
+    }
+    if let Some(fields) = doc.get("spans").and_then(Value::as_obj) {
+        for (k, v) in fields {
+            let field = |name: &str| {
+                v.get(name)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| bad(&format!("span missing {name}")))
+            };
+            data.snapshot.spans.insert(
+                k.clone(),
+                SpanStats {
+                    count: field("count")?,
+                    sum_ns: field("sum_ns")?,
+                    min_ns: field("min_ns")?,
+                    max_ns: field("max_ns")?,
+                },
+            );
+        }
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let rm = RunMetrics::new().label("tool", "mfact").label("trace", "cg_64");
+        rm.set().add("a.b.c", 41);
+        rm.set().gauge_max("a.b.hwm", 9);
+        rm.set().record_span("a.phase", 1234);
+        rm.set().record_span("a.phase", 2000);
+
+        let text = rm.to_json();
+        let data = parse_json(&text).unwrap();
+        assert_eq!(data.labels["tool"], "mfact");
+        assert_eq!(data.labels["trace"], "cg_64");
+        assert_eq!(data.snapshot, rm.set().snapshot());
+    }
+
+    #[cfg(feature = "enabled")] // asserts recorded state
+    #[test]
+    fn csv_has_all_rows() {
+        let rm = RunMetrics::new().label("tool", "flow");
+        rm.set().add("n", 3);
+        rm.set().record_span("p", 10);
+        let csv = rm.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,name,value,count,sum_ns,min_ns,max_ns");
+        assert!(lines.iter().any(|l| l.starts_with("label,tool,flow")));
+        assert!(lines.iter().any(|l| l.starts_with("counter,n,3")));
+        assert!(lines.iter().any(|l| l.starts_with("span,p,,1,10,10,10")));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_json("{\"counters\":{\"x\":\"nope\"}}").is_err());
+        assert!(parse_json("not json").is_err());
+    }
+}

@@ -39,7 +39,9 @@ pub mod runner;
 pub mod util_report;
 
 pub use net::ModelKind;
-pub use runner::{link_bytes_of, simulate, simulate_budgeted, SimConfig, SimResult};
+pub use runner::{
+    link_bytes_of, simulate, simulate_budgeted, simulate_observed, SimConfig, SimResult,
+};
 pub use util_report::UtilReport;
 
 /// Default packet size for the packet model (SST/Macro recommends

@@ -66,7 +66,13 @@ pub fn lower(kind: CollKind, r: Rank, p: u32, bytes: u64, root: Rank) -> Schedul
             } else {
                 // Scatter + recursive-doubling allgather (van de Geijn):
                 // log p halving rounds, then log p doubling rounds.
-                let mut s = binomial_down(r, p, root, b * (p as u64 - 1) / p as u64 / ceil_log2(p).max(1) as u64, 1);
+                let mut s = binomial_down(
+                    r,
+                    p,
+                    root,
+                    b * (p as u64 - 1) / p as u64 / ceil_log2(p).max(1) as u64,
+                    1,
+                );
                 let mut ag = recursive_doubling(r, p, b / p as u64);
                 s.rounds.append(&mut ag.rounds);
                 s
@@ -77,7 +83,13 @@ pub fn lower(kind: CollKind, r: Rank, p: u32, bytes: u64, root: Rank) -> Schedul
                 binomial_up(r, p, root, b, 1)
             } else {
                 let mut s = recursive_halving(r, p, b / p as u64);
-                let mut g = binomial_up(r, p, root, b * (p as u64 - 1) / p as u64 / ceil_log2(p).max(1) as u64, 1);
+                let mut g = binomial_up(
+                    r,
+                    p,
+                    root,
+                    b * (p as u64 - 1) / p as u64 / ceil_log2(p).max(1) as u64,
+                    1,
+                );
                 s.rounds.append(&mut g.rounds);
                 s
             }
@@ -157,10 +169,7 @@ fn pairwise_pow2_exchange(r: Rank, p: u32, bytes: u64) -> Schedule {
     if r.0 < p2 {
         for k in 0..ceil_log2(p2) {
             let partner = Rank(r.0 ^ (1 << k));
-            s.rounds.push(Round {
-                sends: vec![(partner, bytes)],
-                recvs: vec![(partner, bytes)],
-            });
+            s.rounds.push(Round { sends: vec![(partner, bytes)], recvs: vec![(partner, bytes)] });
         }
     } else {
         // Folded ranks idle through the exchange rounds.
@@ -266,8 +275,7 @@ fn binomial_up(r: Rank, p: u32, root: Rank, bytes: u64, grow: u64) -> Schedule {
     let mut s = Schedule::default();
     for k in 0..logp {
         let d = 1u32 << k;
-        let level_bytes =
-            if grow == 1 { bytes } else { (bytes << k).max(MIN_BYTES) };
+        let level_bytes = if grow == 1 { bytes } else { (bytes << k).max(MIN_BYTES) };
         let mut round = Round::default();
         if (d..2 * d).contains(&vr) {
             let peer = Rank((vr - d + root.0) % p);
@@ -317,8 +325,7 @@ mod tests {
     /// Cross-rank consistency: every send in some rank's round must have
     /// a matching recv in the peer's same round, with equal bytes.
     fn check_consistency(kind: CollKind, p: u32, bytes: u64, root: Rank) {
-        let scheds: Vec<Schedule> =
-            (0..p).map(|r| lower(kind, Rank(r), p, bytes, root)).collect();
+        let scheds: Vec<Schedule> = (0..p).map(|r| lower(kind, Rank(r), p, bytes, root)).collect();
         let rounds = scheds[0].rounds.len();
         for s in &scheds {
             assert_eq!(s.rounds.len(), rounds, "{kind}: ragged round counts");

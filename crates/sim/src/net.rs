@@ -33,6 +33,7 @@
 
 use crate::runner::{on_deliver, on_release, SimState};
 use masim_des::{Engine, EventId};
+use masim_obs::MetricSet;
 use masim_topo::{LinkId, Machine};
 use masim_trace::{Rank, Time};
 use std::collections::HashMap;
@@ -144,7 +145,14 @@ impl LinkTable {
 
     /// Build the simulated route for a message: per-rank injection, the
     /// topology's fabric hops, per-rank ejection.
-    pub fn route(&self, machine: &Machine, src: Rank, dst: Rank, src_node: masim_trace::NodeId, dst_node: masim_trace::NodeId) -> Arc<[LinkId]> {
+    pub fn route(
+        &self,
+        machine: &Machine,
+        src: Rank,
+        dst: Rank,
+        src_node: masim_trace::NodeId,
+        dst_node: masim_trace::NodeId,
+    ) -> Arc<[LinkId]> {
         let topo_route = machine.topology.route_vec(src_node, dst_node);
         debug_assert!(topo_route.len() >= 2);
         let mut route = Vec::with_capacity(topo_route.len());
@@ -175,6 +183,7 @@ impl NetState {
                 free_at: vec![Time::ZERO; links],
                 link_bytes: vec![0; links],
                 packets: 0,
+                hops: 0,
             }),
             ModelKind::Flow => NetState::Flow(FlowNet {
                 flows: HashMap::new(),
@@ -212,6 +221,25 @@ impl NetState {
             NetState::PFlow(p) => p.packets,
         }
     }
+
+    /// Export the model's telemetry into an observability sink. Plain
+    /// integer fields accumulate in the hot path; this copies them out
+    /// once after the run, so instrumentation cannot perturb the
+    /// simulation.
+    pub fn export_metrics(&self, ms: &MetricSet) {
+        match self {
+            NetState::Packet(p) => {
+                ms.add("sim.packet.packets", p.packets);
+                ms.add("sim.packet.hops", p.hops);
+            }
+            NetState::Flow(f) => ms.add("sim.flow.resolves", f.recomputes),
+            NetState::PFlow(p) => ms.add("sim.pflow.packets", p.packets),
+        }
+        let lb = self.link_bytes();
+        ms.add("sim.link.bytes_total", lb.iter().sum::<u64>());
+        ms.gauge_max("sim.link.bytes_max", lb.iter().copied().max().unwrap_or(0));
+        ms.add("sim.link.links_used", lb.iter().filter(|&&b| b > 0).count() as u64);
+    }
 }
 
 /// Inject a message; the model schedules `on_release` (sender may reuse
@@ -227,8 +255,14 @@ pub fn inject(eng: &mut Engine<SimState>, st: &mut SimState, msg: MsgMeta) {
         let release = eng.now() + ser;
         let deliver = eng.now() + st.machine.net.latency + ser;
         let (src, dst, tag, id) = (msg.src, msg.dst, msg.tag, msg.id);
-        eng.schedule_at(release, Box::new(move |eng, st: &mut SimState| on_release(eng, st, src, id)));
-        eng.schedule_at(deliver, Box::new(move |eng, st: &mut SimState| on_deliver(eng, st, dst, src, tag, id)));
+        eng.schedule_at(
+            release,
+            Box::new(move |eng, st: &mut SimState| on_release(eng, st, src, id)),
+        );
+        eng.schedule_at(
+            deliver,
+            Box::new(move |eng, st: &mut SimState| on_deliver(eng, st, dst, src, tag, id)),
+        );
         return;
     }
 
@@ -255,6 +289,7 @@ pub struct PacketNet {
     free_at: Vec<Time>,
     link_bytes: Vec<u64>,
     packets: u64,
+    hops: u64,
 }
 
 struct Packet {
@@ -304,12 +339,16 @@ fn packet_hop(eng: &mut Engine<SimState>, st: &mut SimState, mut pkt: Packet) {
     let depart = start + ser;
     net.free_at[link.idx()] = depart;
     net.link_bytes[link.idx()] += pkt.bytes;
+    net.hops += 1;
     let arrive_next = depart + hop_lat;
 
     // Sender may reuse its buffer once the last packet clears the NIC.
     if pkt.hop == 0 && pkt.is_last {
         let (src, id) = (pkt.msg.src, pkt.msg.id);
-        eng.schedule_at(depart, Box::new(move |eng, st: &mut SimState| on_release(eng, st, src, id)));
+        eng.schedule_at(
+            depart,
+            Box::new(move |eng, st: &mut SimState| on_release(eng, st, src, id)),
+        );
     }
 
     pkt.hop += 1;
@@ -400,9 +439,7 @@ impl FlowNet {
             return;
         }
         self.resolve_pending = true;
-        let at = Time::from_ps(
-            (eng.now().as_ps() / FLOW_QUANTUM_PS + 1) * FLOW_QUANTUM_PS,
-        );
+        let at = Time::from_ps((eng.now().as_ps() / FLOW_QUANTUM_PS + 1) * FLOW_QUANTUM_PS);
         eng.schedule_at(
             at,
             Box::new(|eng, st: &mut SimState| {
@@ -506,8 +543,8 @@ fn flow_resolve(eng: &mut Engine<SimState>, net: &mut FlowNet, links: &LinkTable
         let secs = f.remaining / f.rate;
         let at = now + Time::from_secs_f64(secs);
         let at = Time::from_ps(at.as_ps().div_ceil(QUANTUM_PS) * QUANTUM_PS);
-        let ev = eng
-            .schedule_at(at, Box::new(move |eng, st: &mut SimState| flow_complete(eng, st, id)));
+        let ev =
+            eng.schedule_at(at, Box::new(move |eng, st: &mut SimState| flow_complete(eng, st, id)));
         f.completion = Some(ev);
     }
 }
@@ -522,7 +559,10 @@ fn flow_complete(eng: &mut Engine<SimState>, st: &mut SimState, id: u64) {
     // Sender buffer freed at drain; payload lands after the route's
     // accumulated hop latency.
     let deliver_at = eng.now() + flow.tail_latency;
-    eng.schedule_at(eng.now(), Box::new(move |eng, st: &mut SimState| on_release(eng, st, src, mid)));
+    eng.schedule_at(
+        eng.now(),
+        Box::new(move |eng, st: &mut SimState| on_release(eng, st, src, mid)),
+    );
     eng.schedule_at(
         deliver_at,
         Box::new(move |eng, st: &mut SimState| on_deliver(eng, st, dst, src, tag, mid)),

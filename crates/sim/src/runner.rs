@@ -5,6 +5,7 @@ use crate::lower::{coll_tag, lower, Schedule};
 use crate::msg::{Mailbox, Message};
 use crate::net::{inject, LinkTable, ModelKind, MsgMeta, NetState};
 use masim_des::Engine;
+use masim_obs::MetricSet;
 use masim_topo::{Machine, Mapping};
 use masim_trace::{EventKind, Rank, Time, Trace};
 use std::collections::HashMap;
@@ -183,11 +184,10 @@ fn advance<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) {
         debug_assert_eq!(st.procs[r.idx()].status, PStatus::Idle);
 
         // Inside a collective: run its rounds first.
-        if st.procs[r.idx()].coll.is_some()
-            && enter_coll_rounds(eng, st, r) {
-                return; // blocked inside the collective
-            }
-            // Collective finished; fall through to trace events.
+        if st.procs[r.idx()].coll.is_some() && enter_coll_rounds(eng, st, r) {
+            return; // blocked inside the collective
+        }
+        // Collective finished; fall through to trace events.
 
         let cursor = st.procs[r.idx()].cursor;
         let stream = &st.trace.events[r.idx()];
@@ -440,6 +440,31 @@ pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimResult {
 /// the paper's tool failures, where SST/Macro's packet and flow models
 /// completed only 216 and 162 of the 235 traces.
 pub fn simulate_budgeted(trace: &Trace, cfg: &SimConfig, max_work: u64) -> Option<SimResult> {
+    sim_core(trace, cfg, max_work, None)
+}
+
+/// Budgeted simulation with `sim.*` telemetry on `ms`: the engine's
+/// event counts, injected messages, network-model work (packets, hops,
+/// ripple re-solves), per-link utilization aggregates, budget consumed,
+/// and a wall-clock span. Results are bit-identical to
+/// [`simulate_budgeted`] — the hot loop carries no instrumentation, the
+/// sink is filled once after the run.
+pub fn simulate_observed(
+    trace: &Trace,
+    cfg: &SimConfig,
+    max_work: u64,
+    ms: &MetricSet,
+) -> Option<SimResult> {
+    sim_core(trace, cfg, max_work, Some(ms))
+}
+
+fn sim_core(
+    trace: &Trace,
+    cfg: &SimConfig,
+    max_work: u64,
+    obs: Option<&MetricSet>,
+) -> Option<SimResult> {
+    let span = obs.map(|ms| ms.span("sim.runner.simulate"));
     let mut eng: Engine<SimState<'_>> = Engine::new();
     let mut st = SimState::new(trace, cfg);
     let n = trace.num_ranks();
@@ -456,6 +481,16 @@ pub fn simulate_budgeted(trace: &Trace, cfg: &SimConfig, max_work: u64) -> Optio
         if check == 1024 {
             check = 0;
             if eng.processed().saturating_add(st.net.work_units()) > max_work {
+                if let Some(ms) = obs {
+                    if let Some(s) = span {
+                        s.stop();
+                    }
+                    ms.add("sim.budget.exhausted", 1);
+                    ms.add(
+                        "sim.budget.consumed",
+                        eng.processed().saturating_add(st.net.work_units()),
+                    );
+                }
                 return None;
             }
         }
@@ -470,11 +505,16 @@ pub fn simulate_budgeted(trace: &Trace, cfg: &SimConfig, max_work: u64) -> Optio
     );
     let per_rank: Vec<Time> = st.procs.iter().map(|p| p.finish).collect();
     let total = per_rank.iter().copied().max().unwrap_or(Time::ZERO);
-    let comm_time = st
-        .procs
-        .iter()
-        .map(|p| p.finish.saturating_sub(p.compute_total))
-        .sum();
+    let comm_time = st.procs.iter().map(|p| p.finish.saturating_sub(p.compute_total)).sum();
+    if let Some(ms) = obs {
+        if let Some(s) = span {
+            s.stop();
+        }
+        ms.add("sim.runner.messages", st.messages);
+        ms.add("sim.budget.consumed", eng.processed().saturating_add(st.net.work_units()));
+        eng.export_metrics(ms);
+        st.net.export_metrics(ms);
+    }
     Some(SimResult {
         model: cfg.model,
         total,

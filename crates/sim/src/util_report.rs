@@ -72,11 +72,8 @@ impl UtilReport {
         }
         all.sort_by_key(|&(_, _, b)| std::cmp::Reverse(b));
         all.truncate(top);
-        let fabric_concentration = if fabric.bytes > 0 {
-            fabric.max_bytes as f64 / fabric.bytes as f64
-        } else {
-            0.0
-        };
+        let fabric_concentration =
+            if fabric.bytes > 0 { fabric.max_bytes as f64 / fabric.bytes as f64 } else { 0.0 };
         UtilReport { fabric, injection, ejection, hottest: all, fabric_concentration }
     }
 

@@ -1,65 +1,65 @@
-//! Property-based tests for the simulator's collective lowering and
-//! network models.
+//! Property-style tests for the simulator's collective lowering and
+//! network models, driven by a seeded deterministic generator so every
+//! run covers the same cases.
 
+use masim_obs::MetricSet;
+use masim_rng::Rng;
 use masim_sim::lower::{lower, Schedule};
-use masim_sim::{simulate, ModelKind, SimConfig};
+use masim_sim::{simulate, simulate_observed, ModelKind, SimConfig};
 use masim_topo::{Machine, NetworkConfig, Torus3d};
 use masim_trace::{CollKind, Rank, RankBuilder, Time, Trace, TraceMeta};
-use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-fn arb_kind() -> impl Strategy<Value = CollKind> {
-    prop::sample::select(CollKind::ALL.to_vec())
-}
-
 /// Cross-rank schedule consistency for arbitrary (kind, p, bytes, root).
-fn check(kind: CollKind, p: u32, bytes: u64, root: u32) -> Result<(), TestCaseError> {
+fn check(kind: CollKind, p: u32, bytes: u64, root: u32) {
     let root = Rank(root % p);
     let scheds: Vec<Schedule> = (0..p).map(|r| lower(kind, Rank(r), p, bytes, root)).collect();
     let rounds = scheds[0].rounds.len();
     for s in &scheds {
-        prop_assert_eq!(s.rounds.len(), rounds);
+        assert_eq!(s.rounds.len(), rounds);
     }
     for round in 0..rounds {
         let mut sends: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
         let mut recvs: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
         for (r, s) in scheds.iter().enumerate() {
             for &(peer, b) in &s.rounds[round].sends {
-                prop_assert!(peer.0 < p);
+                assert!(peer.0 < p);
                 sends.entry((r as u32, peer.0)).or_default().push(b);
             }
             for &(peer, b) in &s.rounds[round].recvs {
-                prop_assert!(peer.0 < p);
+                assert!(peer.0 < p);
                 recvs.entry((peer.0, r as u32)).or_default().push(b);
             }
         }
-        prop_assert_eq!(sends, recvs, "{} p={} round {}", kind, p, round);
+        assert_eq!(sends, recvs, "{} p={} round {}", kind, p, round);
     }
-    Ok(())
 }
 
-proptest! {
-    /// Lowered collectives pair sends and receives exactly, for any
-    /// world size (including non-powers-of-two), payload, and root.
-    #[test]
-    fn lowering_is_consistent(
-        kind in arb_kind(),
-        p in 2u32..40,
-        bytes in prop::sample::select(vec![0u64, 8, 512, 4096, 64 * 1024, 1 << 20]),
-        root in 0u32..40,
-    ) {
-        check(kind, p, bytes, root)?;
+/// Lowered collectives pair sends and receives exactly, for any
+/// world size (including non-powers-of-two), payload, and root.
+#[test]
+fn lowering_is_consistent() {
+    let mut r = Rng::seed_from_u64(0x51a1_0001);
+    const PAYLOADS: [u64; 6] = [0, 8, 512, 4096, 64 * 1024, 1 << 20];
+    for _ in 0..128 {
+        let kind = *r.choose(&CollKind::ALL);
+        let p = r.gen_range_u64(2, 40) as u32;
+        let bytes = *r.choose(&PAYLOADS);
+        let root = r.gen_range_u64(0, 40) as u32;
+        check(kind, p, bytes, root);
     }
+}
 
-    /// Simulated random pairwise exchanges terminate and respect the
-    /// lower bound: no model finishes faster than the largest message's
-    /// uncontended Hockney time.
-    #[test]
-    fn simulation_respects_hockney_lower_bound(
-        pairs in 1usize..5,
-        bytes in 1_000u64..200_000,
-    ) {
+/// Simulated random pairwise exchanges terminate and respect the
+/// lower bound: no model finishes faster than the largest message's
+/// uncontended Hockney time.
+#[test]
+fn simulation_respects_hockney_lower_bound() {
+    let mut rng = Rng::seed_from_u64(0x51a1_0002);
+    for _ in 0..24 {
+        let pairs = rng.gen_range_usize(1, 5);
+        let bytes = rng.gen_range_u64(1_000, 200_000);
         let ranks = (pairs * 2) as u32;
         let machine = Machine::new(
             "t",
@@ -67,7 +67,7 @@ proptest! {
             NetworkConfig::new(10.0, 2_000),
             4,
         );
-        prop_assume!(ranks <= machine.capacity());
+        assert!(ranks <= machine.capacity());
         let meta = TraceMeta {
             app: "prop".into(),
             machine: "t".into(),
@@ -87,7 +87,7 @@ proptest! {
             trace.events[a.idx()] = ba.finish();
             trace.events[b.idx()] = bb.finish();
         }
-        prop_assert_eq!(trace.validate(), Ok(()));
+        assert_eq!(trace.validate(), Ok(()));
         let floor = machine.net.bandwidth.transfer_time(bytes);
         for model in ModelKind::study_models() {
             let cfg = SimConfig {
@@ -97,7 +97,7 @@ proptest! {
                 compute_scale: 1.0,
             };
             let r = simulate(&trace, &cfg);
-            prop_assert!(
+            assert!(
                 r.total >= floor,
                 "{}: {:?} beat the Hockney floor {:?}",
                 model.name(),
@@ -105,13 +105,56 @@ proptest! {
                 floor
             );
             // And nothing runs forever: 1000x the floor is generous.
-            prop_assert!(r.total < floor * 1000 + Time::from_ms(1));
+            assert!(r.total < floor * 1000 + Time::from_ms(1));
         }
     }
+}
 
-    /// Compute scaling is monotone: a faster CPU never slows the app.
-    #[test]
-    fn compute_scale_monotone(scale in 0.1f64..1.0) {
+/// Instrumented simulation is bit-identical to the uninstrumented run
+/// for every network model, and its counters match the result's own
+/// tallies.
+#[test]
+fn observed_simulation_is_bit_identical() {
+    let cfg = masim_workloads::GenConfig::test_default(masim_workloads::App::Cg, 8);
+    let trace = masim_workloads::generate(&cfg);
+    let machine = Machine::cielito();
+    for model in ModelKind::study_models() {
+        let sc = SimConfig::new(machine.clone(), model, &trace);
+        let plain = simulate(&trace, &sc);
+        let ms = MetricSet::new();
+        let observed = simulate_observed(&trace, &sc, u64::MAX, &ms).expect("unbudgeted");
+        assert_eq!(plain.total, observed.total, "{}", model.name());
+        assert_eq!(plain.per_rank, observed.per_rank, "{}", model.name());
+        assert_eq!(plain.events, observed.events, "{}", model.name());
+        assert_eq!(plain.work_units, observed.work_units, "{}", model.name());
+        let snap = ms.snapshot();
+        assert_eq!(snap.counters["sim.runner.messages"], observed.messages);
+        assert_eq!(snap.counters["des.engine.processed"], observed.events);
+        assert_eq!(snap.counters["sim.budget.consumed"], observed.events + observed.work_units);
+        assert_eq!(snap.gauges["sim.link.bytes_max"], observed.max_link_bytes);
+        assert_eq!(snap.spans["sim.runner.simulate"].count, 1);
+    }
+}
+
+/// An exhausted budget reports how much work was burned.
+#[test]
+fn exhausted_budget_reports_consumption() {
+    let cfg = masim_workloads::GenConfig::test_default(masim_workloads::App::Cg, 8);
+    let trace = masim_workloads::generate(&cfg);
+    let sc = SimConfig::new(Machine::cielito(), ModelKind::Packet { packet_bytes: 1024 }, &trace);
+    let ms = MetricSet::new();
+    assert!(simulate_observed(&trace, &sc, 2_000, &ms).is_none());
+    let snap = ms.snapshot();
+    assert_eq!(snap.counters["sim.budget.exhausted"], 1);
+    assert!(snap.counters["sim.budget.consumed"] > 2_000);
+}
+
+/// Compute scaling is monotone: a faster CPU never slows the app.
+#[test]
+fn compute_scale_monotone() {
+    let mut r = Rng::seed_from_u64(0x51a1_0003);
+    for _ in 0..8 {
+        let scale = r.gen_range_f64(0.1, 1.0);
         let machine = Machine::cielito();
         let cfg = masim_workloads::GenConfig::test_default(masim_workloads::App::MiniFe, 8);
         let trace = masim_workloads::generate(&cfg);
@@ -119,6 +162,6 @@ proptest! {
         let fast = SimConfig { compute_scale: scale, ..base.clone() };
         let t_base = simulate(&trace, &base).total;
         let t_fast = simulate(&trace, &fast).total;
-        prop_assert!(t_fast <= t_base, "{t_fast:?} > {t_base:?} at scale {scale}");
+        assert!(t_fast <= t_base, "{t_fast:?} > {t_base:?} at scale {scale}");
     }
 }

@@ -20,12 +20,7 @@ fn meta(ranks: u32, rpn: u32) -> TraceMeta {
 
 /// A small torus machine for tests: 8 switches, 1 node each, 4 cores.
 fn tiny_machine() -> Machine {
-    Machine::new(
-        "tiny",
-        Arc::new(Torus3d::new(2, 2, 2, 1)),
-        NetworkConfig::new(10.0, 2_000),
-        4,
-    )
+    Machine::new("tiny", Arc::new(Torus3d::new(2, 2, 2, 1)), NetworkConfig::new(10.0, 2_000), 4)
 }
 
 fn sim(trace: &Trace, model: ModelKind) -> masim_sim::SimResult {
@@ -76,8 +71,7 @@ fn uncongested_models_agree_with_mfact() {
     b1.recv(Rank(0), 125_000, 0, Time::ZERO);
     t.events[1] = b1.finish();
 
-    let model_total =
-        replay(&t, &[ModelConfig::base(machine.net)])[0].total.as_secs_f64();
+    let model_total = replay(&t, &[ModelConfig::base(machine.net)])[0].total.as_secs_f64();
     for model in all_models() {
         let r = sim(&t, model);
         let got = r.total.as_secs_f64();
@@ -178,11 +172,7 @@ fn barrier_synchronizes_ranks() {
         let max = res.per_rank.iter().max().unwrap();
         // All ranks finish within a small window after the barrier.
         let spread = max.saturating_sub(*min);
-        assert!(
-            spread < Time::from_us(40),
-            "{}: spread {spread:?}",
-            model.name()
-        );
+        assert!(spread < Time::from_us(40), "{}: spread {spread:?}", model.name());
         // And nobody finishes before the slowest rank's compute (350us).
         assert!(*min >= Time::from_us(350), "{}: {min:?}", model.name());
     }
@@ -207,11 +197,7 @@ fn allreduce_models_close_to_mfact() {
         // The packet model's per-hop serialization overestimate is the
         // documented inaccuracy of that granularity; allow it more slack.
         let tol = if matches!(model, ModelKind::Packet { .. }) { 0.8 } else { 0.25 };
-        assert!(
-            rel < tol,
-            "{}: sim {got} vs mfact {model_total} (rel {rel})",
-            model.name()
-        );
+        assert!(rel < tol, "{}: sim {got} vs mfact {model_total} (rel {rel})", model.name());
     }
 }
 
@@ -306,11 +292,7 @@ fn all_apps_simulate_on_cielito() {
             // Simulation must be within a factor 3 of the model: they
             // share cost shapes; only contention separates them.
             let ratio = r.total.as_secs_f64() / mfact_total.as_secs_f64();
-            assert!(
-                (0.4..3.0).contains(&ratio),
-                "{app}/{}: ratio {ratio}",
-                model.name()
-            );
+            assert!((0.4..3.0).contains(&ratio), "{app}/{}: ratio {ratio}", model.name());
         }
     }
 }

@@ -49,9 +49,7 @@ impl Matrix {
     /// `self · v`.
     pub fn mat_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols);
-        (0..self.rows)
-            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
-            .collect()
+        (0..self.rows).map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum()).collect()
     }
 
     /// `selfᵀ · v`.

@@ -4,9 +4,7 @@
 
 use crate::metrics::Confusion;
 use crate::select::{forward_select, Selection};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use masim_rng::Rng;
 
 /// One cross-validation round's outcome.
 #[derive(Clone, Debug)]
@@ -63,10 +61,7 @@ impl CvReport {
     pub fn ranked_candidates(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.num_candidates).collect();
         idx.sort_by(|&a, &b| {
-            self.selection_rate(b)
-                .partial_cmp(&self.selection_rate(a))
-                .unwrap()
-                .then(a.cmp(&b))
+            self.selection_rate(b).partial_cmp(&self.selection_rate(a)).unwrap().then(a.cmp(&b))
         });
         idx
     }
@@ -101,14 +96,14 @@ pub fn monte_carlo_cv(
     assert_eq!(x.len(), y.len());
     assert!(x.len() >= 10, "too few observations for CV");
     assert!((0.1..0.95).contains(&train_frac));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n = x.len();
     let n_train = ((n as f64) * train_frac).round() as usize;
     let mut out = Vec::with_capacity(rounds);
     let mut idx: Vec<usize> = (0..n).collect();
 
     for _ in 0..rounds {
-        idx.shuffle(&mut rng);
+        rng.shuffle(&mut idx);
         let (train_idx, test_idx) = idx.split_at(n_train);
         let xt: Vec<Vec<f64>> = train_idx.iter().map(|&i| x[i].clone()).collect();
         let yt: Vec<bool> = train_idx.iter().map(|&i| y[i]).collect();

@@ -115,10 +115,7 @@ pub fn roc_points(scores: &[f64], labels: &[bool]) -> Vec<(f64, f64)> {
 
 /// Area under the ROC curve by trapezoidal integration.
 pub fn auc(points: &[(f64, f64)]) -> f64 {
-    points
-        .windows(2)
-        .map(|w| (w[1].0 - w[0].0) * (w[0].1 + w[1].1) / 2.0)
-        .sum()
+    points.windows(2).map(|w| (w[1].0 - w[0].0) * (w[0].1 + w[1].1) / 2.0).sum()
 }
 
 #[cfg(test)]

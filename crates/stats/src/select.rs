@@ -130,11 +130,7 @@ mod tests {
     fn selection_predicts() {
         let (x, y) = dataset();
         let s = forward_select(&x, &y, 5);
-        let correct = x
-            .iter()
-            .zip(&y)
-            .filter(|(xi, &yi)| s.predict(xi) == yi)
-            .count();
+        let correct = x.iter().zip(&y).filter(|(xi, &yi)| s.predict(xi) == yi).count();
         assert!(correct as f64 / x.len() as f64 > 0.95);
     }
 

@@ -31,7 +31,12 @@ impl Dragonfly {
     /// channels; `G = a·h + 1` is the classic one-channel-per-pair
     /// balanced arrangement, smaller `G` gives multi-channel pairs as on
     /// real Aries).
-    pub fn new(groups: u32, routers_per_group: u32, nodes_per_router: u32, global_per_router: u32) -> Dragonfly {
+    pub fn new(
+        groups: u32,
+        routers_per_group: u32,
+        nodes_per_router: u32,
+        global_per_router: u32,
+    ) -> Dragonfly {
         assert!(groups > 1, "dragonfly needs at least two groups");
         assert!(routers_per_group >= 1 && nodes_per_router >= 1 && global_per_router >= 1);
         assert!(
@@ -257,7 +262,7 @@ mod tests {
     fn balanced_sizing() {
         let d = Dragonfly::balanced(288, 4, 1);
         assert!(d.num_nodes() >= 288, "nodes {}", d.num_nodes());
-        assert_eq!(d.groups(), d.routers_per_group() * 1 + 1);
+        assert_eq!(d.groups(), d.routers_per_group() + 1);
     }
 
     #[test]

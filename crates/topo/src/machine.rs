@@ -164,11 +164,7 @@ mod tests {
             let total = m.hop_latency().as_ps() as f64 * mean;
             let target = m.net.latency.as_ps() as f64;
             // Within 1% after rounding.
-            assert!(
-                (total - target).abs() / target < 0.01,
-                "{}: {total} vs {target}",
-                m.name
-            );
+            assert!((total - target).abs() / target < 0.01, "{}: {total} vs {target}", m.name);
         }
     }
 

@@ -68,7 +68,13 @@ impl Torus3d {
 
     /// Walk one dimension from `from` toward coordinate `target`,
     /// pushing fabric links; returns the switch reached.
-    fn walk_dim(&self, from: SwitchId, dim: usize, target: u32, path: &mut Vec<LinkId>) -> SwitchId {
+    fn walk_dim(
+        &self,
+        from: SwitchId,
+        dim: usize,
+        target: u32,
+        path: &mut Vec<LinkId>,
+    ) -> SwitchId {
         let size = self.dims[dim];
         let mut cur = self.coords(from);
         if cur[dim] == target || size == 1 {
@@ -132,8 +138,8 @@ impl Topology for Torus3d {
         path.push(self.injection_link(src));
         let target = self.coords(self.node_switch(dst));
         let mut sw = self.node_switch(src);
-        for dim in 0..3 {
-            sw = self.walk_dim(sw, dim, target[dim], path);
+        for (dim, &goal) in target.iter().enumerate() {
+            sw = self.walk_dim(sw, dim, goal, path);
         }
         debug_assert_eq!(sw, self.node_switch(dst));
         path.push(self.ejection_link(dst));
@@ -214,8 +220,7 @@ mod tests {
                 }
                 let cs = t.coords(t.node_switch(NodeId(s)));
                 let cd = t.coords(t.node_switch(NodeId(d)));
-                let expect: u32 =
-                    (0..3).map(|i| dist(cs[i], cd[i], t.dims[i])).sum();
+                let expect: u32 = (0..3).map(|i| dist(cs[i], cd[i], t.dims[i])).sum();
                 assert_eq!(t.fabric_hops(NodeId(s), NodeId(d)), expect, "{s}->{d}");
             }
         }

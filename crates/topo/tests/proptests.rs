@@ -1,91 +1,105 @@
-//! Property-based tests for topologies and mappings.
+//! Property-style tests for topologies and mappings, driven by a seeded
+//! deterministic generator so every run covers the same randomized cases.
 
+use masim_rng::Rng;
 use masim_topo::{check_route_shape, Dragonfly, FatTree, Machine, Mapping, Topology, Torus3d};
 use masim_trace::{NodeId, Rank};
-use proptest::prelude::*;
 
-proptest! {
-    /// Every torus route is well-formed for arbitrary dimensions.
-    #[test]
-    fn torus_routes_well_formed(
-        x in 1u32..6,
-        y in 1u32..6,
-        z in 1u32..4,
-        nps in 1u32..3,
-        src in 0u32..200,
-        dst in 0u32..200,
-    ) {
-        prop_assume!(x * y * z > 1);
+const CASES: u64 = 64;
+
+/// Every torus route is well-formed for arbitrary dimensions.
+#[test]
+fn torus_routes_well_formed() {
+    let mut r = Rng::seed_from_u64(0x7090_0001);
+    let mut checked = 0;
+    while checked < CASES {
+        let x = r.gen_range_u64(1, 6) as u32;
+        let y = r.gen_range_u64(1, 6) as u32;
+        let z = r.gen_range_u64(1, 4) as u32;
+        let nps = r.gen_range_u64(1, 3) as u32;
+        if x * y * z <= 1 {
+            continue;
+        }
+        checked += 1;
         let t = Torus3d::new(x, y, z, nps);
         let n = t.num_nodes();
-        let (s, d) = (NodeId(src % n), NodeId(dst % n));
-        check_route_shape(&t, s, d).map_err(|e| TestCaseError::fail(e))?;
+        let s = NodeId(r.gen_range_u64(0, 200) as u32 % n);
+        let d = NodeId(r.gen_range_u64(0, 200) as u32 % n);
+        check_route_shape(&t, s, d).expect("torus route shape");
         // Symmetric hop counts under dimension-ordered shortest-wrap.
-        prop_assert_eq!(t.fabric_hops(s, d), t.fabric_hops(d, s));
+        assert_eq!(t.fabric_hops(s, d), t.fabric_hops(d, s));
     }
+}
 
-    /// Every dragonfly route is well-formed and within the Valiant
-    /// bound for arbitrary legal shapes.
-    #[test]
-    fn dragonfly_routes_well_formed(
-        a in 2u32..6,
-        p in 1u32..4,
-        h in 1u32..3,
-        src in 0u32..500,
-        dst in 0u32..500,
-    ) {
+/// Every dragonfly route is well-formed and within the Valiant bound for
+/// arbitrary legal shapes.
+#[test]
+fn dragonfly_routes_well_formed() {
+    let mut r = Rng::seed_from_u64(0x7090_0002);
+    for _ in 0..CASES {
+        let a = r.gen_range_u64(2, 6) as u32;
+        let p = r.gen_range_u64(1, 4) as u32;
+        let h = r.gen_range_u64(1, 3) as u32;
         let g = a * h + 1;
         let d = Dragonfly::new(g, a, p, h);
         let n = d.num_nodes();
-        let (s, t) = (NodeId(src % n), NodeId(dst % n));
-        check_route_shape(&d, s, t).map_err(|e| TestCaseError::fail(e))?;
-        prop_assert!(d.fabric_hops(s, t) <= 6);
+        let s = NodeId(r.gen_range_u64(0, 500) as u32 % n);
+        let t = NodeId(r.gen_range_u64(0, 500) as u32 % n);
+        check_route_shape(&d, s, t).expect("dragonfly route shape");
+        assert!(d.fabric_hops(s, t) <= 6);
     }
+}
 
-    /// Fat-tree routes are well-formed and at most two fabric hops.
-    #[test]
-    fn fattree_routes_well_formed(
-        leaves in 2u32..8,
-        spines in 1u32..4,
-        per in 1u32..6,
-        src in 0u32..500,
-        dst in 0u32..500,
-    ) {
+/// Fat-tree routes are well-formed and at most two fabric hops.
+#[test]
+fn fattree_routes_well_formed() {
+    let mut r = Rng::seed_from_u64(0x7090_0003);
+    for _ in 0..CASES {
+        let leaves = r.gen_range_u64(2, 8) as u32;
+        let spines = r.gen_range_u64(1, 4) as u32;
+        let per = r.gen_range_u64(1, 6) as u32;
         let t = FatTree::new(leaves, spines, per);
         let n = t.num_nodes();
-        let (s, d) = (NodeId(src % n), NodeId(dst % n));
-        check_route_shape(&t, s, d).map_err(|e| TestCaseError::fail(e))?;
-        prop_assert!(t.fabric_hops(s, d) <= 2);
+        let s = NodeId(r.gen_range_u64(0, 500) as u32 % n);
+        let d = NodeId(r.gen_range_u64(0, 500) as u32 % n);
+        check_route_shape(&t, s, d).expect("fat-tree route shape");
+        assert!(t.fabric_hops(s, d) <= 2);
     }
+}
 
-    /// Random mappings are permutations of the block mapping's node
-    /// multiset and always fit the machine they were sized for.
-    #[test]
-    fn random_mapping_is_conservative(ranks in 2u32..256, seed in 0u64..1000) {
+/// Random mappings are permutations of the block mapping's node multiset
+/// and always fit the machine they were sized for.
+#[test]
+fn random_mapping_is_conservative() {
+    let mut r = Rng::seed_from_u64(0x7090_0004);
+    for _ in 0..CASES {
+        let ranks = r.gen_range_u64(2, 256) as u32;
+        let seed = r.gen_range_u64(0, 1000);
         let machine = Machine::hopper();
         let rpn = machine.cores_per_node;
         let m = Mapping::random(ranks, rpn, seed);
-        prop_assert!(m.validate_for(&machine).is_ok());
+        assert!(m.validate_for(&machine).is_ok());
         // Node loads match the block mapping's loads exactly.
         let block = Mapping::block(ranks, rpn);
         let mut load_a = std::collections::HashMap::new();
         let mut load_b = std::collections::HashMap::new();
-        for r in 0..ranks {
-            *load_a.entry(m.node_of(Rank(r))).or_insert(0u32) += 1;
-            *load_b.entry(block.node_of(Rank(r))).or_insert(0u32) += 1;
+        for rk in 0..ranks {
+            *load_a.entry(m.node_of(Rank(rk))).or_insert(0u32) += 1;
+            *load_b.entry(block.node_of(Rank(rk))).or_insert(0u32) += 1;
         }
         let mut a: Vec<u32> = load_a.into_values().collect();
         let mut b: Vec<u32> = load_b.into_values().collect();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Machine hop latency times the mean route length reconstructs the
-    /// configured end-to-end latency within rounding.
-    #[test]
-    fn hop_latency_partition(dims in prop::sample::select(vec![(2u32,2u32,2u32), (4,4,2), (6,4,4), (3,3,3)])) {
-        let (x, y, z) = dims;
+/// Machine hop latency times the mean route length reconstructs the
+/// configured end-to-end latency within rounding.
+#[test]
+fn hop_latency_partition() {
+    for (x, y, z) in [(2u32, 2u32, 2u32), (4, 4, 2), (6, 4, 4), (3, 3, 3)] {
         let m = Machine::new(
             "t",
             std::sync::Arc::new(Torus3d::new(x, y, z, 2)),
@@ -95,6 +109,6 @@ proptest! {
         let mean = m.topology.mean_route_links();
         let total = m.hop_latency().as_ps() as f64 * mean;
         let target = 2_000_000.0; // 2000 ns in ps
-        prop_assert!((total - target).abs() / target < 0.02, "{total} vs {target}");
+        assert!((total - target).abs() / target < 0.02, "{total} vs {target}");
     }
 }

@@ -216,11 +216,40 @@ impl Features {
     /// model.
     pub fn as_vec(&self) -> [f64; NUM_FEATURES] {
         [
-            self.r, self.rn, self.n, self.t, self.tcp, self.po_cp, self.tc, self.po_c, self.tbr,
-            self.po_br, self.tfbr, self.po_fbr, self.tcoll, self.po_coll, self.tfcoll,
-            self.po_fcoll, self.tp2p, self.po_tp2p, self.tsyn, self.po_syn, self.tasyn,
-            self.po_asyn, self.tb, self.no_m, self.tb_p2p, self.cr, self.cr_comm, self.no_call,
-            self.no_s, self.no_is, self.no_r, self.no_ir, self.no_b, self.no_c,
+            self.r,
+            self.rn,
+            self.n,
+            self.t,
+            self.tcp,
+            self.po_cp,
+            self.tc,
+            self.po_c,
+            self.tbr,
+            self.po_br,
+            self.tfbr,
+            self.po_fbr,
+            self.tcoll,
+            self.po_coll,
+            self.tfcoll,
+            self.po_fcoll,
+            self.tp2p,
+            self.po_tp2p,
+            self.tsyn,
+            self.po_syn,
+            self.tasyn,
+            self.po_asyn,
+            self.tb,
+            self.no_m,
+            self.tb_p2p,
+            self.cr,
+            self.cr_comm,
+            self.no_call,
+            self.no_s,
+            self.no_is,
+            self.no_r,
+            self.no_ir,
+            self.no_b,
+            self.no_c,
         ]
     }
 }
@@ -248,19 +277,37 @@ mod tests {
         let mut t = Trace::empty(meta(2, 2));
         t.events[0] = vec![
             Event::compute(Time::from_ms(6)),
-            Event::new(EventKind::Coll { kind: CollKind::Barrier, bytes: 0, root: Rank(0) }, Time::from_ms(1)),
+            Event::new(
+                EventKind::Coll { kind: CollKind::Barrier, bytes: 0, root: Rank(0) },
+                Time::from_ms(1),
+            ),
             Event::new(EventKind::Send { peer: Rank(1), bytes: 1000, tag: 0 }, Time::from_ms(1)),
-            Event::new(EventKind::Irecv { peer: Rank(1), bytes: 500, tag: 1, req: ReqId(0) }, Time::from_ms(1)),
+            Event::new(
+                EventKind::Irecv { peer: Rank(1), bytes: 500, tag: 1, req: ReqId(0) },
+                Time::from_ms(1),
+            ),
             Event::new(EventKind::Wait { req: ReqId(0) }, Time::from_ms(1)),
-            Event::new(EventKind::Coll { kind: CollKind::Alltoall, bytes: 100, root: Rank(0) }, Time::from_ms(2)),
+            Event::new(
+                EventKind::Coll { kind: CollKind::Alltoall, bytes: 100, root: Rank(0) },
+                Time::from_ms(2),
+            ),
         ];
         t.events[1] = vec![
             Event::compute(Time::from_ms(4)),
-            Event::new(EventKind::Coll { kind: CollKind::Barrier, bytes: 0, root: Rank(0) }, Time::from_ms(3)),
+            Event::new(
+                EventKind::Coll { kind: CollKind::Barrier, bytes: 0, root: Rank(0) },
+                Time::from_ms(3),
+            ),
             Event::new(EventKind::Recv { peer: Rank(0), bytes: 1000, tag: 0 }, Time::from_ms(1)),
-            Event::new(EventKind::Isend { peer: Rank(0), bytes: 500, tag: 1, req: ReqId(0) }, Time::from_ms(1)),
+            Event::new(
+                EventKind::Isend { peer: Rank(0), bytes: 500, tag: 1, req: ReqId(0) },
+                Time::from_ms(1),
+            ),
             Event::new(EventKind::Wait { req: ReqId(0) }, Time::from_ms(1)),
-            Event::new(EventKind::Coll { kind: CollKind::Alltoall, bytes: 100, root: Rank(0) }, Time::from_ms(2)),
+            Event::new(
+                EventKind::Coll { kind: CollKind::Alltoall, bytes: 100, root: Rank(0) },
+                Time::from_ms(2),
+            ),
         ];
         t
     }

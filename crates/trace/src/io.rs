@@ -21,7 +21,6 @@ use crate::event::{CollKind, Event, EventKind};
 use crate::ids::{Rank, ReqId};
 use crate::time::Time;
 use crate::trace::{Trace, TraceMeta};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// Current binary format revision.
@@ -53,7 +52,9 @@ impl fmt::Display for DecodeError {
         match self {
             DecodeError::BadMagic => write!(f, "not a masim trace (bad magic)"),
             DecodeError::BadVersion(v) => write!(f, "unsupported trace format version {v}"),
-            DecodeError::Truncated { context } => write!(f, "trace truncated while reading {context}"),
+            DecodeError::Truncated { context } => {
+                write!(f, "trace truncated while reading {context}")
+            }
             DecodeError::BadUtf8 => write!(f, "non-UTF-8 string field"),
             DecodeError::BadTag(t) => write!(f, "unknown record tag {t}"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after trace"),
@@ -73,154 +74,190 @@ const TAG_WAIT: u8 = 5;
 const TAG_WAITALL: u8 = 6;
 const TAG_COLL: u8 = 7;
 
+// Little-endian writer helpers over a plain Vec<u8>.
+#[inline]
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+#[inline]
+fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+#[inline]
+fn put_u64_le(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+// Reader helpers over `&mut &[u8]`. Callers bounds-check with
+// `buf.len()` before calling; these panic only on internal logic errors.
+#[inline]
+fn get_u8(buf: &mut &[u8]) -> u8 {
+    let (head, rest) = buf.split_at(1);
+    *buf = rest;
+    head[0]
+}
+#[inline]
+fn get_u32_le(buf: &mut &[u8]) -> u32 {
+    let (head, rest) = buf.split_at(4);
+    *buf = rest;
+    u32::from_le_bytes(head.try_into().expect("4-byte slice"))
+}
+#[inline]
+fn get_u64_le(buf: &mut &[u8]) -> u64 {
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    u64::from_le_bytes(head.try_into().expect("8-byte slice"))
+}
+
 /// Serialize a trace to its binary form.
-pub fn encode(trace: &Trace) -> Bytes {
+pub fn encode(trace: &Trace) -> Vec<u8> {
     // Rough pre-size: 16 bytes/event average avoids most reallocation.
-    let mut buf = BytesMut::with_capacity(64 + trace.num_events() * 16);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(FORMAT_VERSION);
+    let mut buf = Vec::with_capacity(64 + trace.num_events() * 16);
+    buf.extend_from_slice(MAGIC);
+    put_u32_le(&mut buf, FORMAT_VERSION);
     put_string(&mut buf, &trace.meta.app);
     put_string(&mut buf, &trace.meta.machine);
-    buf.put_u32_le(trace.meta.ranks);
-    buf.put_u32_le(trace.meta.ranks_per_node);
-    buf.put_u32_le(trace.meta.problem_size);
-    buf.put_u64_le(trace.meta.seed);
+    put_u32_le(&mut buf, trace.meta.ranks);
+    put_u32_le(&mut buf, trace.meta.ranks_per_node);
+    put_u32_le(&mut buf, trace.meta.problem_size);
+    put_u64_le(&mut buf, trace.meta.seed);
     for stream in &trace.events {
-        buf.put_u64_le(stream.len() as u64);
+        put_u64_le(&mut buf, stream.len() as u64);
         for e in stream {
             put_event(&mut buf, e);
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserialize a trace from its binary form.
 pub fn decode(mut buf: &[u8]) -> Result<Trace, DecodeError> {
-    if buf.remaining() < 8 {
+    if buf.len() < 8 {
         return Err(DecodeError::Truncated { context: "header" });
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let (magic, rest) = buf.split_at(4);
+    buf = rest;
+    if magic != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let version = buf.get_u32_le();
+    let version = get_u32_le(&mut buf);
     if version != FORMAT_VERSION {
         return Err(DecodeError::BadVersion(version));
     }
     let app = get_string(&mut buf)?;
     let machine = get_string(&mut buf)?;
-    if buf.remaining() < 4 * 3 + 8 {
+    if buf.len() < 4 * 3 + 8 {
         return Err(DecodeError::Truncated { context: "meta" });
     }
-    let ranks = buf.get_u32_le();
-    let ranks_per_node = buf.get_u32_le();
-    let problem_size = buf.get_u32_le();
-    let seed = buf.get_u64_le();
+    let ranks = get_u32_le(&mut buf);
+    let ranks_per_node = get_u32_le(&mut buf);
+    let problem_size = get_u32_le(&mut buf);
+    let seed = get_u64_le(&mut buf);
     let meta = TraceMeta { app, machine, ranks, ranks_per_node, problem_size, seed };
 
     let mut events = Vec::with_capacity(ranks as usize);
     for _ in 0..ranks {
-        if buf.remaining() < 8 {
+        if buf.len() < 8 {
             return Err(DecodeError::Truncated { context: "stream length" });
         }
-        let n = buf.get_u64_le() as usize;
+        let n = get_u64_le(&mut buf) as usize;
         let mut stream = Vec::with_capacity(n);
         for _ in 0..n {
             stream.push(get_event(&mut buf)?);
         }
         events.push(stream);
     }
-    if buf.has_remaining() {
-        return Err(DecodeError::TrailingBytes(buf.remaining()));
+    if !buf.is_empty() {
+        return Err(DecodeError::TrailingBytes(buf.len()));
     }
     Ok(Trace { meta, events })
 }
 
-fn put_string(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    put_u32_le(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
 }
 
 fn get_string(buf: &mut &[u8]) -> Result<String, DecodeError> {
-    if buf.remaining() < 4 {
+    if buf.len() < 4 {
         return Err(DecodeError::Truncated { context: "string length" });
     }
-    let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
+    let len = get_u32_le(buf) as usize;
+    if buf.len() < len {
         return Err(DecodeError::Truncated { context: "string body" });
     }
-    let bytes = buf.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    let (body, rest) = buf.split_at(len);
+    *buf = rest;
+    String::from_utf8(body.to_vec()).map_err(|_| DecodeError::BadUtf8)
 }
 
-fn put_event(buf: &mut BytesMut, e: &Event) {
+fn put_event(buf: &mut Vec<u8>, e: &Event) {
     match &e.kind {
         EventKind::Compute => {
-            buf.put_u8(TAG_COMPUTE);
-            buf.put_u64_le(e.dur.as_ps());
+            put_u8(buf, TAG_COMPUTE);
+            put_u64_le(buf, e.dur.as_ps());
         }
         EventKind::Send { peer, bytes, tag } => {
-            buf.put_u8(TAG_SEND);
-            buf.put_u64_le(e.dur.as_ps());
-            buf.put_u32_le(peer.0);
-            buf.put_u64_le(*bytes);
-            buf.put_u32_le(*tag);
+            put_u8(buf, TAG_SEND);
+            put_u64_le(buf, e.dur.as_ps());
+            put_u32_le(buf, peer.0);
+            put_u64_le(buf, *bytes);
+            put_u32_le(buf, *tag);
         }
         EventKind::Isend { peer, bytes, tag, req } => {
-            buf.put_u8(TAG_ISEND);
-            buf.put_u64_le(e.dur.as_ps());
-            buf.put_u32_le(peer.0);
-            buf.put_u64_le(*bytes);
-            buf.put_u32_le(*tag);
-            buf.put_u32_le(req.0);
+            put_u8(buf, TAG_ISEND);
+            put_u64_le(buf, e.dur.as_ps());
+            put_u32_le(buf, peer.0);
+            put_u64_le(buf, *bytes);
+            put_u32_le(buf, *tag);
+            put_u32_le(buf, req.0);
         }
         EventKind::Recv { peer, bytes, tag } => {
-            buf.put_u8(TAG_RECV);
-            buf.put_u64_le(e.dur.as_ps());
-            buf.put_u32_le(peer.0);
-            buf.put_u64_le(*bytes);
-            buf.put_u32_le(*tag);
+            put_u8(buf, TAG_RECV);
+            put_u64_le(buf, e.dur.as_ps());
+            put_u32_le(buf, peer.0);
+            put_u64_le(buf, *bytes);
+            put_u32_le(buf, *tag);
         }
         EventKind::Irecv { peer, bytes, tag, req } => {
-            buf.put_u8(TAG_IRECV);
-            buf.put_u64_le(e.dur.as_ps());
-            buf.put_u32_le(peer.0);
-            buf.put_u64_le(*bytes);
-            buf.put_u32_le(*tag);
-            buf.put_u32_le(req.0);
+            put_u8(buf, TAG_IRECV);
+            put_u64_le(buf, e.dur.as_ps());
+            put_u32_le(buf, peer.0);
+            put_u64_le(buf, *bytes);
+            put_u32_le(buf, *tag);
+            put_u32_le(buf, req.0);
         }
         EventKind::Wait { req } => {
-            buf.put_u8(TAG_WAIT);
-            buf.put_u64_le(e.dur.as_ps());
-            buf.put_u32_le(req.0);
+            put_u8(buf, TAG_WAIT);
+            put_u64_le(buf, e.dur.as_ps());
+            put_u32_le(buf, req.0);
         }
         EventKind::WaitAll { reqs } => {
-            buf.put_u8(TAG_WAITALL);
-            buf.put_u64_le(e.dur.as_ps());
-            buf.put_u32_le(reqs.len() as u32);
+            put_u8(buf, TAG_WAITALL);
+            put_u64_le(buf, e.dur.as_ps());
+            put_u32_le(buf, reqs.len() as u32);
             for r in reqs {
-                buf.put_u32_le(r.0);
+                put_u32_le(buf, r.0);
             }
         }
         EventKind::Coll { kind, bytes, root } => {
-            buf.put_u8(TAG_COLL);
-            buf.put_u64_le(e.dur.as_ps());
-            buf.put_u8(kind.code());
-            buf.put_u64_le(*bytes);
-            buf.put_u32_le(root.0);
+            put_u8(buf, TAG_COLL);
+            put_u64_le(buf, e.dur.as_ps());
+            put_u8(buf, kind.code());
+            put_u64_le(buf, *bytes);
+            put_u32_le(buf, root.0);
         }
     }
 }
 
 fn get_event(buf: &mut &[u8]) -> Result<Event, DecodeError> {
-    if buf.remaining() < 9 {
+    if buf.len() < 9 {
         return Err(DecodeError::Truncated { context: "event header" });
     }
-    let tag = buf.get_u8();
-    let dur = Time::from_ps(buf.get_u64_le());
+    let tag = get_u8(buf);
+    let dur = Time::from_ps(get_u64_le(buf));
     let need = |buf: &&[u8], n: usize, ctx: &'static str| {
-        if buf.remaining() < n {
+        if buf.len() < n {
             Err(DecodeError::Truncated { context: ctx })
         } else {
             Ok(())
@@ -230,50 +267,50 @@ fn get_event(buf: &mut &[u8]) -> Result<Event, DecodeError> {
         TAG_COMPUTE => EventKind::Compute,
         TAG_SEND => {
             need(buf, 16, "send")?;
-            let peer = Rank(buf.get_u32_le());
-            let bytes = buf.get_u64_le();
-            let tag = buf.get_u32_le();
+            let peer = Rank(get_u32_le(buf));
+            let bytes = get_u64_le(buf);
+            let tag = get_u32_le(buf);
             EventKind::Send { peer, bytes, tag }
         }
         TAG_ISEND => {
             need(buf, 20, "isend")?;
-            let peer = Rank(buf.get_u32_le());
-            let bytes = buf.get_u64_le();
-            let tag = buf.get_u32_le();
-            let req = ReqId(buf.get_u32_le());
+            let peer = Rank(get_u32_le(buf));
+            let bytes = get_u64_le(buf);
+            let tag = get_u32_le(buf);
+            let req = ReqId(get_u32_le(buf));
             EventKind::Isend { peer, bytes, tag, req }
         }
         TAG_RECV => {
             need(buf, 16, "recv")?;
-            let peer = Rank(buf.get_u32_le());
-            let bytes = buf.get_u64_le();
-            let tag = buf.get_u32_le();
+            let peer = Rank(get_u32_le(buf));
+            let bytes = get_u64_le(buf);
+            let tag = get_u32_le(buf);
             EventKind::Recv { peer, bytes, tag }
         }
         TAG_IRECV => {
             need(buf, 20, "irecv")?;
-            let peer = Rank(buf.get_u32_le());
-            let bytes = buf.get_u64_le();
-            let tag = buf.get_u32_le();
-            let req = ReqId(buf.get_u32_le());
+            let peer = Rank(get_u32_le(buf));
+            let bytes = get_u64_le(buf);
+            let tag = get_u32_le(buf);
+            let req = ReqId(get_u32_le(buf));
             EventKind::Irecv { peer, bytes, tag, req }
         }
         TAG_WAIT => {
             need(buf, 4, "wait")?;
-            EventKind::Wait { req: ReqId(buf.get_u32_le()) }
+            EventKind::Wait { req: ReqId(get_u32_le(buf)) }
         }
         TAG_WAITALL => {
             need(buf, 4, "waitall count")?;
-            let n = buf.get_u32_le() as usize;
+            let n = get_u32_le(buf) as usize;
             need(buf, n * 4, "waitall reqs")?;
-            let reqs = (0..n).map(|_| ReqId(buf.get_u32_le())).collect();
+            let reqs = (0..n).map(|_| ReqId(get_u32_le(buf))).collect();
             EventKind::WaitAll { reqs }
         }
         TAG_COLL => {
             need(buf, 13, "collective")?;
-            let kind = CollKind::from_code(buf.get_u8()).ok_or(DecodeError::BadTag(255))?;
-            let bytes = buf.get_u64_le();
-            let root = Rank(buf.get_u32_le());
+            let kind = CollKind::from_code(get_u8(buf)).ok_or(DecodeError::BadTag(255))?;
+            let bytes = get_u64_le(buf);
+            let root = Rank(get_u32_le(buf));
             EventKind::Coll { kind, bytes, root }
         }
         other => return Err(DecodeError::BadTag(other)),
@@ -298,11 +335,15 @@ pub fn to_text(trace: &Trace) -> String {
             let _ = write!(out, "r{r} {} ", e.dur);
             let _ = match &e.kind {
                 EventKind::Compute => writeln!(out, "compute"),
-                EventKind::Send { peer, bytes, tag } => writeln!(out, "send -> {peer} {bytes}B tag={tag}"),
+                EventKind::Send { peer, bytes, tag } => {
+                    writeln!(out, "send -> {peer} {bytes}B tag={tag}")
+                }
                 EventKind::Isend { peer, bytes, tag, req } => {
                     writeln!(out, "isend -> {peer} {bytes}B tag={tag} {req}")
                 }
-                EventKind::Recv { peer, bytes, tag } => writeln!(out, "recv <- {peer} {bytes}B tag={tag}"),
+                EventKind::Recv { peer, bytes, tag } => {
+                    writeln!(out, "recv <- {peer} {bytes}B tag={tag}")
+                }
                 EventKind::Irecv { peer, bytes, tag, req } => {
                     writeln!(out, "irecv <- {peer} {bytes}B tag={tag} {req}")
                 }
@@ -333,18 +374,36 @@ mod tests {
         let mut t = Trace::empty(meta);
         t.events[0] = vec![
             Event::compute(Time::from_us(10)),
-            Event::new(EventKind::Isend { peer: Rank(1), bytes: 4096, tag: 1, req: ReqId(0) }, Time::from_ns(300)),
-            Event::new(EventKind::Irecv { peer: Rank(1), bytes: 4096, tag: 2, req: ReqId(1) }, Time::from_ns(200)),
+            Event::new(
+                EventKind::Isend { peer: Rank(1), bytes: 4096, tag: 1, req: ReqId(0) },
+                Time::from_ns(300),
+            ),
+            Event::new(
+                EventKind::Irecv { peer: Rank(1), bytes: 4096, tag: 2, req: ReqId(1) },
+                Time::from_ns(200),
+            ),
             Event::new(EventKind::WaitAll { reqs: vec![ReqId(0), ReqId(1)] }, Time::from_us(2)),
-            Event::new(EventKind::Coll { kind: CollKind::Allreduce, bytes: 8, root: Rank(0) }, Time::from_us(5)),
+            Event::new(
+                EventKind::Coll { kind: CollKind::Allreduce, bytes: 8, root: Rank(0) },
+                Time::from_us(5),
+            ),
         ];
         t.events[1] = vec![
             Event::compute(Time::from_us(11)),
-            Event::new(EventKind::Irecv { peer: Rank(0), bytes: 4096, tag: 1, req: ReqId(0) }, Time::from_ns(200)),
-            Event::new(EventKind::Isend { peer: Rank(0), bytes: 4096, tag: 2, req: ReqId(1) }, Time::from_ns(300)),
+            Event::new(
+                EventKind::Irecv { peer: Rank(0), bytes: 4096, tag: 1, req: ReqId(0) },
+                Time::from_ns(200),
+            ),
+            Event::new(
+                EventKind::Isend { peer: Rank(0), bytes: 4096, tag: 2, req: ReqId(1) },
+                Time::from_ns(300),
+            ),
             Event::new(EventKind::Wait { req: ReqId(0) }, Time::from_us(1)),
             Event::new(EventKind::Wait { req: ReqId(1) }, Time::from_us(1)),
-            Event::new(EventKind::Coll { kind: CollKind::Allreduce, bytes: 8, root: Rank(0) }, Time::from_us(5)),
+            Event::new(
+                EventKind::Coll { kind: CollKind::Allreduce, bytes: 8, root: Rank(0) },
+                Time::from_us(5),
+            ),
         ];
         t
     }
@@ -403,7 +462,8 @@ mod tests {
     #[test]
     fn text_rendering_mentions_all_events() {
         let txt = to_text(&sample());
-        for needle in ["compute", "isend", "irecv", "waitall", "wait", "Allreduce", "# masim trace"] {
+        for needle in ["compute", "isend", "irecv", "waitall", "wait", "Allreduce", "# masim trace"]
+        {
             assert!(txt.contains(needle), "missing {needle} in text dump:\n{txt}");
         }
     }

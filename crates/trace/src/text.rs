@@ -35,9 +35,7 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 /// Parse a `key=value` pair out of the header.
 fn header_field<'a>(line: usize, text: &'a str, key: &str) -> Result<&'a str, ParseError> {
     let pat = format!("{key}=");
-    let start = text
-        .find(&pat)
-        .ok_or_else(|| err(line, format!("missing header field {key}")))?
+    let start = text.find(&pat).ok_or_else(|| err(line, format!("missing header field {key}")))?
         + pat.len();
     let rest = &text[start..];
     Ok(rest.split_whitespace().next().unwrap_or(""))
@@ -73,14 +71,12 @@ fn parse_bytes(line: usize, s: &str) -> Result<u64, ParseError> {
 }
 
 fn parse_tag(line: usize, s: &str) -> Result<u32, ParseError> {
-    let digits =
-        s.strip_prefix("tag=").ok_or_else(|| err(line, format!("bad tag '{s}'")))?;
+    let digits = s.strip_prefix("tag=").ok_or_else(|| err(line, format!("bad tag '{s}'")))?;
     digits.parse().map_err(|_| err(line, format!("bad tag '{s}'")))
 }
 
 fn parse_req(line: usize, s: &str) -> Result<ReqId, ParseError> {
-    let digits =
-        s.strip_prefix("req").ok_or_else(|| err(line, format!("bad request '{s}'")))?;
+    let digits = s.strip_prefix("req").ok_or_else(|| err(line, format!("bad request '{s}'")))?;
     digits.parse().map(ReqId).map_err(|_| err(line, format!("bad request '{s}'")))
 }
 
@@ -99,9 +95,7 @@ fn parse_coll_kind(line: usize, s: &str) -> Result<CollKind, ParseError> {
 /// in issue order — exactly how the builder emits them.
 pub fn from_text(text: &str) -> Result<Trace, ParseError> {
     let mut lines = text.lines().enumerate();
-    let (lno, header) = lines
-        .next()
-        .ok_or_else(|| err(1, "empty input"))?;
+    let (lno, header) = lines.next().ok_or_else(|| err(1, "empty input"))?;
     let lno = lno + 1;
     if !header.starts_with("# masim trace:") {
         return Err(err(lno, "missing '# masim trace:' header"));
@@ -109,18 +103,14 @@ pub fn from_text(text: &str) -> Result<Trace, ParseError> {
     let meta = TraceMeta {
         app: header_field(lno, header, "app")?.to_string(),
         machine: header_field(lno, header, "machine")?.to_string(),
-        ranks: header_field(lno, header, "ranks")?
-            .parse()
-            .map_err(|_| err(lno, "bad ranks"))?,
+        ranks: header_field(lno, header, "ranks")?.parse().map_err(|_| err(lno, "bad ranks"))?,
         ranks_per_node: header_field(lno, header, "rpn")?
             .parse()
             .map_err(|_| err(lno, "bad rpn"))?,
         problem_size: header_field(lno, header, "size")?
             .parse()
             .map_err(|_| err(lno, "bad size"))?,
-        seed: header_field(lno, header, "seed")?
-            .parse()
-            .map_err(|_| err(lno, "bad seed"))?,
+        seed: header_field(lno, header, "seed")?.parse().map_err(|_| err(lno, "bad seed"))?,
     };
     let mut trace = Trace::empty(meta);
     // Outstanding request ids per rank, for waitall reconstruction.
@@ -303,7 +293,12 @@ mod tests {
 
     #[test]
     fn time_units_parse() {
-        for (s, ps) in [("7ps", 7u64), ("5.000ns", 5_000), ("10.000us", 10_000_000), ("2.000000s", 2_000_000_000_000)] {
+        for (s, ps) in [
+            ("7ps", 7u64),
+            ("5.000ns", 5_000),
+            ("10.000us", 10_000_000),
+            ("2.000000s", 2_000_000_000_000),
+        ] {
             assert_eq!(parse_time(1, s).unwrap(), Time::from_ps(ps), "{s}");
         }
         assert!(parse_time(1, "5miles").is_err());

@@ -120,7 +120,10 @@ impl Time {
     /// Panics if the factor is negative, NaN, or the result overflows.
     #[inline]
     pub fn scale(self, factor: f64) -> Time {
-        assert!(factor >= 0.0 && factor.is_finite(), "scale factor must be finite and non-negative: {factor}");
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "scale factor must be finite and non-negative: {factor}"
+        );
         let ps = self.0 as f64 * factor;
         assert!(ps <= u64::MAX as f64, "scaled time overflows");
         Time(ps.round() as u64)

@@ -6,6 +6,10 @@ use crate::time::Time;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
+/// FIFO validation ledger per (src, dst, tag) channel: queued send
+/// sizes plus matched send/recv counts.
+type ChannelLedger = HashMap<(u32, u32, u32), (VecDeque<u64>, usize, usize)>;
+
 /// Metadata describing where a trace came from, mirroring the header of a
 /// DUMPI trace set (application, machine, rank count, problem scale).
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
@@ -82,10 +86,9 @@ impl fmt::Display for TraceError {
             TraceError::PeerOutOfRange { rank, peer } => {
                 write!(f, "rank {rank} addresses out-of-range peer {peer}")
             }
-            TraceError::UnmatchedMessage { src, dst, tag, sends, recvs } => write!(
-                f,
-                "channel {src}->{dst} tag {tag}: {sends} sends vs {recvs} recvs"
-            ),
+            TraceError::UnmatchedMessage { src, dst, tag, sends, recvs } => {
+                write!(f, "channel {src}->{dst} tag {tag}: {sends} sends vs {recvs} recvs")
+            }
             TraceError::ByteMismatch { src, dst, tag, send_bytes, recv_bytes } => write!(
                 f,
                 "channel {src}->{dst} tag {tag}: send {send_bytes}B matched recv {recv_bytes}B"
@@ -176,11 +179,7 @@ impl Trace {
     /// Total bytes injected into the network by all ranks.
     pub fn total_bytes(&self) -> u64 {
         let world = self.num_ranks();
-        self.events
-            .iter()
-            .flat_map(|es| es.iter())
-            .map(|e| e.kind.sent_bytes(world))
-            .sum()
+        self.events.iter().flat_map(|es| es.iter()).map(|e| e.kind.sent_bytes(world)).sum()
     }
 
     /// Check structural well-formedness; returns the first defect found.
@@ -215,7 +214,7 @@ impl Trace {
             .unwrap_or_default();
 
         // FIFO per-channel ledger: (src, dst, tag) -> queued send byte counts.
-        let mut channels: HashMap<(u32, u32, u32), (VecDeque<u64>, usize, usize)> = HashMap::new();
+        let mut channels: ChannelLedger = HashMap::new();
 
         for (r, es) in self.events.iter().enumerate() {
             let rank = Rank(r as u32);
@@ -227,7 +226,8 @@ impl Trace {
             for e in es {
                 match &e.kind {
                     EventKind::Compute => {}
-                    EventKind::Send { peer, bytes, tag } | EventKind::Isend { peer, bytes, tag, .. } => {
+                    EventKind::Send { peer, bytes, tag }
+                    | EventKind::Isend { peer, bytes, tag, .. } => {
                         if peer.0 >= world {
                             return Err(TraceError::PeerOutOfRange { rank, peer: *peer });
                         }
@@ -240,7 +240,8 @@ impl Trace {
                             }
                         }
                     }
-                    EventKind::Recv { peer, bytes, tag } | EventKind::Irecv { peer, bytes, tag, .. } => {
+                    EventKind::Recv { peer, bytes, tag }
+                    | EventKind::Irecv { peer, bytes, tag, .. } => {
                         if peer.0 >= world {
                             return Err(TraceError::PeerOutOfRange { rank, peer: *peer });
                         }
@@ -276,8 +277,14 @@ impl Trace {
                             return Err(TraceError::RootOutOfRange { rank, root: *root });
                         }
                         match coll_seq.get(coll_idx) {
-                            Some(&(k0, r0)) if k0 == *kind && (!kind.is_rooted() || r0 == *root) => {}
-                            _ => return Err(TraceError::CollectiveMismatch { rank, index: coll_idx }),
+                            Some(&(k0, r0))
+                                if k0 == *kind && (!kind.is_rooted() || r0 == *root) => {}
+                            _ => {
+                                return Err(TraceError::CollectiveMismatch {
+                                    rank,
+                                    index: coll_idx,
+                                })
+                            }
                         }
                         coll_idx += 1;
                     }
@@ -541,7 +548,8 @@ mod tests {
             EventKind::Isend { peer: Rank(1), bytes: 8, tag: 0, req: ReqId(0) },
             Time::ZERO,
         )];
-        t.events[1] = vec![Event::new(EventKind::Recv { peer: Rank(0), bytes: 8, tag: 0 }, Time::ZERO)];
+        t.events[1] =
+            vec![Event::new(EventKind::Recv { peer: Rank(0), bytes: 8, tag: 0 }, Time::ZERO)];
         assert!(matches!(t.validate(), Err(TraceError::UnwaitedRequest { .. })));
     }
 
@@ -549,8 +557,14 @@ mod tests {
     fn request_reuse_detected() {
         let mut t = Trace::empty(meta(2));
         t.events[0] = vec![
-            Event::new(EventKind::Isend { peer: Rank(1), bytes: 8, tag: 0, req: ReqId(0) }, Time::ZERO),
-            Event::new(EventKind::Isend { peer: Rank(1), bytes: 8, tag: 1, req: ReqId(0) }, Time::ZERO),
+            Event::new(
+                EventKind::Isend { peer: Rank(1), bytes: 8, tag: 0, req: ReqId(0) },
+                Time::ZERO,
+            ),
+            Event::new(
+                EventKind::Isend { peer: Rank(1), bytes: 8, tag: 1, req: ReqId(0) },
+                Time::ZERO,
+            ),
         ];
         t.events[1] = vec![
             Event::new(EventKind::Recv { peer: Rank(0), bytes: 8, tag: 0 }, Time::ZERO),
@@ -577,8 +591,14 @@ mod tests {
     fn collective_count_mismatch_detected() {
         let mut t = Trace::empty(meta(2));
         t.events[0] = vec![
-            Event::new(EventKind::Coll { kind: CollKind::Barrier, bytes: 0, root: Rank(0) }, Time::ZERO),
-            Event::new(EventKind::Coll { kind: CollKind::Barrier, bytes: 0, root: Rank(0) }, Time::ZERO),
+            Event::new(
+                EventKind::Coll { kind: CollKind::Barrier, bytes: 0, root: Rank(0) },
+                Time::ZERO,
+            ),
+            Event::new(
+                EventKind::Coll { kind: CollKind::Barrier, bytes: 0, root: Rank(0) },
+                Time::ZERO,
+            ),
         ];
         t.events[1] = vec![Event::new(
             EventKind::Coll { kind: CollKind::Barrier, bytes: 0, root: Rank(0) },

@@ -22,7 +22,10 @@ impl Bandwidth {
     /// would make every transfer time infinite and silently poison a
     /// simulation, so it is rejected at construction.
     pub fn from_gbps(gbps: f64) -> Bandwidth {
-        assert!(gbps > 0.0 && gbps.is_finite(), "bandwidth must be positive and finite: {gbps} Gb/s");
+        assert!(
+            gbps > 0.0 && gbps.is_finite(),
+            "bandwidth must be positive and finite: {gbps} Gb/s"
+        );
         Bandwidth { bits_per_sec: gbps * 1e9 }
     }
 
@@ -57,7 +60,10 @@ impl Bandwidth {
     /// bandwidth sensitivity sweep: ×8 faster … ×8 slower).
     #[inline]
     pub fn scale(self, factor: f64) -> Bandwidth {
-        assert!(factor > 0.0 && factor.is_finite(), "bandwidth scale factor must be positive: {factor}");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "bandwidth scale factor must be positive: {factor}"
+        );
         Bandwidth { bits_per_sec: self.bits_per_sec * factor }
     }
 }

@@ -1,128 +1,128 @@
-//! Property-based tests for the trace substrate.
+//! Property-style tests for the trace substrate, driven by a seeded
+//! deterministic generator (masim-rng) so every run exercises the same
+//! randomized cases.
 
+use masim_rng::Rng;
 use masim_trace::{
     io, CollKind, Event, EventKind, Rank, RankBuilder, ReqId, Time, Trace, TraceMeta,
 };
-use proptest::prelude::*;
 
-fn arb_coll_kind() -> impl Strategy<Value = CollKind> {
-    prop::sample::select(CollKind::ALL.to_vec())
+const CASES: u64 = 48;
+
+fn arb_coll_kind(r: &mut Rng) -> CollKind {
+    *r.choose(&CollKind::ALL)
 }
 
-fn arb_event(world: u32) -> impl Strategy<Value = Event> {
-    let rank = 0..world;
-    prop_oneof![
-        (0u64..10_000_000).prop_map(|ps| Event::compute(Time::from_ps(ps))),
-        (rank.clone(), 0u64..1_000_000, 0u32..8, 0u64..1_000_000).prop_map(
-            |(peer, bytes, tag, dur)| Event::new(
-                EventKind::Send { peer: Rank(peer), bytes, tag },
-                Time::from_ps(dur)
-            )
+fn arb_event(r: &mut Rng, world: u32) -> Event {
+    let rank = |r: &mut Rng| Rank(r.gen_range_u64(0, world as u64) as u32);
+    let bytes = |r: &mut Rng| r.gen_range_u64(0, 1_000_000);
+    let tag = |r: &mut Rng| r.gen_range_u64(0, 8) as u32;
+    let req = |r: &mut Rng| ReqId(r.gen_range_u64(0, 64) as u32);
+    let dur = |r: &mut Rng| Time::from_ps(r.gen_range_u64(0, 1_000_000));
+    match r.gen_range_u64(0, 8) {
+        0 => Event::compute(Time::from_ps(r.gen_range_u64(0, 10_000_000))),
+        1 => Event::new(EventKind::Send { peer: rank(r), bytes: bytes(r), tag: tag(r) }, dur(r)),
+        2 => Event::new(
+            EventKind::Isend { peer: rank(r), bytes: bytes(r), tag: tag(r), req: req(r) },
+            dur(r),
         ),
-        (rank.clone(), 0u64..1_000_000, 0u32..8, 0u32..64, 0u64..1_000_000).prop_map(
-            |(peer, bytes, tag, req, dur)| Event::new(
-                EventKind::Isend { peer: Rank(peer), bytes, tag, req: ReqId(req) },
-                Time::from_ps(dur)
-            )
+        3 => Event::new(EventKind::Recv { peer: rank(r), bytes: bytes(r), tag: tag(r) }, dur(r)),
+        4 => Event::new(
+            EventKind::Irecv { peer: rank(r), bytes: bytes(r), tag: tag(r), req: req(r) },
+            dur(r),
         ),
-        (rank.clone(), 0u64..1_000_000, 0u32..8, 0u64..1_000_000).prop_map(
-            |(peer, bytes, tag, dur)| Event::new(
-                EventKind::Recv { peer: Rank(peer), bytes, tag },
-                Time::from_ps(dur)
-            )
+        5 => Event::new(EventKind::Wait { req: req(r) }, dur(r)),
+        6 => {
+            let n = r.gen_range_usize(0, 5);
+            let reqs = (0..n).map(|_| req(r)).collect();
+            Event::new(EventKind::WaitAll { reqs }, dur(r))
+        }
+        _ => Event::new(
+            EventKind::Coll { kind: arb_coll_kind(r), bytes: bytes(r), root: rank(r) },
+            dur(r),
         ),
-        (rank.clone(), 0u64..1_000_000, 0u32..8, 0u32..64, 0u64..1_000_000).prop_map(
-            |(peer, bytes, tag, req, dur)| Event::new(
-                EventKind::Irecv { peer: Rank(peer), bytes, tag, req: ReqId(req) },
-                Time::from_ps(dur)
-            )
-        ),
-        (0u32..64, 0u64..1_000_000).prop_map(|(req, dur)| Event::new(
-            EventKind::Wait { req: ReqId(req) },
-            Time::from_ps(dur)
-        )),
-        (prop::collection::vec(0u32..64, 0..5), 0u64..1_000_000).prop_map(|(reqs, dur)| {
-            Event::new(
-                EventKind::WaitAll { reqs: reqs.into_iter().map(ReqId).collect() },
-                Time::from_ps(dur),
-            )
-        }),
-        (arb_coll_kind(), 0u64..1_000_000, rank, 0u64..1_000_000).prop_map(
-            |(kind, bytes, root, dur)| Event::new(
-                EventKind::Coll { kind, bytes, root: Rank(root) },
-                Time::from_ps(dur)
-            )
-        ),
-    ]
+    }
+}
+
+fn arb_name(r: &mut Rng) -> String {
+    let len = r.gen_range_usize(1, 9);
+    (0..len).map(|_| (b'a' + r.gen_range_u64(0, 26) as u8) as char).collect()
 }
 
 /// Arbitrary (not necessarily valid) traces: enough to exercise the
 /// serializer on every event shape.
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    (1u32..5, "[a-z]{1,8}", "[a-z]{1,8}", 1u32..4, 0u64..u64::MAX).prop_flat_map(
-        |(ranks, app, machine, rpn, seed)| {
-            prop::collection::vec(prop::collection::vec(arb_event(ranks), 1..20), ranks as usize)
-                .prop_map(move |events| Trace {
-                    meta: TraceMeta {
-                        app: app.clone(),
-                        machine: machine.clone(),
-                        ranks,
-                        ranks_per_node: rpn,
-                        problem_size: 1,
-                        seed,
-                    },
-                    events,
-                })
-        },
-    )
+fn arb_trace(r: &mut Rng) -> Trace {
+    let ranks = r.gen_range_u64(1, 5) as u32;
+    let meta = TraceMeta {
+        app: arb_name(r),
+        machine: arb_name(r),
+        ranks,
+        ranks_per_node: r.gen_range_u64(1, 4) as u32,
+        problem_size: 1,
+        seed: r.next_u64(),
+    };
+    let events = (0..ranks)
+        .map(|_| {
+            let n = r.gen_range_usize(1, 20);
+            (0..n).map(|_| arb_event(r, ranks)).collect()
+        })
+        .collect();
+    Trace { meta, events }
 }
 
-proptest! {
-    /// Binary encode/decode is an exact round trip for every event shape.
-    #[test]
-    fn encode_decode_round_trip(t in arb_trace()) {
+/// Binary encode/decode is an exact round trip for every event shape.
+#[test]
+fn encode_decode_round_trip() {
+    let mut r = Rng::seed_from_u64(0x7ace_0001);
+    for _ in 0..CASES {
+        let t = arb_trace(&mut r);
         let bytes = io::encode(&t);
         let t2 = io::decode(&bytes).expect("decode");
-        prop_assert_eq!(t, t2);
+        assert_eq!(t, t2);
     }
+}
 
-    /// Decoding any proper prefix fails with an error, never panics.
-    #[test]
-    fn truncated_decode_is_an_error(t in arb_trace(), frac in 0.0f64..1.0) {
+/// Decoding any proper prefix fails with an error, never panics.
+#[test]
+fn truncated_decode_is_an_error() {
+    let mut r = Rng::seed_from_u64(0x7ace_0002);
+    for _ in 0..CASES {
+        let t = arb_trace(&mut r);
         let bytes = io::encode(&t);
-        let cut = ((bytes.len() as f64) * frac) as usize;
+        let cut = ((bytes.len() as f64) * r.next_f64()) as usize;
         if cut < bytes.len() {
-            prop_assert!(io::decode(&bytes[..cut]).is_err());
+            assert!(io::decode(&bytes[..cut]).is_err());
         }
     }
+}
 
-    /// Measured wall time never exceeds summed time and never underruns
-    /// the longest single event.
-    #[test]
-    fn time_aggregates_are_consistent(t in arb_trace()) {
+/// Measured wall time never exceeds summed time and never underruns the
+/// longest single event.
+#[test]
+fn time_aggregates_are_consistent() {
+    let mut r = Rng::seed_from_u64(0x7ace_0003);
+    for _ in 0..CASES {
+        let t = arb_trace(&mut r);
         let wall = t.measured_time();
         let summed = t.total_comm_time() + t.total_compute_time();
-        prop_assert!(wall <= summed + Time::from_ps(1));
-        let longest = t
-            .events
-            .iter()
-            .flat_map(|es| es.iter())
-            .map(|e| e.dur)
-            .max()
-            .unwrap_or(Time::ZERO);
-        prop_assert!(wall >= longest);
+        assert!(wall <= summed + Time::from_ps(1));
+        let longest =
+            t.events.iter().flat_map(|es| es.iter()).map(|e| e.dur).max().unwrap_or(Time::ZERO);
+        assert!(wall >= longest);
         let frac = t.comm_fraction();
-        prop_assert!((0.0..=1.0).contains(&frac));
+        assert!((0.0..=1.0).contains(&frac));
     }
+}
 
-    /// Symmetric pairwise exchanges built with `RankBuilder` always
-    /// validate, and feature extraction matches hand counts.
-    #[test]
-    fn builder_pairwise_traces_validate(
-        pairs in 1usize..6,
-        bytes in 1u64..1_000_000,
-        rounds in 1usize..4,
-    ) {
+/// Symmetric pairwise exchanges built with `RankBuilder` always validate,
+/// and feature extraction matches hand counts.
+#[test]
+fn builder_pairwise_traces_validate() {
+    let mut r = Rng::seed_from_u64(0x7ace_0004);
+    for _ in 0..CASES {
+        let pairs = r.gen_range_usize(1, 6);
+        let bytes = r.gen_range_u64(1, 1_000_000);
+        let rounds = r.gen_range_usize(1, 4);
         let ranks = (pairs * 2) as u32;
         let meta = TraceMeta {
             app: "pp".into(),
@@ -150,26 +150,28 @@ proptest! {
             trace.events[a.idx()] = ba.finish();
             trace.events[b.idx()] = bb.finish();
         }
-        prop_assert_eq!(trace.validate(), Ok(()));
+        assert_eq!(trace.validate(), Ok(()));
         let f = masim_trace::Features::extract(&trace);
-        prop_assert_eq!(f.no_is as usize, pairs * rounds);
-        prop_assert_eq!(f.no_ir as usize, pairs * rounds);
-        prop_assert_eq!(f.tb_p2p as u64, (pairs * rounds) as u64 * bytes);
-        prop_assert!((f.po_cp + f.po_c - 100.0).abs() < 1e-6);
+        assert_eq!(f.no_is as usize, pairs * rounds);
+        assert_eq!(f.no_ir as usize, pairs * rounds);
+        assert_eq!(f.tb_p2p as u64, (pairs * rounds) as u64 * bytes);
+        assert!((f.po_cp + f.po_c - 100.0).abs() < 1e-6);
     }
+}
 
-    /// Bandwidth transfer times are monotone in bytes and inversely
-    /// monotone in rate.
-    #[test]
-    fn transfer_time_monotone(
-        gbps in 1.0f64..100.0,
-        a in 0u64..10_000_000,
-        b in 0u64..10_000_000,
-    ) {
+/// Bandwidth transfer times are monotone in bytes and inversely monotone
+/// in rate.
+#[test]
+fn transfer_time_monotone() {
+    let mut r = Rng::seed_from_u64(0x7ace_0005);
+    for _ in 0..CASES {
+        let gbps = r.gen_range_f64(1.0, 100.0);
+        let a = r.gen_range_u64(0, 10_000_000);
+        let b = r.gen_range_u64(0, 10_000_000);
         let bw = masim_trace::Bandwidth::from_gbps(gbps);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(bw.transfer_time(lo) <= bw.transfer_time(hi));
+        assert!(bw.transfer_time(lo) <= bw.transfer_time(hi));
         let faster = bw.scale(2.0);
-        prop_assert!(faster.transfer_time(hi) <= bw.transfer_time(hi));
+        assert!(faster.transfer_time(hi) <= bw.transfer_time(hi));
     }
 }

@@ -8,7 +8,6 @@ use crate::apps::stamp_contention;
 use crate::config::GenConfig;
 use crate::synth::TraceSynth;
 use masim_trace::{CollKind, Rank, Trace};
-use rand::Rng;
 
 /// NPB EP: embarrassingly parallel random-number generation.
 ///
@@ -48,7 +47,7 @@ pub fn cmc(cfg: &GenConfig) -> Trace {
         let weights: Vec<f64> = (0..ranks)
             .map(|r| {
                 let bias = 1.0 + cfg.imbalance * ((r % 7) as f64 / 7.0);
-                let jitter: f64 = s.rng().gen::<f64>() * cfg.imbalance * 0.5;
+                let jitter: f64 = s.rng().next_f64() * cfg.imbalance * 0.5;
                 bias + jitter
             })
             .collect();

@@ -11,7 +11,6 @@ use crate::apps::{per_rank_volume, size_mult, stamp_contention};
 use crate::config::GenConfig;
 use crate::synth::TraceSynth;
 use masim_trace::{CollKind, Rank, Trace};
-use rand::Rng;
 
 /// Crystal Router: the Nek5000 generalized all-to-all kernel.
 ///
@@ -34,7 +33,7 @@ pub fn cr(cfg: &GenConfig) -> Trace {
             for r in 0..cfg.ranks {
                 let partner = r ^ bit;
                 if r < partner {
-                    let u: f64 = s.rng().gen();
+                    let u: f64 = s.rng().next_f64();
                     let bytes = ((base as f64) * (0.5 + u)) as u64;
                     edges.push((r, partner, bytes.max(64)));
                 }
@@ -60,26 +59,26 @@ pub fn fill_boundary(cfg: &GenConfig) -> Trace {
     // Build the irregular box-neighbor graph once, deterministically.
     let mut edges: Vec<(u32, u32, u64)> = Vec::new();
     for r in 0..cfg.ranks {
-        let degree = 2 + (s.rng().gen::<u32>() % 7);
+        let degree = 2 + (s.rng().next_u32() % 7);
         for _ in 0..degree {
             // Mix of near neighbors (AMR locality) and far refinement
             // partners.
-            let near: bool = s.rng().gen::<f64>() < 0.7;
+            let near: bool = s.rng().next_f64() < 0.7;
             let peer = if near {
-                let off = 1 + (s.rng().gen::<u32>() % 4);
+                let off = 1 + (s.rng().next_u32() % 4);
                 (r + off) % cfg.ranks
             } else {
                 // Refinement partners: spatially local in the AMR sense
                 // (a few dozen ranks away), not uniformly random — this
                 // is what keeps real FB hotspots bounded.
-                let off = 5 + (s.rng().gen::<u32>() % 64);
+                let off = 5 + (s.rng().next_u32() % 64);
                 (r + off) % cfg.ranks
             };
             if peer == r {
                 continue;
             }
             // Payload spread over two decades.
-            let mag = s.rng().gen::<f64>();
+            let mag = s.rng().next_f64();
             let bytes = ((base as f64) * 0.01f64.max(mag * mag)) as u64;
             edges.push((r.min(peer), r.max(peer), bytes.max(64)));
         }
@@ -201,15 +200,11 @@ mod tests {
         let t = dt(&cfg);
         assert_eq!(t.validate(), Ok(()));
         // Root (0) only receives; leaves only send.
-        let root_sends = t.events[0]
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::Send { .. }))
-            .count();
+        let root_sends =
+            t.events[0].iter().filter(|e| matches!(e.kind, EventKind::Send { .. })).count();
         assert_eq!(root_sends, 0);
-        let leaf_recvs = t.events[6]
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::Recv { .. }))
-            .count();
+        let leaf_recvs =
+            t.events[6].iter().filter(|e| matches!(e.kind, EventKind::Recv { .. })).count();
         assert_eq!(leaf_recvs, 0);
     }
 

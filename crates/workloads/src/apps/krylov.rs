@@ -67,8 +67,7 @@ pub fn nekbone(cfg: &GenConfig) -> Trace {
     let dims = crate::apps::stencil::brick_dims(cfg.ranks);
     let faces = crate::apps::stencil::face_edges(dims);
     let face_bytes = per_rank_volume(512 * size_mult(cfg.size), cfg.ranks);
-    let edges: Vec<(u32, u32, u64)> =
-        faces.iter().map(|&(a, b)| (a, b, face_bytes)).collect();
+    let edges: Vec<(u32, u32, u64)> = faces.iter().map(|&(a, b)| (a, b, face_bytes)).collect();
 
     let mut s = TraceSynth::new(cfg.clone(), stamp_contention(cfg.app));
     s.coll_all(CollKind::Bcast, 64, Rank(0));
@@ -97,9 +96,9 @@ mod tests {
         let f = Features::extract(&t);
         assert!(f.no_c > 0.0);
         // Fold partner of rank 1 in a 16-rank world is rank 9.
-        let talks_to_fold = t.events[1].iter().any(|e| {
-            matches!(e.kind, EventKind::Isend { peer, .. } if peer == Rank(9))
-        });
+        let talks_to_fold = t.events[1]
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Isend { peer, .. } if peer == Rank(9)));
         assert!(talks_to_fold, "transpose-fold traffic missing");
     }
 

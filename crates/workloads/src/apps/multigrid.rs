@@ -11,7 +11,6 @@ use crate::apps::{per_rank_volume, size_mult, stamp_contention};
 use crate::config::GenConfig;
 use crate::synth::TraceSynth;
 use masim_trace::{CollKind, Rank, Trace};
-use rand::Rng;
 
 /// Active-rank ring edges at V-cycle level `l`: ranks at stride `2^l`
 /// exchange with their next active neighbor.
@@ -37,7 +36,7 @@ fn level_weights(s: &mut TraceSynth, ranks: u32, level: u32, imbalance: f64) -> 
     (0..ranks)
         .map(|r| {
             let active = r % stride == 0;
-            let jitter: f64 = s.rng().gen::<f64>() * imbalance;
+            let jitter: f64 = s.rng().next_f64() * imbalance;
             if active {
                 1.0 + jitter
             } else {
@@ -156,9 +155,9 @@ pub fn amg(cfg: &GenConfig) -> Trace {
         let mut edges = Vec::new();
         if active.len() >= 2 {
             for (i, &a) in active.iter().enumerate() {
-                let degree = 3 + (s.rng().gen::<u32>() % 5) as usize;
+                let degree = 3 + (s.rng().next_u32() % 5) as usize;
                 for d in 1..=degree.min(active.len() - 1) {
-                    let j = (i + d * 7 + (s.rng().gen::<u32>() % 3) as usize) % active.len();
+                    let j = (i + d * 7 + (s.rng().next_u32() % 3) as usize) % active.len();
                     if i == j {
                         continue;
                     }

@@ -12,7 +12,6 @@ use crate::apps::{per_rank_volume, size_mult, stamp_contention};
 use crate::config::GenConfig;
 use crate::synth::TraceSynth;
 use masim_trace::{CollKind, Rank, Trace};
-use rand::Rng;
 
 /// Generate an IS trace.
 ///
@@ -33,7 +32,7 @@ pub fn is(cfg: &GenConfig) -> Trace {
         let spread = 0.2 + cfg.imbalance;
         let totals: Vec<u64> = (0..cfg.ranks)
             .map(|_| {
-                let u: f64 = s.rng().gen();
+                let u: f64 = s.rng().next_f64();
                 let factor = 1.0 - spread / 2.0 + spread * u;
                 ((base as f64) * factor) as u64
             })
@@ -77,7 +76,8 @@ mod tests {
         let mut cfg = GenConfig::test_default(App::Is, 16);
         cfg.imbalance = 0.5;
         let t = is(&cfg);
-        let vols: Vec<u64> = t.events
+        let vols: Vec<u64> = t
+            .events
             .iter()
             .flatten()
             .filter_map(|e| match e.kind {

@@ -254,10 +254,7 @@ mod tests {
         assert_eq!(t.validate(), Ok(()));
         // Rank 0 (corner) has 3 face neighbors; 2 exchanges per step ×
         // 5 steps × 3 neighbors × 2 (send+recv issues) = 60 issues.
-        let issues = t.events[0]
-            .iter()
-            .filter(|e| e.kind.is_nonblocking_p2p())
-            .count();
+        let issues = t.events[0].iter().filter(|e| e.kind.is_nonblocking_p2p()).count();
         assert_eq!(issues, 60);
     }
 
@@ -268,7 +265,7 @@ mod tests {
         assert_eq!(t.validate(), Ok(()));
         let f = Features::extract(&t);
         // Two allreduces per CG iteration, 5 CG iterations per knob iter.
-        assert_eq!(f.no_c as u32, (cfg.iters * 5 * 2 + 1 /*allgather*/) * cfg.ranks);
+        assert_eq!(f.no_c as u32, (cfg.iters * 5 * 2 + 1/*allgather*/) * cfg.ranks);
     }
 
     #[test]

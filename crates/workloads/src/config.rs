@@ -164,9 +164,9 @@ impl App {
     /// Minimum sensible world size.
     pub fn min_ranks(self) -> u32 {
         match self {
-            App::Lulesh | App::Cns => 8,  // 2^3 cube
-            App::Bt | App::Lu => 4,       // 2x2 grid
-            App::Dt => 5,                 // tree with >= 2 levels
+            App::Lulesh | App::Cns => 8, // 2^3 cube
+            App::Bt | App::Lu => 4,      // 2x2 grid
+            App::Dt => 5,                // tree with >= 2 levels
             _ => 4,
         }
     }
@@ -232,7 +232,12 @@ impl GenConfig {
     /// Validate knob ranges; generators call this first.
     pub fn check(&self) {
         assert!(self.ranks >= 2, "need at least two ranks");
-        assert_eq!(self.ranks, self.app.legal_ranks(self.ranks), "illegal rank count for {}", self.app);
+        assert_eq!(
+            self.ranks,
+            self.app.legal_ranks(self.ranks),
+            "illegal rank count for {}",
+            self.app
+        );
         assert!(self.ranks_per_node >= 1);
         assert!((1..=4).contains(&self.size), "size must be 1..=4");
         assert!(self.iters >= 1);

@@ -9,6 +9,7 @@
 
 use crate::apps;
 use crate::config::{App, GenConfig};
+use masim_obs::MetricSet;
 use masim_trace::{Time, Trace};
 
 /// Rank-count buckets of Table Ia: (low, high, number of traces).
@@ -51,16 +52,7 @@ fn bucket_apps(bucket: usize) -> &'static [App] {
             App::Lu,
             App::MultiGrid,
         ],
-        3 => &[
-            App::Cg,
-            App::Mg,
-            App::MultiGrid,
-            App::Lu,
-            App::Nekbone,
-            App::Dt,
-            App::Amg,
-            App::Ft,
-        ],
+        3 => &[App::Cg, App::Mg, App::MultiGrid, App::Lu, App::Nekbone, App::Dt, App::Amg, App::Ft],
         4 => &[App::Ft, App::BigFft, App::Is, App::Cr, App::FillBoundary, App::Nekbone],
         5 => &[App::Is, App::Cr, App::BigFft, App::FillBoundary, App::Nekbone],
         _ => unreachable!("only six comm buckets"),
@@ -84,6 +76,43 @@ impl CorpusEntry {
     pub fn generate(&self) -> Trace {
         apps::generate(&self.cfg)
     }
+
+    /// Generate this entry's trace, recording `workloads.corpus.*`
+    /// counters (traces generated, events and encoded bytes emitted)
+    /// into `ms`.
+    pub fn generate_observed(&self, ms: &MetricSet) -> Trace {
+        let span = ms.span("workloads.corpus.generate");
+        let trace = self.generate();
+        span.stop();
+        ms.add("workloads.corpus.traces", 1);
+        ms.add("workloads.corpus.events", trace.num_events() as u64);
+        ms.add("workloads.corpus.bytes", encoded_size(&trace) as u64);
+        trace
+    }
+}
+
+/// Serialized size of a trace without materializing the encoding:
+/// mirrors the binary format's per-event layout.
+fn encoded_size(trace: &Trace) -> usize {
+    use masim_trace::EventKind;
+    let mut n = 4 + 4; // magic + version
+    n += 4 + trace.meta.app.len() + 4 + trace.meta.machine.len();
+    n += 4 * 3 + 8; // ranks, rpn, size, seed
+    for stream in &trace.events {
+        n += 8; // stream length
+        for e in stream {
+            n += 9; // tag + duration
+            n += match &e.kind {
+                EventKind::Compute => 0,
+                EventKind::Send { .. } | EventKind::Recv { .. } => 16,
+                EventKind::Isend { .. } | EventKind::Irecv { .. } => 20,
+                EventKind::Wait { .. } => 4,
+                EventKind::WaitAll { reqs } => 4 + 4 * reqs.len(),
+                EventKind::Coll { .. } => 13,
+            };
+        }
+    }
+    n
 }
 
 /// Machine scalars used when stamping measured durations (matching the
@@ -349,6 +378,28 @@ mod tests {
             seen.insert(e.cfg.app);
         }
         assert!(seen.len() >= 14, "only {} distinct apps", seen.len());
+    }
+
+    #[test]
+    fn encoded_size_matches_real_encoding() {
+        let entries = build_corpus(7);
+        let e = entries.iter().find(|e| e.cfg.ranks <= 128).unwrap();
+        let t = e.generate();
+        assert_eq!(encoded_size(&t), masim_trace::io::encode(&t).len());
+    }
+
+    #[test]
+    fn generate_observed_counts_match() {
+        let entries = build_corpus(7);
+        let e = entries.iter().find(|e| e.cfg.ranks <= 128).unwrap();
+        let ms = MetricSet::new();
+        let t = e.generate_observed(&ms);
+        assert_eq!(t, e.generate(), "instrumentation must not perturb output");
+        let snap = ms.snapshot();
+        assert_eq!(snap.counters["workloads.corpus.traces"], 1);
+        assert_eq!(snap.counters["workloads.corpus.events"], t.num_events() as u64);
+        assert!(snap.counters["workloads.corpus.bytes"] > 0);
+        assert_eq!(snap.spans["workloads.corpus.generate"].count, 1);
     }
 
     /// Spot-generate a slice of the corpus (cheap entries) and confirm

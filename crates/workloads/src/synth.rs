@@ -16,9 +16,8 @@
 
 use crate::config::GenConfig;
 use crate::cost::StampModel;
+use masim_rng::Rng;
 use masim_trace::{CollKind, Event, EventKind, Rank, ReqId, Time, Trace, TraceMeta};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One compute round: per-rank gap weights plus the events that absorb
 /// the round's skew as recorded wait time.
@@ -37,7 +36,7 @@ pub struct TraceSynth {
     streams: Vec<Vec<Event>>,
     next_req: Vec<u32>,
     open_reqs: Vec<Vec<(u32, u64)>>, // (req id, bytes) still outstanding
-    rng: StdRng,
+    rng: Rng,
     rounds: Vec<Round>,
     awaiting_absorber: Vec<bool>,
 }
@@ -49,7 +48,7 @@ impl TraceSynth {
         cfg.check();
         let n = cfg.ranks as usize;
         let stamp = StampModel::new(cfg.gbps, cfg.latency, contention);
-        let rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let rng = Rng::seed_from_u64(cfg.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
         TraceSynth {
             cfg,
             stamp,
@@ -68,7 +67,7 @@ impl TraceSynth {
     }
 
     /// The generator's RNG (deterministic in `cfg.seed`).
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut Rng {
         &mut self.rng
     }
 
@@ -102,7 +101,7 @@ impl TraceSynth {
         self.begin_round();
         let imb = self.cfg.imbalance;
         for r in 0..self.cfg.ranks {
-            let jitter: f64 = self.rng.gen();
+            let jitter: f64 = self.rng.next_f64();
             self.compute(Rank(r), 1.0 + imb * jitter);
         }
     }
@@ -183,10 +182,8 @@ impl TraceSynth {
         if self.open_reqs[rank.idx()].is_empty() {
             return;
         }
-        let reqs: Vec<ReqId> =
-            self.open_reqs[rank.idx()].iter().map(|&(r, _)| ReqId(r)).collect();
-        let max_bytes =
-            self.open_reqs[rank.idx()].iter().map(|&(_, b)| b).max().unwrap_or(0);
+        let reqs: Vec<ReqId> = self.open_reqs[rank.idx()].iter().map(|&(r, _)| ReqId(r)).collect();
+        let max_bytes = self.open_reqs[rank.idx()].iter().map(|&(_, b)| b).max().unwrap_or(0);
         self.open_reqs[rank.idx()].clear();
         let dur = self.stamp.wait(max_bytes);
         let idx = self.streams[rank.idx()].len();
@@ -343,11 +340,7 @@ mod tests {
     use crate::config::App;
 
     fn cfg(f: f64, imb: f64) -> GenConfig {
-        GenConfig {
-            comm_fraction: f,
-            imbalance: imb,
-            ..GenConfig::test_default(App::Ep, 8)
-        }
+        GenConfig { comm_fraction: f, imbalance: imb, ..GenConfig::test_default(App::Ep, 8) }
     }
 
     #[test]

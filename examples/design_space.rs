@@ -44,10 +44,7 @@ fn main() {
     let mut configs = Vec::new();
     for &bw in &bw_factors {
         for &cs in &compute_factors {
-            configs.push(ModelConfig {
-                net: machine.net.scaled(bw, 1.0),
-                compute_scale: 1.0 / cs,
-            });
+            configs.push(ModelConfig { net: machine.net.scaled(bw, 1.0), compute_scale: 1.0 / cs });
         }
     }
     for &lat in &[0.5, 0.25, 0.1] {
@@ -58,7 +55,11 @@ fn main() {
     let results = replay(&trace, &configs);
     let wall = t0.elapsed();
 
-    println!("predicted FT time under {} configurations (single replay, {:?}):", configs.len(), wall);
+    println!(
+        "predicted FT time under {} configurations (single replay, {:?}):",
+        configs.len(),
+        wall
+    );
     println!("{:>8} {:>9} {:>10} {:>12}", "bw", "compute", "total", "speedup");
     let base = results[0].total.as_secs_f64();
     let mut i = 0;

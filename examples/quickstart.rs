@@ -41,10 +41,7 @@ fn main() {
     let t0 = Instant::now();
     let model = &replay(&trace, &[ModelConfig::base(machine.net)])[0];
     let mfact_wall = t0.elapsed();
-    println!(
-        "\nMFACT     : predicted total {} (wall {:?})",
-        model.total, mfact_wall
-    );
+    println!("\nMFACT     : predicted total {} (wall {:?})", model.total, mfact_wall);
     println!(
         "            counters: wait {} latency {} bandwidth {} compute {}",
         model.counters.wait,

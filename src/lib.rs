@@ -18,7 +18,10 @@
 //! * [`stats`] — logistic regression, step-wise selection, Monte Carlo
 //!   cross-validation;
 //! * [`core`] — the trade-off study and the enhanced-MFACT
-//!   simulation-need predictor.
+//!   simulation-need predictor;
+//! * [`rng`] — the workspace's deterministic xoshiro256++ generator;
+//! * [`obs`] — counters, spans, metric sidecars, and progress reporting
+//!   (see DESIGN.md §Observability).
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry
 //! points.
@@ -26,6 +29,8 @@
 pub use masim_core as core;
 pub use masim_des as des;
 pub use masim_mfact as mfact;
+pub use masim_obs as obs;
+pub use masim_rng as rng;
 pub use masim_sim as sim;
 pub use masim_stats as stats;
 pub use masim_topo as topo;

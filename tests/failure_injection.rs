@@ -23,11 +23,10 @@ fn meta(ranks: u32) -> TraceMeta {
 fn truncated_binary_rejected() {
     let mut t = Trace::empty(meta(2));
     t.events[0] = vec![Event::compute(Time::from_us(1))];
-    t.events[1] = vec![Event::new(EventKind::Coll {
-        kind: masim_trace::CollKind::Barrier,
-        bytes: 0,
-        root: Rank(0),
-    }, Time::ZERO)];
+    t.events[1] = vec![Event::new(
+        EventKind::Coll { kind: masim_trace::CollKind::Barrier, bytes: 0, root: Rank(0) },
+        Time::ZERO,
+    )];
     let bytes = io::encode(&t);
     for cut in [1, 4, 8, bytes.len() / 2, bytes.len() - 1] {
         assert!(io::decode(&bytes[..cut]).is_err(), "cut at {cut}");
@@ -39,10 +38,8 @@ fn truncated_binary_rejected() {
 fn unmatched_receive_caught() {
     let mut t = Trace::empty(meta(2));
     t.events[0] = vec![Event::compute(Time::from_us(1))];
-    t.events[1] = vec![Event::new(
-        EventKind::Recv { peer: Rank(0), bytes: 64, tag: 0 },
-        Time::ZERO,
-    )];
+    t.events[1] =
+        vec![Event::new(EventKind::Recv { peer: Rank(0), bytes: 64, tag: 0 }, Time::ZERO)];
     assert!(matches!(t.validate(), Err(TraceError::UnmatchedMessage { .. })));
 }
 
