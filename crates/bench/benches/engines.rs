@@ -3,26 +3,52 @@
 //! behind Table IV.
 
 use masim_bench::harness::{Harness, DEFAULT_SAMPLES};
-use masim_des::{Engine, LogicalProcess, WindowedPdes};
+use masim_des::{Engine, Handler, LogicalProcess, WindowedPdes};
 use masim_stats::{fit, monte_carlo_cv};
 use masim_trace::{io, Time};
 use masim_workloads::{generate, App, GenConfig};
 use std::hint::black_box;
 
+/// Chain model: each event schedules the next until `limit` executions.
+struct Chain {
+    count: u64,
+    limit: u64,
+}
+
+impl Handler for Chain {
+    type Event = ();
+    fn handle(eng: &mut Engine<Self>, st: &mut Self, (): ()) {
+        st.count += 1;
+        if st.count < st.limit {
+            eng.schedule_in(Time::from_ns(10), ());
+        }
+    }
+}
+
 /// Raw pending-event-set throughput: schedule/execute chains.
 fn des_throughput(h: &mut Harness) {
     h.bench("des/event_chain_100k", 20, || {
-        let mut eng: Engine<u64> = Engine::new();
-        let mut count = 0u64;
-        fn tick(eng: &mut Engine<u64>, n: &mut u64) {
-            *n += 1;
-            if *n < 100_000 {
-                eng.schedule_in(Time::from_ns(10), Box::new(tick));
-            }
+        let mut eng: Engine<Chain> = Engine::new();
+        let mut chain = Chain { count: 0, limit: 100_000 };
+        eng.schedule_at(Time::ZERO, ());
+        eng.run(&mut chain);
+        black_box(chain.count);
+    });
+    // The flow model's ripple: schedule completions, cancel and
+    // reschedule half of them (arena slot reuse + stale queue entries).
+    h.bench("des/schedule_cancel_50k", 20, || {
+        let mut eng: Engine<Chain> = Engine::new();
+        // limit 0: handlers never chain — this measures pure
+        // schedule/cancel/drain traffic, including stale-entry skips.
+        let mut chain = Chain { count: 0, limit: 0 };
+        let ids: Vec<_> =
+            (0..50_000u64).map(|i| eng.schedule_at(Time::from_ns(10 * i), ())).collect();
+        for id in ids.iter().step_by(2) {
+            eng.cancel(*id);
+            eng.schedule_in(Time::from_us(600), ());
         }
-        eng.schedule_at(Time::ZERO, Box::new(tick));
-        eng.run(&mut count);
-        black_box(count);
+        eng.run(&mut chain);
+        black_box(chain.count);
     });
 }
 
@@ -51,7 +77,7 @@ fn pdes_window(h: &mut Harness) {
                 (0..16).map(|i| RingLp { index: i, n: 16, hops: 20_000 }).collect();
             let mut pdes = WindowedPdes::new(lps, Time::from_us(1), threads);
             pdes.seed(Time::ZERO, 0, 0);
-            pdes.run();
+            pdes.run().expect("ring fits the clock");
             black_box(pdes.processed());
         });
     }

@@ -19,6 +19,13 @@
 //! `bench-summary` re-folds an existing sidecar directory without
 //! re-running anything. `--tiny` shrinks the Table II heavyweights to
 //! smoke-test scale (CI uses `table2 --tiny --metrics`).
+//!
+//! `bench-gate [--metrics <dir>] [--tolerance <pct>]` compares the
+//! folded `BENCH_obs.json` against the committed `BENCH_baseline.json`:
+//! per-tool event counts must match exactly (the simulators are
+//! deterministic), while median wall-clock and events/s may regress by
+//! at most the tolerance (default 25%). `--write-baseline` refreshes
+//! the committed baseline instead of comparing.
 
 use masim_core::report;
 use masim_core::{Dataset, Enhanced, Study, StudyConfig, TOOL_WALL_SPAN};
@@ -43,6 +50,27 @@ const EXTRA: [&str; 1] = ["stability"];
 /// Where the folded per-tool summary lands.
 const BENCH_OBS: &str = "BENCH_obs.json";
 
+/// The committed reference the CI bench gate compares against.
+const BENCH_BASELINE: &str = "BENCH_baseline.json";
+
+/// Allowed relative slowdown before `bench-gate` fails (per-tool median
+/// wall-clock and median per-run events/s). Event *counts* are exempt
+/// from any tolerance: the simulators are deterministic, so they must
+/// match the baseline exactly.
+const GATE_TOLERANCE_PCT: f64 = 25.0;
+
+/// Below this baseline median wall-clock, relative timing comparisons
+/// are timer noise (sub-100µs spans swing 2x run to run); such tools
+/// keep the exact event-count check but skip the timing gates.
+const GATE_WALL_FLOOR_SECS: f64 = 100e-6;
+
+/// Absolute scheduler/timer jitter allowance on top of the relative
+/// budget: a timing regression only fails the gate if it also exceeds
+/// this many seconds. On the µs-scale `--tiny` corpus this absorbs the
+/// run-to-run jitter of a shared CI runner; on real (seconds-scale)
+/// workloads it is negligible and the relative budget binds.
+const GATE_NOISE_SECS: f64 = 250e-6;
+
 fn main() {
     if let Err(e) = run() {
         eprintln!("repro: {e}");
@@ -58,10 +86,26 @@ struct Options {
     tiny: bool,
     /// `bench-summary` subcommand: fold an existing sidecar dir.
     summarize: bool,
+    /// `bench-gate` subcommand: compare `BENCH_obs.json` to the
+    /// committed baseline and fail on regressions.
+    gate: bool,
+    /// `bench-gate --write-baseline`: refresh the committed baseline
+    /// from the current fold instead of comparing.
+    write_baseline: bool,
+    /// `bench-gate --tolerance <pct>`: override the slowdown budget.
+    tolerance: f64,
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut opts = Options { reports: Vec::new(), metrics: None, tiny: false, summarize: false };
+    let mut opts = Options {
+        reports: Vec::new(),
+        metrics: None,
+        tiny: false,
+        summarize: false,
+        gate: false,
+        write_baseline: false,
+        tolerance: GATE_TOLERANCE_PCT,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -71,10 +115,21 @@ fn parse_args() -> Result<Options, String> {
             }
             "--tiny" => opts.tiny = true,
             "bench-summary" => opts.summarize = true,
+            "bench-gate" => opts.gate = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--tolerance" => {
+                let pct = it.next().ok_or("--tolerance requires a percentage argument")?;
+                opts.tolerance = pct
+                    .parse::<f64>()
+                    .map_err(|_| format!("--tolerance: '{pct}' is not a number"))?;
+                if !opts.tolerance.is_finite() || opts.tolerance < 0.0 {
+                    return Err(format!("--tolerance: {pct}% is not a sane budget"));
+                }
+            }
             _ => opts.reports.push(a),
         }
     }
-    if opts.reports.is_empty() && !opts.summarize {
+    if opts.reports.is_empty() && !opts.summarize && !opts.gate {
         opts.reports = ALL.iter().map(|s| s.to_string()).collect();
     } else if opts.reports.iter().any(|a| a == "all") {
         opts.reports = ALL.iter().map(|s| s.to_string()).collect();
@@ -82,7 +137,8 @@ fn parse_args() -> Result<Options, String> {
     for a in &opts.reports {
         if !ALL.contains(&a.as_str()) && !EXTRA.contains(&a.as_str()) {
             return Err(format!(
-                "unknown report '{a}'; available: {ALL:?}, {EXTRA:?}, 'all', or 'bench-summary'"
+                "unknown report '{a}'; available: {ALL:?}, {EXTRA:?}, 'all', 'bench-summary', \
+                 or 'bench-gate'"
             ));
         }
     }
@@ -108,6 +164,12 @@ fn run() -> Result<(), String> {
     if opts.summarize && opts.reports.is_empty() {
         let dir = metrics_dir.unwrap_or_else(|| PathBuf::from("reports/metrics"));
         return fold_sidecars(&dir);
+    }
+    if opts.gate {
+        if let Some(dir) = &metrics_dir {
+            fold_sidecars(dir)?;
+        }
+        return bench_gate(opts.write_baseline, opts.tolerance);
     }
     fs::create_dir_all("reports").map_err(|e| format!("create reports/: {e}"))?;
 
@@ -270,19 +332,21 @@ fn fold_sidecars(dir: &Path) -> Result<(), String> {
         let walls: Vec<u64> = runs.iter().map(|r| r.0).collect();
         let p50_ns = walls[(walls.len() - 1) / 2];
         let max_ns = walls.last().copied().unwrap_or(0);
-        let total_wall_ns: u64 = walls.iter().sum();
         let total_events: u64 = runs.iter().map(|r| r.1).sum();
-        let events_per_sec = if total_wall_ns > 0 {
-            total_events as f64 / (total_wall_ns as f64 / 1e9)
-        } else {
-            0.0
-        };
+        // Median of per-run throughputs, not total/total: one cold-start
+        // run (page faults, first-touch allocation) would otherwise
+        // dominate the aggregate at smoke-test scale.
+        let mut rates: Vec<f64> =
+            runs.iter().filter(|r| r.0 > 0).map(|r| r.1 as f64 / (r.0 as f64 / 1e9)).collect();
+        rates.sort_unstable_by(f64::total_cmp);
+        let events_per_sec = if rates.is_empty() { 0.0 } else { rates[(rates.len() - 1) / 2] };
         obj.push((
             tool,
             Value::Obj(vec![
                 ("wall_p50".into(), Value::Num(p50_ns as f64 / 1e9)),
                 ("wall_max".into(), Value::Num(max_ns as f64 / 1e9)),
                 ("events_per_sec".into(), Value::Num(events_per_sec)),
+                ("events_total".into(), Value::UInt(total_events)),
                 ("runs".into(), Value::UInt(walls.len() as u64)),
             ]),
         ));
@@ -292,4 +356,217 @@ fn fold_sidecars(dir: &Path) -> Result<(), String> {
     println!("{json}");
     eprintln!("wrote {BENCH_OBS}");
     Ok(())
+}
+
+/// `bench-gate`: compare the freshly folded `BENCH_obs.json` against
+/// the committed `BENCH_baseline.json`. Deterministic event counts must
+/// match exactly; median wall-clock and events/s may regress by at most
+/// `tolerance` percent. With `write_baseline`, refresh the baseline
+/// from the current fold instead.
+fn bench_gate(write_baseline: bool, tolerance: f64) -> Result<(), String> {
+    let obs_text =
+        fs::read_to_string(BENCH_OBS).map_err(|e| format!("read {BENCH_OBS}: {e} (run `repro table2 --tiny --metrics <dir>` or `repro bench-summary` first)"))?;
+    if write_baseline {
+        fs::write(BENCH_BASELINE, &obs_text).map_err(|e| format!("write {BENCH_BASELINE}: {e}"))?;
+        eprintln!("refreshed {BENCH_BASELINE} from {BENCH_OBS}");
+        return Ok(());
+    }
+    let base_text = fs::read_to_string(BENCH_BASELINE).map_err(|e| {
+        format!("read {BENCH_BASELINE}: {e} (refresh it with `repro bench-gate --write-baseline`)")
+    })?;
+    let obs = masim_obs::json::parse(&obs_text).map_err(|e| format!("parse {BENCH_OBS}: {e}"))?;
+    let base =
+        masim_obs::json::parse(&base_text).map_err(|e| format!("parse {BENCH_BASELINE}: {e}"))?;
+    let report = gate_compare(&base, &obs, tolerance)?;
+    println!("{report}");
+    Ok(())
+}
+
+/// Pure comparison core for `bench-gate` (unit-tested below). Returns a
+/// human-readable per-tool report on success; an error describing every
+/// violation on failure.
+fn gate_compare(base: &Value, obs: &Value, tolerance: f64) -> Result<String, String> {
+    let base_tools = base.as_obj().ok_or("baseline: top level is not an object")?;
+    let obs_tools = obs.as_obj().ok_or("observation: top level is not an object")?;
+    let slack = 1.0 + tolerance / 100.0;
+    let mut lines = vec![
+        format!("bench-gate: tolerance {tolerance}% (event counts exact)"),
+        format!(
+            "{:<14} {:>12} {:>12} {:>14} {:>8}",
+            "tool", "wall_p50(s)", "base(s)", "events/s", "status"
+        ),
+    ];
+    let mut violations = Vec::new();
+    for (tool, b) in base_tools {
+        let Some(o) = obs.get(tool) else {
+            violations.push(format!("{tool}: present in baseline but missing from {BENCH_OBS}"));
+            continue;
+        };
+        let mut bad = false;
+        // Determinism: events per run are exact or the simulators changed
+        // behaviour — a tolerance would only hide it.
+        for key in ["events_total", "runs"] {
+            let (bv, ov) = (b.get(key).and_then(Value::as_u64), o.get(key).and_then(Value::as_u64));
+            if bv != ov {
+                violations.push(format!(
+                    "{tool}: {key} {} != baseline {} (deterministic count must match exactly)",
+                    fmt_opt(ov),
+                    fmt_opt(bv)
+                ));
+                bad = true;
+            }
+        }
+        let bw = b.get("wall_p50").and_then(Value::as_f64).unwrap_or(0.0);
+        let ow = o.get("wall_p50").and_then(Value::as_f64).unwrap_or(0.0);
+        let measurable = bw >= GATE_WALL_FLOOR_SECS;
+        if measurable && ow > bw * slack + GATE_NOISE_SECS {
+            violations.push(format!(
+                "{tool}: wall_p50 {ow:.4}s is {:.0}% over baseline {bw:.4}s (budget {tolerance}%)",
+                (ow / bw - 1.0) * 100.0
+            ));
+            bad = true;
+        }
+        let be = b.get("events_per_sec").and_then(Value::as_f64).unwrap_or(0.0);
+        let oe = o.get("events_per_sec").and_then(Value::as_f64).unwrap_or(0.0);
+        // A throughput drop implies each run's wall grew by
+        // per_run_events × (1/oe − 1/be); hold it to the same absolute
+        // noise allowance as the direct wall check.
+        let per_run = {
+            let ev = b.get("events_total").and_then(Value::as_u64).unwrap_or(0) as f64;
+            let runs = b.get("runs").and_then(Value::as_u64).unwrap_or(1).max(1) as f64;
+            ev / runs
+        };
+        if measurable
+            && be > 0.0
+            && oe > 0.0
+            && oe * slack < be
+            && per_run * (1.0 / oe - 1.0 / be) > GATE_NOISE_SECS
+        {
+            violations.push(format!(
+                "{tool}: events/s {oe:.0} is {:.0}% below baseline {be:.0} (budget {tolerance}%)",
+                (1.0 - oe / be) * 100.0
+            ));
+            bad = true;
+        }
+        lines.push(format!(
+            "{tool:<14} {ow:>12.4} {bw:>12.4} {oe:>14.0} {:>8}",
+            if bad {
+                "FAIL"
+            } else if measurable {
+                "ok"
+            } else {
+                "counts" // timing below the noise floor; counts checked
+            }
+        ));
+    }
+    for (tool, _) in obs_tools {
+        if base.get(tool).is_none() {
+            lines.push(format!("{tool:<14} (new tool; not in baseline — refresh it)"));
+        }
+    }
+    if violations.is_empty() {
+        Ok(lines.join("\n"))
+    } else {
+        Err(format!("{}\nbench-gate FAILED:\n  {}", lines.join("\n"), violations.join("\n  ")))
+    }
+}
+
+fn fmt_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "<missing>".into(), |n| n.to_string())
+}
+
+#[cfg(test)]
+mod gate_tests {
+    use super::*;
+
+    fn tool(wall: f64, eps: f64, events: u64, runs: u64) -> Value {
+        Value::Obj(vec![
+            ("wall_p50".into(), Value::Num(wall)),
+            ("wall_max".into(), Value::Num(wall * 2.0)),
+            ("events_per_sec".into(), Value::Num(eps)),
+            ("events_total".into(), Value::UInt(events)),
+            ("runs".into(), Value::UInt(runs)),
+        ])
+    }
+
+    fn doc(tools: &[(&str, Value)]) -> Value {
+        Value::Obj(tools.iter().map(|(k, v)| (k.to_string(), v.clone())).collect())
+    }
+
+    #[test]
+    fn identical_fold_passes() {
+        let b = doc(&[("packet", tool(0.5, 4e6, 1000, 3))]);
+        assert!(gate_compare(&b, &b, 25.0).is_ok());
+    }
+
+    #[test]
+    fn slowdown_within_budget_passes() {
+        let b = doc(&[("packet", tool(0.50, 4e6, 1000, 3))]);
+        let o = doc(&[("packet", tool(0.60, 3.4e6, 1000, 3))]);
+        assert!(gate_compare(&b, &o, 25.0).is_ok());
+    }
+
+    #[test]
+    fn slowdown_past_budget_fails() {
+        let b = doc(&[("packet", tool(0.50, 4e6, 1000, 3))]);
+        let o = doc(&[("packet", tool(0.70, 4e6, 1000, 3))]);
+        let err = gate_compare(&b, &o, 25.0).unwrap_err();
+        assert!(err.contains("wall_p50"), "{err}");
+    }
+
+    #[test]
+    fn throughput_drop_past_budget_fails() {
+        // Self-consistent magnitudes: 2M events/run at 4M events/s is
+        // the 0.5s median wall, so the implied per-run slowdown of the
+        // eps drop (0.3s) is far beyond the absolute noise allowance.
+        let b = doc(&[("packet", tool(0.50, 4e6, 6_000_000, 3))]);
+        let o = doc(&[("packet", tool(0.50, 2.5e6, 6_000_000, 3))]);
+        let err = gate_compare(&b, &o, 25.0).unwrap_err();
+        assert!(err.contains("events/s"), "{err}");
+    }
+
+    #[test]
+    fn tiny_scale_jitter_stays_within_noise_allowance() {
+        // 150µs spans are above the measurability floor, but a 60%
+        // wall / 30% eps swing there is ~100µs of scheduler jitter —
+        // within the absolute allowance, so the gate holds.
+        let b = doc(&[("flow", tool(150e-6, 3.3e6, 1500, 3))]);
+        let o = doc(&[("flow", tool(240e-6, 2.3e6, 1500, 3))]);
+        assert!(gate_compare(&b, &o, 25.0).is_ok());
+        // The same relative drop with seconds-scale runs is a real
+        // regression and fails both timing checks.
+        let b = doc(&[("flow", tool(1.5, 3.3e6, 15_000_000, 3))]);
+        let o = doc(&[("flow", tool(2.4, 2.3e6, 15_000_000, 3))]);
+        let err = gate_compare(&b, &o, 25.0).unwrap_err();
+        assert!(err.contains("wall_p50") && err.contains("events/s"), "{err}");
+    }
+
+    #[test]
+    fn event_count_drift_fails_even_by_one() {
+        let b = doc(&[("packet", tool(0.5, 4e6, 1000, 3))]);
+        let o = doc(&[("packet", tool(0.5, 4e6, 1001, 3))]);
+        let err = gate_compare(&b, &o, 25.0).unwrap_err();
+        assert!(err.contains("events_total"), "{err}");
+    }
+
+    #[test]
+    fn sub_floor_timings_are_noise_but_counts_still_bind() {
+        // 30µs baseline median: timer noise — a 10x "slowdown" passes...
+        let b = doc(&[("corpus", tool(30e-6, 1e7, 2224, 3))]);
+        let slow = doc(&[("corpus", tool(300e-6, 1e6, 2224, 3))]);
+        assert!(gate_compare(&b, &slow, 25.0).is_ok());
+        // ...but an event-count drift still fails.
+        let drift = doc(&[("corpus", tool(30e-6, 1e7, 2225, 3))]);
+        assert!(gate_compare(&b, &drift, 25.0).is_err());
+    }
+
+    #[test]
+    fn missing_tool_fails_and_speedup_passes() {
+        let b = doc(&[("packet", tool(0.5, 4e6, 1000, 3)), ("flow", tool(0.1, 9e6, 500, 3))]);
+        let o = doc(&[("packet", tool(0.1, 2e7, 1000, 3))]);
+        let err = gate_compare(&b, &o, 25.0).unwrap_err();
+        assert!(err.contains("flow") && err.contains("missing"), "{err}");
+        let o2 = doc(&[("packet", tool(0.1, 2e7, 1000, 3)), ("flow", tool(0.1, 9e6, 500, 3))]);
+        assert!(gate_compare(&b, &o2, 25.0).is_ok(), "a speedup is never a regression");
+    }
 }

@@ -218,8 +218,10 @@ pub fn run_one_observed(entry: &CorpusEntry, cfg: &StudyConfig) -> ObservedTrace
         let res = simulate_observed(&trace, &cfg, budget, &ms);
         let wall = span.stop();
         let run = match res {
-            Some(r) => ToolRun { total: Some(r.total), comm: Some(r.comm_time), wall },
-            None => ToolRun { total: None, comm: None, wall },
+            Ok(r) => ToolRun { total: Some(r.total), comm: Some(r.comm_time), wall },
+            // Budget exhausted or clock overflow: the tool failed on this
+            // trace (incomplete), mirroring the paper's failure counts.
+            Err(_) => ToolRun { total: None, comm: None, wall },
         };
         (run, ms)
     };

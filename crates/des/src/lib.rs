@@ -3,16 +3,25 @@
 //! Two engines are provided:
 //!
 //! * [`engine::Engine`] — the sequential pending-event-set simulator the
-//!   network models in `masim-sim` run on: closure events over a shared
-//!   state, deterministic (time, sequence) ordering, cancellation.
+//!   network models in `masim-sim` run on: typed events interpreted by a
+//!   [`engine::Handler`] over a shared state, payloads slab-allocated in
+//!   a generation-tagged arena ([`arena`]), pending set kept in a
+//!   two-tier ladder queue ([`queue`]); deterministic (time, sequence)
+//!   ordering, O(1) cancellation.
 //! * [`pdes::WindowedPdes`] — a conservative window-synchronized
 //!   parallel executor (the PDES style SST/Macro uses), for models
 //!   partitioned into logical processes with positive lookahead.
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod engine;
+pub mod error;
 pub mod pdes;
+pub mod queue;
 
-pub use engine::{Action, Engine, EventId};
+pub use arena::EventId;
+pub use engine::{Engine, Handler};
+pub use error::ClockOverflow;
 pub use pdes::{LogicalProcess, WindowedPdes};
+pub use queue::LadderQueue;

@@ -9,14 +9,17 @@
 //! A barrier exchanges the messages generated in the window, the global
 //! clock advances, and the next window begins.
 //!
-//! Determinism: emitted messages are sorted by (arrival time, source LP,
-//! source sequence) before delivery, so the execution is bit-identical
-//! to the sequential merge of the same model regardless of thread count.
+//! Determinism: each LP drains a private [`LadderQueue`], whose
+//! insertion-order tiebreak depends only on the order events were pushed
+//! into *that* queue — seeding, an LP's own follow-ups, and the barrier
+//! delivery (emitted messages sorted by (arrival time, source LP) before
+//! the push) are all thread-count-independent, so the execution is
+//! bit-identical regardless of worker count.
 
+use crate::error::ClockOverflow;
+use crate::queue::LadderQueue;
 use masim_obs::MetricSet;
 use masim_trace::Time;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// A logical process: an independent sub-model owning private state.
 pub trait LogicalProcess: Send {
@@ -30,22 +33,21 @@ pub trait LogicalProcess: Send {
     fn handle(&mut self, now: Time, event: Self::Event) -> Vec<(Time, usize, Self::Event)>;
 }
 
-type Queued<E> = Reverse<(Time, u64, usize, E)>;
-
 /// Cross-LP messages a worker emits within one window: (deliver-at,
-/// destination LP, sending LP, event).
+/// source LP, destination LP, event).
 type Outbox<E> = Vec<(Time, usize, usize, E)>;
 
+/// What one window worker hands back at the barrier: its outbox of
+/// cross-LP messages plus how many events it processed — unless its
+/// clock overflowed.
+type WindowResult<E> = Result<(Outbox<E>, u64), ClockOverflow>;
+
 /// The window-synchronized executor.
-pub struct WindowedPdes<P: LogicalProcess>
-where
-    P::Event: Ord,
-{
+pub struct WindowedPdes<P: LogicalProcess> {
     lps: Vec<P>,
-    queues: Vec<BinaryHeap<Queued<P::Event>>>,
+    queues: Vec<LadderQueue<P::Event>>,
     lookahead: Time,
     now: Time,
-    seq: u64,
     processed: u64,
     threads: usize,
     windows: u64,
@@ -53,10 +55,7 @@ where
     crossings: u64,
 }
 
-impl<P: LogicalProcess> WindowedPdes<P>
-where
-    P::Event: Ord,
-{
+impl<P: LogicalProcess> WindowedPdes<P> {
     /// Create an executor over `lps` with the given `lookahead` (must be
     /// positive — zero lookahead admits no parallelism) using up to
     /// `threads` worker threads.
@@ -66,10 +65,9 @@ where
         let n = lps.len();
         WindowedPdes {
             lps,
-            queues: (0..n).map(|_| BinaryHeap::new()).collect(),
+            queues: (0..n).map(|_| LadderQueue::new()).collect(),
             lookahead,
             now: Time::ZERO,
-            seq: 0,
             processed: 0,
             threads: threads.max(1),
             windows: 0,
@@ -81,9 +79,7 @@ where
     /// Inject an initial event for LP `lp` at absolute time `at`.
     pub fn seed(&mut self, at: Time, lp: usize, event: P::Event) {
         assert!(at >= self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.queues[lp].push(Reverse((at, seq, lp, event)));
+        self.queues[lp].push(at, event);
     }
 
     /// Current global clock.
@@ -114,21 +110,26 @@ where
         self.lps
     }
 
-    /// Run to completion (all queues empty).
-    pub fn run(&mut self) {
+    /// Run to completion (all queues empty). A clock overflow — in the
+    /// window horizon or in a scheduled follow-up — aborts the run with
+    /// an error instead of panicking the worker pool.
+    pub fn run(&mut self) -> Result<(), ClockOverflow> {
         loop {
             // Global next-event time.
-            let next = self.queues.iter().filter_map(|q| q.peek().map(|Reverse((t, ..))| *t)).min();
+            let next = self.queues.iter_mut().filter_map(|q| q.peek_key().map(|(t, _)| t)).min();
             let Some(next) = next else { break };
             self.now = next;
-            let horizon = next.checked_add(self.lookahead).expect("time overflow");
-            self.execute_window(horizon);
+            let horizon = next
+                .checked_add(self.lookahead)
+                .ok_or(ClockOverflow { now: next, delay: self.lookahead })?;
+            self.execute_window(horizon)?;
         }
+        Ok(())
     }
 
     /// Execute one window `[self.now, horizon)` in parallel and deliver
     /// the emitted cross-LP messages.
-    fn execute_window(&mut self, horizon: Time) {
+    fn execute_window(&mut self, horizon: Time) -> Result<(), ClockOverflow> {
         let lookahead = self.lookahead;
         let n = self.lps.len();
         let chunk = n.div_ceil(self.threads);
@@ -136,8 +137,7 @@ where
         // Each worker drains its LPs' queues up to the horizon. Local
         // (self-directed) messages inside the window are processed in the
         // same pass; cross-LP messages are collected for the barrier.
-        let mut outboxes: Vec<Outbox<P::Event>> = Vec::new();
-        let mut counts: Vec<u64> = Vec::new();
+        let mut results: Vec<WindowResult<P::Event>> = Vec::new();
         let lps = &mut self.lps;
         let queues = &mut self.queues;
 
@@ -152,17 +152,20 @@ where
                     let mut processed = 0u64;
                     for (i, (lp, q)) in lp_chunk.iter_mut().zip(q_chunk.iter_mut()).enumerate() {
                         let lp_idx = base + i;
-                        while let Some(Reverse((t, ..))) = q.peek() {
-                            if *t >= horizon {
-                                break;
+                        loop {
+                            match q.peek_key() {
+                                Some((t, _)) if t < horizon => {}
+                                _ => break,
                             }
-                            let Reverse((t, seq, _src, ev)) = q.pop().unwrap();
+                            let (t, _seq, ev) = q.pop().unwrap();
                             processed += 1;
                             for (delay, dst, ev2) in lp.handle(t, ev) {
-                                let at = t.checked_add(delay).expect("time overflow");
+                                let at = t
+                                    .checked_add(delay)
+                                    .ok_or(ClockOverflow { now: t, delay })?;
                                 if dst == lp_idx {
                                     // Local events may re-enter this window.
-                                    q.push(Reverse((at, seq, lp_idx, ev2)));
+                                    q.push(at, ev2);
                                 } else {
                                     assert!(
                                         delay >= lookahead,
@@ -173,17 +176,21 @@ where
                             }
                         }
                     }
-                    (out, processed)
+                    Ok((out, processed))
                 }));
             }
             for h in handles {
-                let (out, c) = h.join().expect("PDES worker panicked");
-                outboxes.push(out);
-                counts.push(c);
+                results.push(h.join().expect("PDES worker panicked"));
             }
         });
 
-        let window_events: u64 = counts.iter().sum();
+        let mut outboxes: Vec<Outbox<P::Event>> = Vec::with_capacity(results.len());
+        let mut window_events = 0u64;
+        for r in results {
+            let (out, c) = r?;
+            outboxes.push(out);
+            window_events += c;
+        }
         self.processed += window_events;
         self.windows += 1;
         if window_events > self.window_events_max {
@@ -191,15 +198,15 @@ where
         }
 
         // Deterministic delivery: sort by (arrival, src, insertion order
-        // within src), then assign fresh sequence numbers.
+        // within src); each destination queue then assigns its own
+        // insertion-order sequence numbers in that order.
         let mut all: Vec<(Time, usize, usize, P::Event)> = outboxes.into_iter().flatten().collect();
         all.sort_by_key(|a| (a.0, a.1));
         self.crossings += all.len() as u64;
         for (at, _src, dst, ev) in all {
-            let seq = self.seq;
-            self.seq += 1;
-            self.queues[dst].push(Reverse((at, seq, dst, ev)));
+            self.queues[dst].push(at, ev);
         }
+        Ok(())
     }
 }
 
@@ -216,7 +223,7 @@ mod tests {
         log: Vec<(Time, u64)>,
     }
 
-    #[derive(PartialEq, Eq, PartialOrd, Ord, Debug)]
+    #[derive(PartialEq, Eq, Debug)]
     struct Token(u64);
 
     impl LogicalProcess for RingLp {
@@ -239,7 +246,7 @@ mod tests {
             .collect();
         let mut pdes = WindowedPdes::new(lps, Time::from_ns(100), threads);
         pdes.seed(Time::ZERO, 0, Token(1));
-        pdes.run();
+        pdes.run().expect("ring run fits the clock");
         let processed = pdes.processed();
         let lps = pdes.into_lps();
         (processed, lps.into_iter().map(|l| l.log).collect())
@@ -279,7 +286,7 @@ mod tests {
         let lps: Vec<FanoutLp> = (0..n).map(|_| FanoutLp { n, fired: false }).collect();
         let mut pdes = WindowedPdes::new(lps, Time::from_us(1), 4);
         pdes.seed(Time::ZERO, 3, Token(0));
-        pdes.run();
+        pdes.run().expect("fanout run fits the clock");
         // LP3 fires on the seed and broadcasts n messages. Of the n
         // first-wave deliveries, LP3's self-copy is absorbed (already
         // fired) and the other n-1 LPs fire, broadcasting n each; all
@@ -291,8 +298,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "PDES worker panicked")]
     fn cross_lp_below_lookahead_rejected() {
-        // The lookahead violation fires inside a worker thread; the
-        // executor surfaces it by panicking on join.
+        // The lookahead violation is a model bug, not a data condition:
+        // it still fires as an assert inside a worker thread, surfaced by
+        // panicking on join.
         struct BadLp;
         impl LogicalProcess for BadLp {
             type Event = Token;
@@ -302,7 +310,7 @@ mod tests {
         }
         let mut pdes = WindowedPdes::new(vec![BadLp, BadLp], Time::from_us(1), 2);
         pdes.seed(Time::ZERO, 0, Token(0));
-        pdes.run();
+        let _ = pdes.run();
     }
 
     #[test]
@@ -323,8 +331,24 @@ mod tests {
         }
         let mut pdes = WindowedPdes::new(vec![SelfLp { count: 0 }], Time::from_us(1), 1);
         pdes.seed(Time::ZERO, 0, Token(0));
-        pdes.run();
+        pdes.run().expect("self-message run fits the clock");
         assert_eq!(pdes.processed(), 10);
         assert_eq!(pdes.into_lps()[0].count, 10);
+    }
+
+    #[test]
+    fn clock_overflow_is_an_error_not_a_panic() {
+        struct OverLp;
+        impl LogicalProcess for OverLp {
+            type Event = Token;
+            fn handle(&mut self, _: Time, _: Token) -> Vec<(Time, usize, Token)> {
+                vec![(Time::MAX, 0, Token(0))] // now + MAX overflows
+            }
+        }
+        let mut pdes = WindowedPdes::new(vec![OverLp], Time::from_us(1), 1);
+        pdes.seed(Time::from_ns(1), 0, Token(0));
+        let err = pdes.run().expect_err("overflow must surface as an error");
+        assert_eq!(err.now, Time::from_ns(1));
+        assert_eq!(err.delay, Time::MAX);
     }
 }

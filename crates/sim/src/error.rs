@@ -1,0 +1,48 @@
+//! Simulation failure modes.
+//!
+//! The paper's study treats tool failure as data, not as a crash:
+//! SST/Macro's packet and flow models completed only 216 and 162 of the
+//! 235 corpus traces. This repo mirrors that — a run that cannot finish
+//! returns a [`SimError`] through [`crate::simulate_budgeted`]'s result
+//! path and the study marks the trace incomplete, instead of a panic
+//! taking down the whole study thread pool.
+
+use masim_des::ClockOverflow;
+use std::fmt;
+
+/// Why a simulation did not produce a prediction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The run exceeded its work budget (DES events + model work units),
+    /// the analogue of the paper's wall-clock-limited tool failures.
+    BudgetExhausted {
+        /// Work consumed when the run was cut off.
+        consumed: u64,
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// The simulation clock overflowed its u64 picosecond range — a
+    /// pathological compute duration or retry loop pushed `now + delay`
+    /// past ~213 simulated days.
+    ClockOverflow {
+        /// Network model that was running.
+        model: &'static str,
+        /// Where the clock arithmetic failed.
+        overflow: ClockOverflow,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BudgetExhausted { consumed, budget } => {
+                write!(f, "simulation budget exhausted: {consumed} work units > budget {budget}")
+            }
+            SimError::ClockOverflow { model, overflow } => {
+                write!(f, "{model} model aborted, trace incomplete: {overflow}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -32,12 +32,14 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod lower;
 pub mod msg;
 pub mod net;
 pub mod runner;
 pub mod util_report;
 
+pub use error::SimError;
 pub use net::ModelKind;
 pub use runner::{
     link_bytes_of, simulate, simulate_budgeted, simulate_observed, SimConfig, SimResult,

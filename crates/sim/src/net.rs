@@ -12,7 +12,9 @@
 //! * [`FlowNet`] — messages are fluid flows sharing link bandwidth
 //!   max-min fairly; flow arrivals/departures re-solve the rates and
 //!   reschedule completions (the "ripple effect"). Re-solves are batched
-//!   per timestamp and only changed rates are rescheduled.
+//!   per timestamp and only changed rates are rescheduled. Flows live in
+//!   a `Vec`-backed slab with a free list — no hashing on the arrival,
+//!   re-solve, or completion paths.
 //! * [`PFlowNet`] — coarse packets *sample* per-link fluid queues at
 //!   injection time and accumulate expected waiting, serialization, and
 //!   hop latency arithmetically: channel multiplexing without per-hop
@@ -31,12 +33,11 @@
 //! incast ejection points — not from an artificial 24-way NIC bottleneck
 //! that the per-process calibration already excludes.
 
-use crate::runner::{on_deliver, on_release, SimState};
+use crate::runner::{SimEvent, SimState};
 use masim_des::{Engine, EventId};
 use masim_obs::MetricSet;
 use masim_topo::{LinkId, Machine};
 use masim_trace::{Rank, Time};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Message metadata shared by in-flight packets/flows.
@@ -175,7 +176,8 @@ pub enum NetState {
 
 impl NetState {
     /// Fresh state for `kind` on a machine with `links` total links
-    /// (fabric + virtual).
+    /// (fabric + virtual). All per-link vectors are pre-sized from the
+    /// topology so the hot path never grows them.
     pub fn new(kind: ModelKind, links: usize) -> NetState {
         match kind {
             ModelKind::Packet { packet_bytes } => NetState::Packet(PacketNet {
@@ -186,13 +188,15 @@ impl NetState {
                 hops: 0,
             }),
             ModelKind::Flow => NetState::Flow(FlowNet {
-                flows: HashMap::new(),
+                slots: Vec::new(),
+                free: Vec::new(),
+                live: 0,
                 link_bytes: vec![0; links],
                 recomputes: 0,
                 resolve_pending: false,
                 scr_residual: vec![0.0; links],
                 scr_count: vec![0; links],
-                scr_touched: Vec::new(),
+                scr_touched: Vec::with_capacity(links.min(1024)),
             }),
             ModelKind::PacketFlow { packet_bytes } => NetState::PFlow(PFlowNet {
                 packet_bytes: packet_bytes.max(64),
@@ -242,8 +246,9 @@ impl NetState {
     }
 }
 
-/// Inject a message; the model schedules `on_release` (sender may reuse
-/// its buffer) and `on_deliver` (payload at destination) events.
+/// Inject a message; the model schedules [`SimEvent::Release`] (sender
+/// may reuse its buffer) and [`SimEvent::Deliver`] (payload at
+/// destination) events.
 pub fn inject(eng: &mut Engine<SimState>, st: &mut SimState, msg: MsgMeta) {
     let src_node = st.mapping.node_of(msg.src);
     let dst_node = st.mapping.node_of(msg.dst);
@@ -254,19 +259,25 @@ pub fn inject(eng: &mut Engine<SimState>, st: &mut SimState, msg: MsgMeta) {
         let ser = st.machine.net.bandwidth.transfer_time(msg.bytes);
         let release = eng.now() + ser;
         let deliver = eng.now() + st.machine.net.latency + ser;
-        let (src, dst, tag, id) = (msg.src, msg.dst, msg.tag, msg.id);
-        eng.schedule_at(
-            release,
-            Box::new(move |eng, st: &mut SimState| on_release(eng, st, src, id)),
-        );
+        eng.schedule_at(release, SimEvent::Release { src: msg.src, msg: msg.id });
         eng.schedule_at(
             deliver,
-            Box::new(move |eng, st: &mut SimState| on_deliver(eng, st, dst, src, tag, id)),
+            SimEvent::Deliver { dst: msg.dst, src: msg.src, tag: msg.tag, msg: msg.id },
         );
         return;
     }
 
-    let route = st.links.route(&st.machine, msg.src, msg.dst, src_node, dst_node);
+    // Routes are deterministic per rank pair; cache them so repeated
+    // traffic (iterative stencils, collective rounds) skips the
+    // per-message route walk and allocation.
+    let route = match st.route_cache.get(&(msg.src.0, msg.dst.0)) {
+        Some(r) => Arc::clone(r),
+        None => {
+            let r = st.links.route(&st.machine, msg.src, msg.dst, src_node, dst_node);
+            st.route_cache.insert((msg.src.0, msg.dst.0), Arc::clone(&r));
+            r
+        }
+    };
     match &mut st.net {
         NetState::Packet(p) => p.inject(eng, msg, route),
         NetState::Flow(f) => f.inject(eng, msg, route),
@@ -292,7 +303,9 @@ pub struct PacketNet {
     hops: u64,
 }
 
-struct Packet {
+/// One in-flight packet (the payload of [`SimEvent::PacketHop`]);
+/// internals are private to the packet model.
+pub struct Packet {
     msg: Arc<MsgMeta>,
     route: Arc<[LinkId]>,
     hop: usize,
@@ -318,17 +331,14 @@ impl PacketNet {
             };
             // All packets present at the NIC now; the injection link's
             // FIFO serializes them.
-            eng.schedule_at(
-                eng.now(),
-                Box::new(move |eng, st: &mut SimState| packet_hop(eng, st, pkt)),
-            );
+            eng.schedule_at(eng.now(), SimEvent::PacketHop(pkt));
         }
     }
 }
 
 /// One packet crossing one link: reserve it, then either hop onward or
 /// deliver.
-fn packet_hop(eng: &mut Engine<SimState>, st: &mut SimState, mut pkt: Packet) {
+pub(crate) fn packet_hop(eng: &mut Engine<SimState>, st: &mut SimState, mut pkt: Packet) {
     let link = pkt.route[pkt.hop];
     let ser = st.links.ser(link, pkt.bytes);
     let hop_lat = st.links.hop_lat();
@@ -344,28 +354,20 @@ fn packet_hop(eng: &mut Engine<SimState>, st: &mut SimState, mut pkt: Packet) {
 
     // Sender may reuse its buffer once the last packet clears the NIC.
     if pkt.hop == 0 && pkt.is_last {
-        let (src, id) = (pkt.msg.src, pkt.msg.id);
-        eng.schedule_at(
-            depart,
-            Box::new(move |eng, st: &mut SimState| on_release(eng, st, src, id)),
-        );
+        eng.schedule_at(depart, SimEvent::Release { src: pkt.msg.src, msg: pkt.msg.id });
     }
 
     pkt.hop += 1;
     if pkt.hop == pkt.route.len() {
         if pkt.is_last {
             let m = &pkt.msg;
-            let (dst, src, tag, id) = (m.dst, m.src, m.tag, m.id);
             eng.schedule_at(
                 arrive_next,
-                Box::new(move |eng, st: &mut SimState| on_deliver(eng, st, dst, src, tag, id)),
+                SimEvent::Deliver { dst: m.dst, src: m.src, tag: m.tag, msg: m.id },
             );
         }
     } else {
-        eng.schedule_at(
-            arrive_next,
-            Box::new(move |eng, st: &mut SimState| packet_hop(eng, st, pkt)),
-        );
+        eng.schedule_at(arrive_next, SimEvent::PacketHop(pkt));
     }
 }
 
@@ -391,8 +393,19 @@ struct Flow {
 }
 
 /// Max-min fair fluid network.
+///
+/// Active flows live in `slots`, a `Vec`-backed slab with a free list:
+/// arrivals reuse freed slots, completions are O(1) removals, and the
+/// per-resolve settle pass is a dense scan instead of a hash-map walk.
+/// Re-solve ordering is still by message id (collected and sorted per
+/// resolve), so rate assignment and completion scheduling are
+/// slot-layout-independent — bit-identical to the old `HashMap` keyed
+/// implementation.
 pub struct FlowNet {
-    flows: HashMap<u64, Flow>,
+    slots: Vec<Option<Flow>>,
+    free: Vec<u32>,
+    /// Live (in-flight) flow count.
+    live: usize,
     link_bytes: Vec<u64>,
     /// Flow updates performed across all re-solves (the ripple-effect
     /// cost metric: every settled flow per re-solve counts).
@@ -407,8 +420,6 @@ pub struct FlowNet {
 
 impl FlowNet {
     fn inject(&mut self, eng: &mut Engine<SimState>, msg: MsgMeta, route: Arc<[LinkId]>) {
-        let id = msg.id;
-        let hop_lat_route = route.len() as u64;
         for l in route.iter() {
             self.link_bytes[l.idx()] += msg.bytes;
         }
@@ -420,11 +431,19 @@ impl FlowNet {
             rate: 0.0,
             last_update: eng.now(),
             completion: None,
-            tail_latency: Time::ZERO, // filled below with the table's hop latency
+            tail_latency: Time::ZERO, // patched in the resolve, which has the link table
         };
-        self.flows.insert(id, flow);
-        // Tail latency needs the link table; patched in the resolve.
-        let _ = hop_lat_route;
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(flow);
+            }
+            None => {
+                assert!(self.slots.len() < u32::MAX as usize, "flow slab exhausted");
+                self.slots.push(Some(flow));
+            }
+        }
+        self.live += 1;
         self.schedule_resolve(eng);
     }
 
@@ -440,39 +459,44 @@ impl FlowNet {
         }
         self.resolve_pending = true;
         let at = Time::from_ps((eng.now().as_ps() / FLOW_QUANTUM_PS + 1) * FLOW_QUANTUM_PS);
-        eng.schedule_at(
-            at,
-            Box::new(|eng, st: &mut SimState| {
-                let NetState::Flow(net) = &mut st.net else { unreachable!() };
-                net.resolve_pending = false;
-                flow_resolve(eng, net, &st.links);
-            }),
-        );
+        eng.schedule_at(at, SimEvent::FlowResolve);
     }
+}
+
+/// Dispatch a [`SimEvent::FlowResolve`]: clear the pending flag and
+/// re-solve (split borrow: the link table is read-only here).
+pub(crate) fn on_flow_resolve(eng: &mut Engine<SimState>, st: &mut SimState) {
+    let NetState::Flow(net) = &mut st.net else { unreachable!("flow event in non-flow model") };
+    net.resolve_pending = false;
+    flow_resolve(eng, net, &st.links);
 }
 
 /// Settle elapsed transfer progress, re-solve max-min rates, and
 /// reschedule completions whose rate changed (the ripple).
 fn flow_resolve(eng: &mut Engine<SimState>, net: &mut FlowNet, links: &LinkTable) {
-    net.recomputes += net.flows.len() as u64; // every active flow updates
+    net.recomputes += net.live as u64; // every active flow updates
     let now = eng.now();
-    // 1. Settle progress at old rates; collect a deterministic order.
-    let mut order: Vec<u64> = Vec::with_capacity(net.flows.len());
-    for (&id, f) in net.flows.iter_mut() {
+    // 1. Settle progress at old rates; collect the deterministic
+    // (message id, slot) order — by id, not slot, so slab layout never
+    // affects scheduling order.
+    let mut order: Vec<(u64, u32)> = Vec::with_capacity(net.live);
+    for (slot, s) in net.slots.iter_mut().enumerate() {
+        let Some(f) = s else { continue };
         let dt = (now - f.last_update).as_secs_f64();
         f.remaining = (f.remaining - f.rate * dt).max(0.0);
         f.last_update = now;
         if f.tail_latency == Time::ZERO {
             f.tail_latency = links.hop_lat() * f.route.len() as u64;
         }
-        order.push(id);
+        order.push((f.msg.id, slot as u32));
     }
     order.sort_unstable();
 
     // 2. Water-filling max-min allocation over the active links, using
     // dense scratch buffers (no per-resolve hashing).
     debug_assert!(net.scr_touched.is_empty());
-    for f in net.flows.values() {
+    for &(_, slot) in &order {
+        let f = net.slots[slot as usize].as_ref().expect("flow exists");
         for l in f.route.iter() {
             let i = l.idx();
             if net.scr_count[i] == 0 {
@@ -500,11 +524,11 @@ fn flow_resolve(eng: &mut Engine<SimState>, net: &mut FlowNet, links: &LinkTable
         }
         let Some((tight, share)) = best else { break };
         // Freeze that link's unfrozen flows at the fair share.
-        for (k, &id) in order.iter().enumerate() {
+        for (k, &(_, slot)) in order.iter().enumerate() {
             if frozen[k] {
                 continue;
             }
-            let f = &net.flows[&id];
+            let f = net.slots[slot as usize].as_ref().expect("flow exists");
             if !f.route.iter().any(|l| l.idx() == tight) {
                 continue;
             }
@@ -529,8 +553,8 @@ fn flow_resolve(eng: &mut Engine<SimState>, net: &mut FlowNet, links: &LinkTable
     // draining together complete at the same instant and their removals
     // batch into a single ripple re-solve.
     const QUANTUM_PS: u64 = FLOW_QUANTUM_PS;
-    for (k, id) in order.into_iter().enumerate() {
-        let f = net.flows.get_mut(&id).expect("flow exists");
+    for (k, (id, slot)) in order.into_iter().enumerate() {
+        let f = net.slots[slot as usize].as_mut().expect("flow exists");
         let rate = rates[k].max(1.0);
         let rate_changed = (rate - f.rate).abs() > f.rate * 1e-12 + 1e-6;
         f.rate = rate;
@@ -543,29 +567,31 @@ fn flow_resolve(eng: &mut Engine<SimState>, net: &mut FlowNet, links: &LinkTable
         let secs = f.remaining / f.rate;
         let at = now + Time::from_secs_f64(secs);
         let at = Time::from_ps(at.as_ps().div_ceil(QUANTUM_PS) * QUANTUM_PS);
-        let ev =
-            eng.schedule_at(at, Box::new(move |eng, st: &mut SimState| flow_complete(eng, st, id)));
+        let ev = eng.schedule_at(at, SimEvent::FlowComplete { slot, msg: id });
         f.completion = Some(ev);
     }
 }
 
-/// A flow drained: remove it, ripple the rates, and fire callbacks.
-fn flow_complete(eng: &mut Engine<SimState>, st: &mut SimState, id: u64) {
+/// A flow drained: remove it, ripple the rates, and fire callbacks. The
+/// message id double-checks the slot against stale completions for a
+/// previous occupant.
+pub(crate) fn flow_complete(eng: &mut Engine<SimState>, st: &mut SimState, slot: u32, msg: u64) {
     let NetState::Flow(net) = &mut st.net else { unreachable!("flow event in non-flow model") };
-    let Some(flow) = net.flows.remove(&id) else { return };
+    let flow = match net.slots.get_mut(slot as usize) {
+        Some(s) if s.as_ref().is_some_and(|f| f.msg.id == msg) => s.take().expect("checked"),
+        _ => return, // stale completion for a recycled slot
+    };
+    net.free.push(slot);
+    net.live -= 1;
     net.schedule_resolve(eng);
     let m = &flow.msg;
-    let (src, dst, tag, mid) = (m.src, m.dst, m.tag, m.id);
     // Sender buffer freed at drain; payload lands after the route's
     // accumulated hop latency.
     let deliver_at = eng.now() + flow.tail_latency;
-    eng.schedule_at(
-        eng.now(),
-        Box::new(move |eng, st: &mut SimState| on_release(eng, st, src, mid)),
-    );
+    eng.schedule_at(eng.now(), SimEvent::Release { src: m.src, msg: m.id });
     eng.schedule_at(
         deliver_at,
-        Box::new(move |eng, st: &mut SimState| on_deliver(eng, st, dst, src, tag, mid)),
+        SimEvent::Deliver { dst: m.dst, src: m.src, tag: m.tag, msg: m.id },
     );
 }
 
@@ -645,14 +671,10 @@ impl PFlowNet {
             deliver_at = t;
         }
         let m = msg;
-        let (src, dst, tag, id) = (m.src, m.dst, m.tag, m.id);
-        eng.schedule_at(
-            release_at.max(eng.now()),
-            Box::new(move |eng, st: &mut SimState| on_release(eng, st, src, id)),
-        );
+        eng.schedule_at(release_at.max(eng.now()), SimEvent::Release { src: m.src, msg: m.id });
         eng.schedule_at(
             deliver_at.max(eng.now()),
-            Box::new(move |eng, st: &mut SimState| on_deliver(eng, st, dst, src, tag, id)),
+            SimEvent::Deliver { dst: m.dst, src: m.src, tag: m.tag, msg: m.id },
         );
     }
 }

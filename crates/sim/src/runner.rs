@@ -1,14 +1,19 @@
 //! The MPI replay driver: rank processes advancing through trace events
 //! (and lowered collective schedules) on the discrete-event engine.
 
+use crate::error::SimError;
 use crate::lower::{coll_tag, lower, Schedule};
 use crate::msg::{Mailbox, Message};
-use crate::net::{inject, LinkTable, ModelKind, MsgMeta, NetState};
-use masim_des::Engine;
+use crate::net::{
+    flow_complete, inject, on_flow_resolve, packet_hop, LinkTable, ModelKind, MsgMeta, NetState,
+    Packet,
+};
+use masim_des::{Engine, Handler};
 use masim_obs::MetricSet;
-use masim_topo::{Machine, Mapping};
+use masim_topo::{LinkId, Machine, Mapping};
 use masim_trace::{EventKind, Rank, Time, Trace};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Simulation configuration.
 #[derive(Clone, Debug)]
@@ -112,16 +117,80 @@ enum RelPurpose {
     CollRound(Rank),
 }
 
+/// The typed DES event vocabulary of the replay (the engine's
+/// `S::Event`). One variant per closure shape the old engine boxed; the
+/// payloads are small plain values, slab-allocated in the engine's
+/// event arena.
+pub enum SimEvent {
+    /// (Re)start rank `r`'s replay loop (initial seed).
+    Advance(Rank),
+    /// Rank `r` finished a compute burst.
+    ComputeDone(Rank),
+    /// Sender may reuse its buffer (message fully injected / drained).
+    Release {
+        /// Source rank (for symmetry with `Deliver`; the release table
+        /// is keyed by message id).
+        src: Rank,
+        /// Message id.
+        msg: u64,
+    },
+    /// A message's payload reached its destination rank.
+    Deliver {
+        /// Destination rank.
+        dst: Rank,
+        /// Source rank.
+        src: Rank,
+        /// Matching tag.
+        tag: u32,
+        /// Message id.
+        msg: u64,
+    },
+    /// A packet crosses its next route link (packet model only).
+    PacketHop(Packet),
+    /// Batched max-min rate re-solve (flow model only).
+    FlowResolve,
+    /// A fluid flow drained (flow model only); the message id guards
+    /// against stale completions for a recycled slab slot.
+    FlowComplete {
+        /// Flow slab slot.
+        slot: u32,
+        /// Message id occupying the slot when scheduled.
+        msg: u64,
+    },
+}
+
+impl<'a> Handler for SimState<'a> {
+    type Event = SimEvent;
+
+    fn handle(eng: &mut Engine<Self>, st: &mut Self, ev: SimEvent) {
+        match ev {
+            SimEvent::Advance(r) => advance(eng, st, r),
+            SimEvent::ComputeDone(r) => {
+                st.procs[r.idx()].status = PStatus::Idle;
+                advance(eng, st, r);
+            }
+            SimEvent::Release { src, msg } => on_release(eng, st, src, msg),
+            SimEvent::Deliver { dst, src, tag, msg } => on_deliver(eng, st, dst, src, tag, msg),
+            SimEvent::PacketHop(pkt) => packet_hop(eng, st, pkt),
+            SimEvent::FlowResolve => on_flow_resolve(eng, st),
+            SimEvent::FlowComplete { slot, msg } => flow_complete(eng, st, slot, msg),
+        }
+    }
+}
+
 /// The shared simulation state (the DES engine's `S`).
 pub struct SimState<'a> {
     pub(crate) machine: Machine,
     pub(crate) mapping: Mapping,
     pub(crate) net: NetState,
     pub(crate) links: LinkTable,
+    /// Route cache: (src rank, dst rank) → full virtual-link route.
+    pub(crate) route_cache: HashMap<(u32, u32), Arc<[LinkId]>>,
     trace: &'a Trace,
     procs: Vec<Proc>,
     mailboxes: Vec<Mailbox>,
-    releases: HashMap<u64, RelPurpose>,
+    /// Release purposes indexed by message id (ids are sequential).
+    releases: Vec<Option<RelPurpose>>,
     compute_scale: f64,
     next_msg_id: u64,
     messages: u64,
@@ -147,10 +216,11 @@ impl<'a> SimState<'a> {
             mapping: cfg.mapping.clone(),
             net: NetState::new(cfg.model, links.len()),
             links,
+            route_cache: HashMap::new(),
             trace,
             procs: (0..n).map(|_| Proc::new()).collect(),
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
-            releases: HashMap::new(),
+            releases: Vec::new(),
             compute_scale: cfg.compute_scale,
             next_msg_id: 0,
             messages: 0,
@@ -170,7 +240,8 @@ impl<'a> SimState<'a> {
         let id = self.next_msg_id;
         self.next_msg_id += 1;
         self.messages += 1;
-        self.releases.insert(id, purpose);
+        debug_assert_eq!(id as usize, self.releases.len());
+        self.releases.push(Some(purpose));
         let meta = MsgMeta { id, src, dst, bytes: bytes.max(1), tag };
         inject(eng, self, meta);
         let _ = Message { id, src, dst, bytes, tag }; // keep public type exercised
@@ -207,13 +278,7 @@ fn advance<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) {
                 let p = &mut st.procs[r.idx()];
                 p.compute_total += d;
                 p.status = PStatus::Computing;
-                eng.schedule_in(
-                    d,
-                    Box::new(move |eng, st: &mut SimState| {
-                        st.procs[r.idx()].status = PStatus::Idle;
-                        advance(eng, st, r);
-                    }),
-                );
+                eng.schedule_in(d, SimEvent::ComputeDone(r));
                 return;
             }
             EventKind::Send { peer, bytes, tag } => {
@@ -367,7 +432,7 @@ pub(crate) fn on_release<'a>(
     _src: Rank,
     msg_id: u64,
 ) {
-    let Some(purpose) = st.releases.remove(&msg_id) else {
+    let Some(purpose) = st.releases.get_mut(msg_id as usize).and_then(Option::take) else {
         return;
     };
     match purpose {
@@ -418,10 +483,7 @@ pub fn link_bytes_of(trace: &Trace, cfg: &SimConfig) -> Vec<u64> {
     let mut eng: Engine<SimState<'_>> = Engine::new();
     let mut st = SimState::new(trace, cfg);
     for r in 0..trace.num_ranks() {
-        eng.schedule_at(
-            Time::ZERO,
-            Box::new(move |eng, st: &mut SimState| advance(eng, st, Rank(r))),
-        );
+        eng.schedule_at(Time::ZERO, SimEvent::Advance(Rank(r)));
     }
     eng.run(&mut st);
     st.net.link_bytes().to_vec()
@@ -429,17 +491,23 @@ pub fn link_bytes_of(trace: &Trace, cfg: &SimConfig) -> Vec<u64> {
 
 /// Run the simulation to completion and collect results.
 ///
-/// Panics if the replay deadlocks (validate traces first) or the mapping
-/// does not fit the machine.
+/// Panics if the replay deadlocks (validate traces first), the mapping
+/// does not fit the machine, or the simulated clock overflows.
 pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimResult {
-    simulate_budgeted(trace, cfg, u64::MAX).expect("unlimited budget cannot be exhausted")
+    simulate_budgeted(trace, cfg, u64::MAX).unwrap_or_else(|e| panic!("simulation failed: {e}"))
 }
 
 /// Run the simulation with a work budget (DES events plus model work
-/// units). Returns `None` when the budget is exhausted — the analogue of
-/// the paper's tool failures, where SST/Macro's packet and flow models
-/// completed only 216 and 162 of the 235 traces.
-pub fn simulate_budgeted(trace: &Trace, cfg: &SimConfig, max_work: u64) -> Option<SimResult> {
+/// units). Returns an error when the budget is exhausted — the analogue
+/// of the paper's tool failures, where SST/Macro's packet and flow
+/// models completed only 216 and 162 of the 235 traces — or when the
+/// simulated clock overflows; either way the trace is reported
+/// incomplete instead of panicking the study's thread pool.
+pub fn simulate_budgeted(
+    trace: &Trace,
+    cfg: &SimConfig,
+    max_work: u64,
+) -> Result<SimResult, SimError> {
     sim_core(trace, cfg, max_work, None)
 }
 
@@ -454,7 +522,7 @@ pub fn simulate_observed(
     cfg: &SimConfig,
     max_work: u64,
     ms: &MetricSet,
-) -> Option<SimResult> {
+) -> Result<SimResult, SimError> {
     sim_core(trace, cfg, max_work, Some(ms))
 }
 
@@ -463,16 +531,13 @@ fn sim_core(
     cfg: &SimConfig,
     max_work: u64,
     obs: Option<&MetricSet>,
-) -> Option<SimResult> {
+) -> Result<SimResult, SimError> {
     let span = obs.map(|ms| ms.span("sim.runner.simulate"));
     let mut eng: Engine<SimState<'_>> = Engine::new();
     let mut st = SimState::new(trace, cfg);
     let n = trace.num_ranks();
     for r in 0..n {
-        eng.schedule_at(
-            Time::ZERO,
-            Box::new(move |eng, st: &mut SimState| advance(eng, st, Rank(r))),
-        );
+        eng.schedule_at(Time::ZERO, SimEvent::Advance(Rank(r)));
     }
     let mut check = 0u32;
     while eng.step(&mut st) {
@@ -480,20 +545,29 @@ fn sim_core(
         // Budget check every 1024 events (work counters are monotone).
         if check == 1024 {
             check = 0;
-            if eng.processed().saturating_add(st.net.work_units()) > max_work {
+            let consumed = eng.processed().saturating_add(st.net.work_units());
+            if consumed > max_work {
                 if let Some(ms) = obs {
                     if let Some(s) = span {
                         s.stop();
                     }
                     ms.add("sim.budget.exhausted", 1);
-                    ms.add(
-                        "sim.budget.consumed",
-                        eng.processed().saturating_add(st.net.work_units()),
-                    );
+                    ms.add("sim.budget.consumed", consumed);
                 }
-                return None;
+                return Err(SimError::BudgetExhausted { consumed, budget: max_work });
             }
         }
+    }
+    if let Some(overflow) = eng.error() {
+        // The engine latched a clock overflow and stopped; the trace
+        // prediction is incomplete.
+        if let Some(ms) = obs {
+            if let Some(s) = span {
+                s.stop();
+            }
+            ms.add("sim.clock.overflow", 1);
+        }
+        return Err(SimError::ClockOverflow { model: cfg.model.name(), overflow });
     }
     assert_eq!(
         st.done,
@@ -515,7 +589,7 @@ fn sim_core(
         eng.export_metrics(ms);
         st.net.export_metrics(ms);
     }
-    Some(SimResult {
+    Ok(SimResult {
         model: cfg.model,
         total,
         per_rank,

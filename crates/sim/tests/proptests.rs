@@ -143,7 +143,7 @@ fn exhausted_budget_reports_consumption() {
     let trace = masim_workloads::generate(&cfg);
     let sc = SimConfig::new(Machine::cielito(), ModelKind::Packet { packet_bytes: 1024 }, &trace);
     let ms = MetricSet::new();
-    assert!(simulate_observed(&trace, &sc, 2_000, &ms).is_none());
+    assert!(simulate_observed(&trace, &sc, 2_000, &ms).is_err());
     let snap = ms.snapshot();
     assert_eq!(snap.counters["sim.budget.exhausted"], 1);
     assert!(snap.counters["sim.budget.consumed"] > 2_000);

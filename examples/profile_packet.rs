@@ -1,0 +1,34 @@
+//! Scratch profiling driver: packet-model throughput on CG(64).
+
+use masim_sim::{simulate, ModelKind, SimConfig};
+use masim_workloads::{generate, App, GenConfig};
+use std::time::Instant;
+
+fn main() {
+    let cfg = GenConfig::test_default(App::Cg, 64);
+    let trace = generate(&cfg);
+    let machine = masim_topo::Machine::cielito();
+    let sc = SimConfig::new(machine, ModelKind::Packet { packet_bytes: 1024 }, &trace);
+    // Warm-up (and counter dump).
+    let ms = masim_obs::MetricSet::new();
+    let r = masim_sim::simulate_observed(&trace, &sc, u64::MAX, &ms).expect("unbudgeted");
+    eprintln!("events={} messages={} work={}", r.events, r.messages, r.work_units);
+    for (k, v) in ms.snapshot().counters {
+        eprintln!("  {k} = {v}");
+    }
+    let n = 20;
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..n {
+        acc += simulate(&trace, &sc).events;
+    }
+    let dt = t0.elapsed();
+    eprintln!(
+        "{} runs in {:?} -> {:.2}ms/run, {:.2}M events/s (acc {})",
+        n,
+        dt,
+        dt.as_secs_f64() * 1e3 / n as f64,
+        (acc as f64) / dt.as_secs_f64() / 1e6,
+        acc
+    );
+}

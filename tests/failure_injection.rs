@@ -108,9 +108,11 @@ fn oversubscribed_mapping_rejected() {
     let _ = simulate(&t, &cfg);
 }
 
-/// Budget exhaustion returns `None` rather than a bogus partial result.
+/// Budget exhaustion returns a contextual error rather than a bogus
+/// partial result.
 #[test]
 fn budget_exhaustion_is_explicit() {
+    use masim_sim::SimError;
     use masim_workloads::{generate, App, GenConfig};
     let mut gcfg = GenConfig::test_default(App::Ft, 64);
     gcfg.size = 3;
@@ -118,7 +120,11 @@ fn budget_exhaustion_is_explicit() {
     let t = generate(&gcfg);
     let machine = Machine::cielito();
     let cfg = SimConfig::new(machine, ModelKind::Packet { packet_bytes: 1024 }, &t);
-    assert!(simulate_budgeted(&t, &cfg, 2_000).is_none(), "tiny budget must fail");
+    let err = simulate_budgeted(&t, &cfg, 2_000).expect_err("tiny budget must fail");
+    assert!(
+        matches!(err, SimError::BudgetExhausted { consumed, budget: 2_000 } if consumed > 2_000),
+        "unexpected error: {err}"
+    );
     let full = simulate_budgeted(&t, &cfg, u64::MAX).expect("unbounded run completes");
     assert!(full.events > 2_000);
 }
