@@ -28,7 +28,7 @@
 //! the committed baseline instead of comparing.
 
 use masim_core::report;
-use masim_core::{Dataset, Enhanced, Study, StudyConfig, TOOL_WALL_SPAN};
+use masim_core::{Checkpoint, Dataset, Enhanced, ResumableRun, Study, StudyConfig, TOOL_WALL_SPAN};
 use masim_obs::json::Value;
 use masim_obs::run::parse_json;
 use masim_obs::RunMetrics;
@@ -94,7 +94,20 @@ struct Options {
     write_baseline: bool,
     /// `bench-gate --tolerance <pct>`: override the slowdown budget.
     tolerance: f64,
+    /// `--checkpoint <dir>`: journal each completed trace so an
+    /// interrupted run can resume.
+    checkpoint: Option<PathBuf>,
+    /// `--resume`: reuse an existing journal instead of starting fresh.
+    resume: bool,
+    /// `--fail-after <n>`: deliberately stop after `n` newly run traces
+    /// (exit code 3) — the deterministic interruption hook CI uses to
+    /// exercise resume.
+    fail_after: Option<usize>,
 }
+
+/// Exit code for a deliberate `--fail-after` interruption, so scripts
+/// can tell "interrupted, resume me" from real failures.
+const EXIT_INTERRUPTED: i32 = 3;
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -105,6 +118,9 @@ fn parse_args() -> Result<Options, String> {
         gate: false,
         write_baseline: false,
         tolerance: GATE_TOLERANCE_PCT,
+        checkpoint: None,
+        resume: false,
+        fail_after: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -112,6 +128,18 @@ fn parse_args() -> Result<Options, String> {
             "--metrics" => {
                 let dir = it.next().ok_or("--metrics requires a directory argument")?;
                 opts.metrics = Some(PathBuf::from(dir));
+            }
+            "--checkpoint" => {
+                let dir = it.next().ok_or("--checkpoint requires a directory argument")?;
+                opts.checkpoint = Some(PathBuf::from(dir));
+            }
+            "--resume" => opts.resume = true,
+            "--fail-after" => {
+                let n = it.next().ok_or("--fail-after requires a count argument")?;
+                opts.fail_after = Some(
+                    n.parse::<usize>()
+                        .map_err(|_| format!("--fail-after: '{n}' is not a count"))?,
+                );
             }
             "--tiny" => opts.tiny = true,
             "bench-summary" => opts.summarize = true,
@@ -128,6 +156,12 @@ fn parse_args() -> Result<Options, String> {
             }
             _ => opts.reports.push(a),
         }
+    }
+    if opts.resume && opts.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint <dir>".into());
+    }
+    if opts.fail_after.is_some() && opts.checkpoint.is_none() {
+        return Err("--fail-after requires --checkpoint <dir>".into());
     }
     if opts.reports.is_empty() && !opts.summarize && !opts.gate {
         opts.reports = ALL.iter().map(|s| s.to_string()).collect();
@@ -182,7 +216,21 @@ fn run() -> Result<(), String> {
     let study: Option<Study> = if needs_study {
         eprintln!("running the full 235-trace study (single core; several minutes)...");
         let t0 = Instant::now();
-        let s = if let Some(dir) = &metrics_dir {
+        let s = if let Some(ckdir) = &opts.checkpoint {
+            let cfg = StudyConfig::default();
+            let entries = masim_workloads::build_corpus(cfg.seed);
+            let (s, n) = run_with_checkpoint(
+                cfg,
+                &entries,
+                ckdir,
+                opts.resume,
+                opts.fail_after,
+                metrics_dir.as_deref(),
+                |i| format!("trace{i:03}"),
+            )?;
+            sidecar_count += n;
+            s
+        } else if let Some(dir) = &metrics_dir {
             let (s, sidecars) = Study::run_filtered_observed(StudyConfig::default(), |_| true);
             for (idx, runs) in &sidecars {
                 sidecar_count += write_sidecars(dir, &format!("trace{idx:03}"), runs)?;
@@ -214,13 +262,27 @@ fn run() -> Result<(), String> {
                 eprintln!("running the Table II heavyweights (unbudgeted)...");
                 let entries =
                     if opts.tiny { tiny_table2_entries(7) } else { report::table2_entries(7) };
-                let (text, sidecars) = report::table2_observed(&entries, 7);
-                if let Some(dir) = &metrics_dir {
-                    for (stem, runs) in &sidecars {
-                        sidecar_count += write_sidecars(dir, &format!("table2_{stem}"), runs)?;
+                if let Some(ckdir) = &opts.checkpoint {
+                    let (s, n) = run_with_checkpoint(
+                        report::table2_config(7),
+                        &entries,
+                        ckdir,
+                        opts.resume,
+                        opts.fail_after,
+                        metrics_dir.as_deref(),
+                        |i| format!("table2_{}", report::table2_stem(&entries[i])),
+                    )?;
+                    sidecar_count += n;
+                    report::table2_text(&s.traces)
+                } else {
+                    let (text, sidecars) = report::table2_observed(&entries, 7);
+                    if let Some(dir) = &metrics_dir {
+                        for (stem, runs) in &sidecars {
+                            sidecar_count += write_sidecars(dir, &format!("table2_{stem}"), runs)?;
+                        }
                     }
+                    text
                 }
-                text
             }
             "fig2" => report::fig2(need(&study, "study", a)?),
             "fig3" => report::fig3(need(&study, "study", a)?),
@@ -257,6 +319,62 @@ fn run() -> Result<(), String> {
         fold_sidecars(Path::new("reports/metrics"))?;
     }
     Ok(())
+}
+
+/// Drive `entries` through the journaled, resumable study runner.
+/// Sidecars are written only for entries that ran *in this invocation*
+/// (recovered entries wrote theirs before the interruption, so a
+/// resumed `--metrics` directory ends up with exactly one sidecar set
+/// per entry). On a deliberate `--fail-after` interruption, prints
+/// resume guidance and exits with [`EXIT_INTERRUPTED`].
+fn run_with_checkpoint(
+    cfg: StudyConfig,
+    entries: &[masim_workloads::CorpusEntry],
+    ckdir: &Path,
+    resume: bool,
+    fail_after: Option<usize>,
+    metrics_dir: Option<&Path>,
+    stem_of: impl Fn(usize) -> String,
+) -> Result<(Study, usize), String> {
+    let mut ckpt = if resume {
+        Checkpoint::resume(ckdir, &cfg, entries)
+    } else {
+        Checkpoint::create(ckdir, &cfg, entries.len())
+    }
+    .map_err(|e| e.to_string())?;
+    let recovered = ckpt.completed().len();
+    if recovered > 0 {
+        eprintln!(
+            "checkpoint: recovered {recovered} completed trace(s) from {}",
+            ckpt.path().display()
+        );
+    }
+    let indices: Vec<usize> = (0..entries.len()).collect();
+    let outcome = Study::run_resumable(cfg, entries, &indices, &mut ckpt, fail_after)
+        .map_err(|e| e.to_string())?;
+    let write = |new_sidecars: &[(usize, Vec<RunMetrics>)]| -> Result<usize, String> {
+        let mut written = 0;
+        if let Some(dir) = metrics_dir {
+            for (i, runs) in new_sidecars {
+                written += write_sidecars(dir, &stem_of(*i), runs)?;
+            }
+        }
+        Ok(written)
+    };
+    match outcome {
+        ResumableRun::Complete { study, new_sidecars } => {
+            let written = write(&new_sidecars)?;
+            Ok((study, written))
+        }
+        ResumableRun::Interrupted { completed, total, new_sidecars } => {
+            write(&new_sidecars)?;
+            eprintln!(
+                "checkpoint: deliberately interrupted after {completed}/{total} trace(s); \
+                 rerun with --resume to finish"
+            );
+            std::process::exit(EXIT_INTERRUPTED);
+        }
+    }
 }
 
 /// The Table II applications shrunk to seconds-scale for CI smoke runs.

@@ -12,14 +12,16 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod enhanced;
 pub mod report;
 pub mod study;
 
+pub use checkpoint::{Checkpoint, CheckpointError, ResumableRun, CHECKPOINT_FILE};
 pub use enhanced::{Dataset, Enhanced, ErrorRates, DIFF_THRESHOLD};
 pub use study::{
-    fraction_within, run_one, run_one_observed, ObservedTrace, Study, StudyConfig, ToolRun,
-    TraceStudy, TOOL_WALL_SPAN,
+    contained, fraction_within, run_one, run_one_observed, ObservedTrace, Study, StudyConfig,
+    ToolFailure, ToolRun, TraceStudy, TOOL_WALL_SPAN,
 };
 
 #[cfg(test)]

@@ -72,6 +72,11 @@ pub fn fig1(study: &Study) -> String {
         "Tool completions: MFACT {m}/{n}, packet {p}/{n}, flow {f}/{n}, packet-flow {pf}/{n}",
         n = study.traces.len()
     );
+    let census = study.failure_census();
+    if !census.is_empty() {
+        let parts: Vec<String> = census.iter().map(|(code, n)| format!("{code} {n}")).collect();
+        let _ = writeln!(out, "Failure causes (tool runs): {}", parts.join(", "));
+    }
     let _ = writeln!(out, "Timing subset (all four tools succeeded): {} traces", subset.len());
 
     // Rank order of wall times per trace.
@@ -161,6 +166,60 @@ pub fn table2(seed: u64) -> String {
     table2_observed(&table2_entries(seed), seed).0
 }
 
+/// The per-entry study configuration Table II uses: unbudgeted, so
+/// every tool runs the heavyweights to completion.
+pub fn table2_config(seed: u64) -> StudyConfig {
+    StudyConfig {
+        seed,
+        packet_budget: u64::MAX,
+        flow_budget: u64::MAX,
+        pflow_budget: u64::MAX,
+        ..StudyConfig::default()
+    }
+}
+
+/// Stable sidecar file stem (`app<ranks>`) for one Table II entry.
+pub fn table2_stem(e: &CorpusEntry) -> String {
+    format!("{}{}", e.cfg.app.name(), e.cfg.ranks)
+}
+
+/// Format Table II from already-computed per-entry results — split out
+/// from [`table2_observed`] so checkpoint/resume runs (`repro table2
+/// --checkpoint`) can format recovered results without re-running the
+/// tools. Failed tool runs are annotated with their typed cause.
+pub fn table2_text(studies: &[TraceStudy]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table II: execution time in seconds (this host)\n  {:<14} {:>10} {:>10} {:>10} {:>10}",
+        "app", "Pkt", "Flow", "Pkt-flow", "MFACT"
+    );
+    for t in studies {
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>10.3} {:>10.3} {:>10.3} {:>10.4}",
+            format!("{}({})", t.entry.cfg.app, t.entry.cfg.ranks),
+            t.packet.wall.as_secs_f64(),
+            t.flow.wall.as_secs_f64(),
+            t.pflow.wall.as_secs_f64(),
+            t.mfact.wall.as_secs_f64(),
+        );
+        let failures: Vec<String> = [
+            ("mfact", &t.mfact),
+            ("packet", &t.packet),
+            ("flow", &t.flow),
+            ("packet-flow", &t.pflow),
+        ]
+        .iter()
+        .filter_map(|(name, run)| run.failure.as_ref().map(|f| format!("{name}={}", f.code())))
+        .collect();
+        if !failures.is_empty() {
+            let _ = writeln!(out, "    ^ incomplete: {}", failures.join(", "));
+        }
+    }
+    out
+}
+
 /// [`table2`] over caller-supplied entries, also returning each run's
 /// per-tool metric sidecars tagged with a stable `app<ranks>` stem so
 /// `repro --metrics` can write them to disk.
@@ -168,35 +227,15 @@ pub fn table2_observed(
     entries: &[CorpusEntry],
     seed: u64,
 ) -> (String, Vec<(String, Vec<RunMetrics>)>) {
-    let cfg = StudyConfig { seed, ..StudyConfig::default() };
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Table II: execution time in seconds (this host)\n  {:<14} {:>10} {:>10} {:>10} {:>10}",
-        "app", "Pkt", "Flow", "Pkt-flow", "MFACT"
-    );
+    let big = table2_config(seed);
+    let mut studies = Vec::new();
     let mut sidecars = Vec::new();
     for e in entries {
-        let big = StudyConfig {
-            packet_budget: u64::MAX,
-            flow_budget: u64::MAX,
-            pflow_budget: u64::MAX,
-            ..cfg.clone()
-        };
         let obs = run_one_observed(e, &big);
-        let t = &obs.study;
-        let _ = writeln!(
-            out,
-            "  {:<14} {:>10.3} {:>10.3} {:>10.3} {:>10.4}",
-            format!("{}({})", e.cfg.app, e.cfg.ranks),
-            t.packet.wall.as_secs_f64(),
-            t.flow.wall.as_secs_f64(),
-            t.pflow.wall.as_secs_f64(),
-            t.mfact.wall.as_secs_f64(),
-        );
-        sidecars.push((format!("{}{}", e.cfg.app.name(), e.cfg.ranks), obs.sidecars));
+        sidecars.push((table2_stem(e), obs.sidecars));
+        studies.push(obs.study);
     }
-    (out, sidecars)
+    (table2_text(&studies), sidecars)
 }
 
 /// Figure 2: CDFs of the relative difference between each simulator and
@@ -470,14 +509,18 @@ pub fn study_csv(study: &Study) -> String {
         "app,ranks,machine,comm_bucket,rank_bucket,comm_fraction,class,comm_sensitive,\
          measured_total_s,mfact_total_s,packet_total_s,flow_total_s,pflow_total_s,\
          mfact_wall_s,packet_wall_s,flow_wall_s,pflow_wall_s,\
-         diff_total_pflow,diff_comm_pflow,events\n",
+         diff_total_pflow,diff_comm_pflow,events,\
+         mfact_failure,packet_failure,flow_failure,pflow_failure\n",
     );
     let opt = |v: Option<Time>| v.map(|t| t.as_secs_f64().to_string()).unwrap_or_default();
     let optf = |v: Option<f64>| v.map(|x| x.to_string()).unwrap_or_default();
+    let cause = |run: &crate::study::ToolRun| {
+        run.failure.as_ref().map(|f| f.code().to_string()).unwrap_or_default()
+    };
     for t in &study.traces {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             t.entry.cfg.app,
             t.entry.cfg.ranks,
             t.entry.cfg.machine,
@@ -498,6 +541,10 @@ pub fn study_csv(study: &Study) -> String {
             optf(t.diff_total_pflow()),
             optf(t.diff_comm(&t.pflow)),
             t.events,
+            cause(&t.mfact),
+            cause(&t.packet),
+            cause(&t.flow),
+            cause(&t.pflow),
         );
     }
     out

@@ -7,23 +7,177 @@
 //! mirroring the paper where they completed only 216 and 162 of the 235
 //! traces; MFACT and packet-flow complete everything.
 //!
+//! Tool failure is **data** here, never a crash: every per-trace tool
+//! run executes behind a panic boundary ([`contained`]) and records its
+//! failure cause as a typed [`ToolFailure`] on the [`ToolRun`], so a
+//! malformed trace or a pathological configuration costs the study one
+//! entry, not the whole corpus. Causes surface in reports
+//! ([`Study::failure_census`]) and as a `failure` label on the per-tool
+//! metric sidecars.
+//!
 //! Tool wall-clock times are measured through `masim-obs` spans; the
 //! observed runner additionally returns one labeled [`RunMetrics`]
 //! sidecar per tool per trace (`tool` ∈ {corpus, mfact, packet, flow,
 //! packet-flow}) carrying the instrumented engines' counters.
 
-use masim_mfact::{classify, replay_observed, Classification, ModelConfig};
+use masim_mfact::{try_classify, try_replay_observed, Classification, ModelConfig, ReplayError};
 use masim_obs::{MetricSet, Progress, RunMetrics};
-use masim_sim::{simulate_observed, ModelKind, SimConfig};
+use masim_sim::{simulate_limited_observed, ModelKind, SimConfig, SimError, SimLimits};
 use masim_topo::Machine;
 use masim_trace::{Features, Time, Trace};
 use masim_workloads::{build_corpus, CorpusEntry};
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::Duration;
 
 /// Wrap a result slot in a mutex for the parallel runner.
 fn parking_slot(slot: &mut Option<TraceStudy>) -> Mutex<&mut Option<TraceStudy>> {
     Mutex::new(slot)
+}
+
+/// Why a tool failed on a trace — the study's cross-tool failure
+/// taxonomy. Simulator errors ([`SimError`]), modeler errors
+/// ([`ReplayError`]), and caught panics all normalize into this one
+/// enum so reports and checkpoints can account for every incomplete
+/// tool run uniformly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ToolFailure {
+    /// Work budget (DES events + model work units) exhausted — the
+    /// paper's dominant failure mode for the packet and flow models.
+    BudgetExhausted {
+        /// Work consumed when the run was cut off.
+        consumed: u64,
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// Wall-clock deadline exceeded on this host.
+    DeadlineExceeded {
+        /// Wall clock elapsed when the run was cut off.
+        elapsed: Duration,
+        /// The deadline that was exceeded.
+        deadline: Duration,
+    },
+    /// The tool detected a deadlock in the trace (replay or simulation
+    /// drained its ready work with ranks still blocked).
+    Deadlock {
+        /// Ranks that finished.
+        finished: u32,
+        /// Total ranks in the trace.
+        total: u32,
+    },
+    /// The simulation clock overflowed its u64 picosecond range.
+    ClockOverflow {
+        /// Engine clock (ps) when the offending schedule was attempted.
+        now_ps: u64,
+        /// The delay (ps) whose addition overflowed.
+        delay_ps: u64,
+    },
+    /// The trace/configuration combination was rejected up front
+    /// (unknown machine, mapping mismatch, dangling request id, ...).
+    InvalidConfig {
+        /// Human-readable description of the rejected input.
+        reason: String,
+    },
+    /// The tool panicked and the panic was contained at the study
+    /// boundary. Anything landing here is a bug worth chasing — the
+    /// message is preserved verbatim for the report.
+    Panicked {
+        /// The panic payload, if it was a string (the common case).
+        message: String,
+    },
+}
+
+impl ToolFailure {
+    /// Short stable identifier, used as the `failure` label on metric
+    /// sidecars, in CSV columns, and in checkpoint journals.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ToolFailure::BudgetExhausted { .. } => "budget",
+            ToolFailure::DeadlineExceeded { .. } => "deadline",
+            ToolFailure::Deadlock { .. } => "deadlock",
+            ToolFailure::ClockOverflow { .. } => "overflow",
+            ToolFailure::InvalidConfig { .. } => "invalid-config",
+            ToolFailure::Panicked { .. } => "panic",
+        }
+    }
+
+    /// Normalize a simulator error.
+    pub fn from_sim(e: SimError) -> ToolFailure {
+        match e {
+            SimError::BudgetExhausted { consumed, budget } => {
+                ToolFailure::BudgetExhausted { consumed, budget }
+            }
+            SimError::DeadlineExceeded { elapsed, deadline } => {
+                ToolFailure::DeadlineExceeded { elapsed, deadline }
+            }
+            SimError::Deadlock { finished, total, .. } => ToolFailure::Deadlock { finished, total },
+            SimError::ClockOverflow { overflow, .. } => ToolFailure::ClockOverflow {
+                now_ps: overflow.now.as_ps(),
+                delay_ps: overflow.delay.as_ps(),
+            },
+            SimError::InvalidConfig { reason } => ToolFailure::InvalidConfig { reason },
+            SimError::UnknownRequest { .. } => ToolFailure::InvalidConfig { reason: e.to_string() },
+        }
+    }
+
+    /// Normalize a modeler (replay) error.
+    pub fn from_replay(e: ReplayError) -> ToolFailure {
+        match e {
+            ReplayError::Deadlock { finished, total } => ToolFailure::Deadlock { finished, total },
+            other => ToolFailure::InvalidConfig { reason: other.to_string() },
+        }
+    }
+
+    /// Extract a message from a caught panic payload.
+    pub fn from_panic(payload: &(dyn Any + Send)) -> ToolFailure {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        ToolFailure::Panicked { message }
+    }
+}
+
+impl std::fmt::Display for ToolFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ToolFailure::BudgetExhausted { consumed, budget } => {
+                write!(f, "work budget exhausted ({consumed} > {budget})")
+            }
+            ToolFailure::DeadlineExceeded { elapsed, deadline } => {
+                write!(
+                    f,
+                    "deadline exceeded ({:.3}s > {:.3}s)",
+                    elapsed.as_secs_f64(),
+                    deadline.as_secs_f64()
+                )
+            }
+            ToolFailure::Deadlock { finished, total } => {
+                write!(f, "deadlock ({finished}/{total} ranks finished)")
+            }
+            ToolFailure::ClockOverflow { now_ps, delay_ps } => {
+                write!(f, "clock overflow (now {now_ps} ps + delay {delay_ps} ps)")
+            }
+            ToolFailure::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            ToolFailure::Panicked { message } => write!(f, "tool panicked: {message}"),
+        }
+    }
+}
+
+/// Run `f` behind a panic boundary: a panic becomes
+/// [`ToolFailure::Panicked`] instead of unwinding into the study loop.
+/// This is the containment primitive every per-trace tool run goes
+/// through.
+pub fn contained<T>(f: impl FnOnce() -> Result<T, ToolFailure>) -> Result<T, ToolFailure> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(ToolFailure::from_panic(payload.as_ref())),
+    }
 }
 
 /// Outcome of one tool on one trace.
@@ -35,9 +189,21 @@ pub struct ToolRun {
     pub comm: Option<Time>,
     /// Wall-clock time the tool took on this host.
     pub wall: Duration,
+    /// Why the tool failed; `None` when it completed.
+    pub failure: Option<ToolFailure>,
 }
 
 impl ToolRun {
+    /// A completed run.
+    pub fn ok(total: Time, comm: Time, wall: Duration) -> ToolRun {
+        ToolRun { total: Some(total), comm: Some(comm), wall, failure: None }
+    }
+
+    /// A failed run with its recorded cause.
+    pub fn failed(failure: ToolFailure, wall: Duration) -> ToolRun {
+        ToolRun { total: None, comm: None, wall, failure: Some(failure) }
+    }
+
     /// Did the tool produce a prediction?
     pub fn completed(&self) -> bool {
         self.total.is_some()
@@ -70,6 +236,26 @@ pub struct TraceStudy {
 }
 
 impl TraceStudy {
+    /// The all-tools-failed placeholder recorded when a worker could not
+    /// even produce a trace (e.g. a panic escaped a tool boundary in a
+    /// parallel worker): zero measurements, neutral classification, and
+    /// the same cause on all four tools.
+    pub fn poisoned(entry: &CorpusEntry, cause: ToolFailure) -> TraceStudy {
+        let failed = |c: &ToolFailure| ToolRun::failed(c.clone(), Duration::ZERO);
+        TraceStudy {
+            entry: entry.clone(),
+            measured_total: Time::ZERO,
+            measured_comm: Time::ZERO,
+            events: 0,
+            features: Features::default(),
+            classification: Classification::unavailable(),
+            mfact: failed(&cause),
+            packet: failed(&cause),
+            flow: failed(&cause),
+            pflow: failed(&cause),
+        }
+    }
+
     /// `DIFFtotal` against a simulator's prediction:
     /// `|sim_total / mfact_total − 1|`; `None` if that simulator failed.
     pub fn diff_total(&self, sim: &ToolRun) -> Option<f64> {
@@ -132,6 +318,12 @@ pub struct StudyConfig {
     /// Work budget for packet-flow (effectively unlimited: the paper's
     /// packet-flow model completes all 235 traces).
     pub pflow_budget: u64,
+    /// Optional wall-clock deadline per simulator run, checked at the
+    /// same cadence as the work budget. `None` (the default) keeps runs
+    /// budget-limited only, which is what makes study results
+    /// host-independent; deadlines are an operational guard for
+    /// unattended runs.
+    pub sim_deadline: Option<Duration>,
 }
 
 impl Default for StudyConfig {
@@ -141,6 +333,7 @@ impl Default for StudyConfig {
             packet_budget: 1_640_000,
             flow_budget: 211_200,
             pflow_budget: u64::MAX,
+            sim_deadline: None,
         }
     }
 }
@@ -160,6 +353,8 @@ pub struct ObservedTrace {
     pub study: TraceStudy,
     /// One labeled sidecar per stage, in order: trace generation
     /// (`tool=corpus`), then `mfact`, `packet`, `flow`, `packet-flow`.
+    /// Failed tool runs additionally carry a `failure` label with the
+    /// [`ToolFailure::code`].
     pub sidecars: Vec<RunMetrics>,
 }
 
@@ -172,24 +367,92 @@ pub fn run_one(entry: &CorpusEntry, cfg: &StudyConfig) -> TraceStudy {
     run_one_observed(entry, cfg).study
 }
 
+/// Label a tool sidecar, attaching the failure cause when there is one.
+fn label_sidecar(
+    entry: &CorpusEntry,
+    ms: MetricSet,
+    tool: &str,
+    failure: Option<&ToolFailure>,
+) -> RunMetrics {
+    let mut rm = RunMetrics::with_set(ms)
+        .label("tool", tool)
+        .label("app", entry.cfg.app.name())
+        .label("machine", &entry.cfg.machine)
+        .label("ranks", &entry.cfg.ranks.to_string())
+        .label("seed", &entry.cfg.seed.to_string());
+    if let Some(f) = failure {
+        rm = rm.label("failure", f.code());
+    }
+    rm
+}
+
+/// The early-exit path of [`run_one_observed`]: the study could not get
+/// past trace generation or machine lookup, so every tool is marked
+/// failed with `cause` and each tool sidecar still times (an empty)
+/// [`TOOL_WALL_SPAN`] so sidecar shape stays uniform for downstream
+/// consumers.
+fn stalled_trace(
+    entry: &CorpusEntry,
+    gen_ms: MetricSet,
+    trace: Option<&Trace>,
+    cause: ToolFailure,
+) -> ObservedTrace {
+    let [pkt_kind, flow_kind, pflow_kind] = ModelKind::study_models();
+    let stalled_tool = |tool: &str| -> (ToolRun, RunMetrics) {
+        let ms = MetricSet::new();
+        let wall = ms.span(TOOL_WALL_SPAN).stop();
+        let run = ToolRun::failed(cause.clone(), wall);
+        let rm = label_sidecar(entry, ms, tool, run.failure.as_ref());
+        (run, rm)
+    };
+    let (mfact, mfact_rm) = stalled_tool("mfact");
+    let (packet, packet_rm) = stalled_tool(pkt_kind.name());
+    let (flow, flow_rm) = stalled_tool(flow_kind.name());
+    let (pflow, pflow_rm) = stalled_tool(pflow_kind.name());
+    ObservedTrace {
+        study: TraceStudy {
+            entry: entry.clone(),
+            measured_total: trace.map_or(Time::ZERO, |t| t.measured_time()),
+            measured_comm: trace.map_or(Time::ZERO, |t| t.total_comm_time()),
+            events: trace.map_or(0, |t| t.num_events()),
+            features: trace.map_or_else(Features::default, Features::extract),
+            classification: Classification::unavailable(),
+            mfact,
+            packet,
+            flow,
+            pflow,
+        },
+        sidecars: vec![
+            label_sidecar(entry, gen_ms, "corpus", None),
+            mfact_rm,
+            packet_rm,
+            flow_rm,
+            pflow_rm,
+        ],
+    }
+}
+
 /// Run one tool set over one corpus entry, collecting per-tool metric
 /// sidecars. Predictions are bit-identical to [`run_one`]'s: every
 /// instrumented engine keeps its hot loop free of instrumentation and
 /// exports counters after the run.
+///
+/// Every stage runs behind [`contained`]: a panicking generator or tool
+/// records a typed failure on the affected runs instead of unwinding.
 pub fn run_one_observed(entry: &CorpusEntry, cfg: &StudyConfig) -> ObservedTrace {
-    let label = |ms: MetricSet, tool: &str| {
-        RunMetrics::with_set(ms)
-            .label("tool", tool)
-            .label("app", entry.cfg.app.name())
-            .label("machine", &entry.cfg.machine)
-            .label("ranks", &entry.cfg.ranks.to_string())
-            .label("seed", &entry.cfg.seed.to_string())
-    };
-
     let gen_ms = MetricSet::new();
-    let trace: Trace = entry.generate_observed(&gen_ms);
-    let machine = Machine::by_name(&entry.cfg.machine)
-        .unwrap_or_else(|| panic!("unknown machine {}", entry.cfg.machine));
+    let trace: Trace = match contained(|| Ok(entry.generate_observed(&gen_ms))) {
+        Ok(t) => t,
+        // No trace at all: nothing downstream can run.
+        Err(cause) => return stalled_trace(entry, gen_ms, None, cause),
+    };
+    let machine = match Machine::by_name(&entry.cfg.machine) {
+        Ok(m) => m,
+        Err(e) => {
+            let cause = ToolFailure::InvalidConfig { reason: e.to_string() };
+            return stalled_trace(entry, gen_ms, Some(&trace), cause);
+        }
+    };
 
     // MFACT: single multi-config replay (baseline + the classifier's two
     // probes), exactly the tool's one-replay-many-configs trick. The
@@ -201,27 +464,39 @@ pub fn run_one_observed(entry: &CorpusEntry, cfg: &StudyConfig) -> ObservedTrace
         ModelConfig::base(machine.net.scaled(0.125, 1.0)),
         ModelConfig::base(machine.net.scaled(1.0, 8.0)),
     ];
-    let mres = replay_observed(&trace, &configs, &mfact_ms);
+    let mres = contained(|| {
+        try_replay_observed(&trace, &configs, &mfact_ms).map_err(ToolFailure::from_replay)
+    });
     let mfact_wall = span.stop();
-    let mfact =
-        ToolRun { total: Some(mres[0].total), comm: Some(mres[0].comm_time), wall: mfact_wall };
-    // Classification reuses the same replay semantics (re-run is cheap
-    // and keeps the classifier API self-contained).
-    let classification = classify(&trace, machine.net);
+    let (mfact, classification) = match mres {
+        Ok(res) => {
+            // Classification reuses the same replay semantics (re-run is
+            // cheap and keeps the classifier API self-contained).
+            let class =
+                try_classify(&trace, machine.net).unwrap_or_else(|_| Classification::unavailable());
+            (ToolRun::ok(res[0].total, res[0].comm_time, mfact_wall), class)
+        }
+        Err(cause) => (ToolRun::failed(cause, mfact_wall), Classification::unavailable()),
+    };
 
     let features = Features::extract(&trace);
 
     let sim_run = |model: ModelKind, budget: u64| -> (ToolRun, MetricSet) {
         let ms = MetricSet::new();
-        let cfg = SimConfig::new(machine.clone(), model, &trace);
+        let limits = SimLimits { max_work: budget, deadline: cfg.sim_deadline };
         let span = ms.span(TOOL_WALL_SPAN);
-        let res = simulate_observed(&trace, &cfg, budget, &ms);
+        let res = contained(|| {
+            let scfg = SimConfig::new(machine.clone(), model, &trace);
+            simulate_limited_observed(&trace, &scfg, limits, &ms).map_err(ToolFailure::from_sim)
+        });
         let wall = span.stop();
         let run = match res {
-            Ok(r) => ToolRun { total: Some(r.total), comm: Some(r.comm_time), wall },
-            // Budget exhausted or clock overflow: the tool failed on this
-            // trace (incomplete), mirroring the paper's failure counts.
-            Err(_) => ToolRun { total: None, comm: None, wall },
+            Ok(r) => ToolRun::ok(r.total, r.comm_time, wall),
+            // Budget exhausted, deadline missed, clock overflow, deadlock,
+            // rejected config, or a contained panic: the tool failed on
+            // this trace (incomplete), mirroring the paper's failure
+            // counts — with the cause recorded.
+            Err(cause) => ToolRun::failed(cause, wall),
         };
         (run, ms)
     };
@@ -231,11 +506,11 @@ pub fn run_one_observed(entry: &CorpusEntry, cfg: &StudyConfig) -> ObservedTrace
     let (pflow, pflow_ms) = sim_run(pflow_kind, cfg.pflow_budget);
 
     let sidecars = vec![
-        label(gen_ms, "corpus"),
-        label(mfact_ms, "mfact"),
-        label(packet_ms, pkt_kind.name()),
-        label(flow_ms, flow_kind.name()),
-        label(pflow_ms, pflow_kind.name()),
+        label_sidecar(entry, gen_ms, "corpus", None),
+        label_sidecar(entry, mfact_ms, "mfact", mfact.failure.as_ref()),
+        label_sidecar(entry, packet_ms, pkt_kind.name(), packet.failure.as_ref()),
+        label_sidecar(entry, flow_ms, flow_kind.name(), flow.failure.as_ref()),
+        label_sidecar(entry, pflow_ms, pflow_kind.name(), pflow.failure.as_ref()),
     ];
 
     ObservedTrace {
@@ -304,6 +579,12 @@ impl Study {
     /// per-tool *wall-clock* measurements degrade under co-scheduling,
     /// so timing studies (Figure 1 / Table II) should use the
     /// sequential runner.
+    ///
+    /// Workers are panic-isolated: if a worker panics outside the
+    /// per-tool containment (a bug in the study glue itself), that
+    /// entry's slot records a [`TraceStudy::poisoned`] result with the
+    /// panic message and the remaining entries still run — one bad
+    /// trace cannot take down the pool or poison a slot mutex for good.
     pub fn run_parallel(cfg: StudyConfig, threads: usize) -> Study {
         let entries = build_corpus(cfg.seed);
         let threads = threads.max(1);
@@ -322,8 +603,16 @@ impl Study {
                     if i >= entries.len() {
                         break;
                     }
-                    let result = run_one(&entries[i], cfg);
-                    **slot_refs[i].lock().unwrap() = Some(result);
+                    let result = catch_unwind(AssertUnwindSafe(|| run_one(&entries[i], cfg)))
+                        .unwrap_or_else(|payload| {
+                            TraceStudy::poisoned(
+                                &entries[i],
+                                ToolFailure::from_panic(payload.as_ref()),
+                            )
+                        });
+                    // A mutex poisoned by a previous panic still holds a
+                    // writable slot; recover it rather than cascading.
+                    **slot_refs[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
                 });
             }
         });
@@ -338,6 +627,21 @@ impl Study {
             self.traces.iter().filter(|t| f(t).completed()).count()
         };
         (c(|t| &t.mfact), c(|t| &t.packet), c(|t| &t.flow), c(|t| &t.pflow))
+    }
+
+    /// Failure accounting across all tools and traces: how many tool
+    /// runs failed for each [`ToolFailure::code`]. Empty map = every
+    /// tool completed every trace.
+    pub fn failure_census(&self) -> BTreeMap<&'static str, usize> {
+        let mut census = BTreeMap::new();
+        for t in &self.traces {
+            for run in [&t.mfact, &t.packet, &t.flow, &t.pflow] {
+                if let Some(f) = &run.failure {
+                    *census.entry(f.code()).or_insert(0) += 1;
+                }
+            }
+        }
+        census
     }
 
     /// The timing-study subset: traces where all four tools completed.
@@ -369,6 +673,20 @@ mod tests {
         for t in &s.traces {
             assert!(t.mfact.total.unwrap() > Time::ZERO);
             assert!(t.measured_total > Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn failure_census_matches_completions() {
+        let s = small_study();
+        let census = s.failure_census();
+        let (m, p, fl, pf) = s.completions();
+        let failed_runs = 4 * s.traces.len() - (m + p + fl + pf);
+        assert_eq!(census.values().sum::<usize>(), failed_runs);
+        // The only expected failure mode of a healthy corpus run is the
+        // work budget.
+        for code in census.keys() {
+            assert_eq!(*code, "budget", "{census:?}");
         }
     }
 
@@ -453,6 +771,63 @@ mod tests {
         // Every tool sidecar (after the corpus one) timed exactly one run.
         for rm in &observed.sidecars[1..] {
             assert_eq!(rm.set().snapshot().spans[TOOL_WALL_SPAN].count, 1);
+        }
+    }
+
+    #[test]
+    fn contained_converts_panics_to_typed_failures() {
+        let ok = contained(|| Ok(41 + 1));
+        assert_eq!(ok, Ok(42));
+        let err = contained::<u64>(|| panic!("kaboom {}", 7));
+        assert_eq!(err, Err(ToolFailure::Panicked { message: "kaboom 7".into() }));
+        assert_eq!(err.unwrap_err().code(), "panic");
+    }
+
+    #[test]
+    fn unknown_machine_is_a_typed_failure_on_every_tool() {
+        let cfg = StudyConfig::default();
+        let entries = masim_workloads::build_corpus(cfg.seed);
+        let mut entry = entries[3].clone();
+        entry.cfg.machine = "summit".to_string();
+        let observed = run_one_observed(&entry, &cfg);
+        let t = &observed.study;
+        // The trace itself generated fine; only the tools stalled.
+        assert!(t.measured_total > Time::ZERO);
+        assert!(t.events > 0);
+        for run in [&t.mfact, &t.packet, &t.flow, &t.pflow] {
+            assert!(!run.completed());
+            assert!(
+                matches!(run.failure, Some(ToolFailure::InvalidConfig { .. })),
+                "{:?}",
+                run.failure
+            );
+        }
+        // Sidecar shape is uniform with the healthy path, and every tool
+        // sidecar carries the failure label.
+        assert_eq!(observed.sidecars.len(), 5);
+        assert!(!observed.sidecars[0].labels().contains_key("failure"));
+        for rm in &observed.sidecars[1..] {
+            assert_eq!(rm.labels()["failure"], "invalid-config");
+            assert_eq!(rm.set().snapshot().spans[TOOL_WALL_SPAN].count, 1);
+        }
+        let study = Study { traces: vec![t.clone()], config: cfg };
+        assert_eq!(study.failure_census()["invalid-config"], 4);
+    }
+
+    #[test]
+    fn zero_deadline_fails_sims_with_typed_cause() {
+        let cfg = StudyConfig { sim_deadline: Some(Duration::ZERO), ..StudyConfig::default() };
+        let entries = masim_workloads::build_corpus(cfg.seed);
+        let t = run_one(&entries[3], &cfg);
+        // MFACT has no deadline; the simulators all miss a zero deadline.
+        assert!(t.mfact.completed());
+        for run in [&t.packet, &t.flow, &t.pflow] {
+            assert!(
+                matches!(run.failure, Some(ToolFailure::DeadlineExceeded { .. })),
+                "{:?}",
+                run.failure
+            );
+            assert_eq!(run.failure.as_ref().unwrap().code(), "deadline");
         }
     }
 

@@ -11,7 +11,8 @@
 //! rises by more than 5 % as bandwidth drops by a factor of 8; the other
 //! classes roll up into "ncs".
 
-use crate::replay::{replay, Counters, ModelConfig};
+use crate::error::ReplayError;
+use crate::replay::{try_replay, Counters, ModelConfig};
 use masim_topo::NetworkConfig;
 use masim_trace::Trace;
 
@@ -51,6 +52,18 @@ impl AppClass {
             AppClass::BandwidthBound => "bandwidth-bound",
             AppClass::LatencyBound => "latency-bound",
             AppClass::CommunicationBound => "communication-bound",
+        }
+    }
+
+    /// Inverse of [`AppClass::label`], for journal/checkpoint decoding.
+    pub fn from_label(label: &str) -> Option<AppClass> {
+        match label {
+            "computation-bound" => Some(AppClass::ComputationBound),
+            "load-imbalance-bound" => Some(AppClass::LoadImbalanceBound),
+            "bandwidth-bound" => Some(AppClass::BandwidthBound),
+            "latency-bound" => Some(AppClass::LatencyBound),
+            "communication-bound" => Some(AppClass::CommunicationBound),
+            _ => None,
         }
     }
 }
@@ -101,20 +114,45 @@ impl Classification {
 
 /// Classify a trace on a machine, replaying once under the baseline and
 /// the two slow-down probes.
+///
+/// Panics if the replay fails (malformed trace); use [`try_classify`]
+/// for the typed-error path.
 pub fn classify(trace: &Trace, net: NetworkConfig) -> Classification {
+    try_classify(trace, net).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible classification: a malformed trace (deadlock, dangling
+/// request) surfaces as a [`ReplayError`] instead of a panic.
+pub fn try_classify(trace: &Trace, net: NetworkConfig) -> Result<Classification, ReplayError> {
     let configs = [
         ModelConfig::base(net),
         ModelConfig::base(net.scaled(0.125, 1.0)), // bandwidth ÷ 8
         ModelConfig::base(net.scaled(1.0, 8.0)),   // latency × 8
     ];
-    let res = replay(trace, &configs);
+    let res = try_replay(trace, &configs)?;
     let base = res[0].total.as_secs_f64();
     let bw_sensitivity = if base > 0.0 { res[1].total.as_secs_f64() / base - 1.0 } else { 0.0 };
     let lat_sensitivity = if base > 0.0 { res[2].total.as_secs_f64() / base - 1.0 } else { 0.0 };
 
     let c = res[0].counters;
     let class = decide(bw_sensitivity, lat_sensitivity, c);
-    Classification { class, bw_sensitivity, lat_sensitivity, baseline: c, base_total: base }
+    Ok(Classification { class, bw_sensitivity, lat_sensitivity, baseline: c, base_total: base })
+}
+
+impl Classification {
+    /// A neutral placeholder used when classification could not run at
+    /// all (unknown machine, malformed trace): computation-bound with
+    /// zero sensitivities and zero counters. Paired with a recorded
+    /// per-tool failure cause so it is never mistaken for evidence.
+    pub fn unavailable() -> Classification {
+        Classification {
+            class: AppClass::ComputationBound,
+            bw_sensitivity: 0.0,
+            lat_sensitivity: 0.0,
+            baseline: Counters::default(),
+            base_total: 0.0,
+        }
+    }
 }
 
 /// The decision rule, separated out for direct unit testing.

@@ -48,9 +48,13 @@
 pub mod advisor;
 pub mod classify;
 pub mod cost;
+pub mod error;
 pub mod replay;
 
 pub use advisor::{advise, Advice, WhatIf};
-pub use classify::{classify, AppClass, Classification, SENSITIVITY_THRESHOLD};
+pub use classify::{classify, try_classify, AppClass, Classification, SENSITIVITY_THRESHOLD};
 pub use cost::{collective, p2p, CommCost};
-pub use replay::{replay, replay_observed, ConfigResult, Counters, ModelConfig};
+pub use error::ReplayError;
+pub use replay::{
+    replay, replay_observed, try_replay, try_replay_observed, ConfigResult, Counters, ModelConfig,
+};

@@ -11,6 +11,7 @@
 //! slowdowns drives the classifier in [`crate::classify`].
 
 use crate::cost::{collective, p2p};
+use crate::error::ReplayError;
 use masim_obs::MetricSet;
 use masim_topo::NetworkConfig;
 use masim_trace::{EventKind, Time, Trace};
@@ -119,9 +120,22 @@ struct CollGroup {
 /// Replay `trace` under every configuration simultaneously.
 ///
 /// Panics if the trace deadlocks (which [`Trace::validate`] would have
-/// reported first — run it on untrusted traces).
+/// reported first — run it on untrusted traces). [`try_replay`] is the
+/// typed-error path for untrusted input.
 pub fn replay(trace: &Trace, configs: &[ModelConfig]) -> Vec<ConfigResult> {
-    assert!(!configs.is_empty(), "need at least one configuration");
+    try_replay(trace, configs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible replay: malformed traces (deadlocks, dangling request ids)
+/// surface as a [`ReplayError`] instead of a panic, so the study runner
+/// can record *why* MFACT failed on a trace.
+pub fn try_replay(
+    trace: &Trace,
+    configs: &[ModelConfig],
+) -> Result<Vec<ConfigResult>, ReplayError> {
+    if configs.is_empty() {
+        return Err(ReplayError::NoConfigs);
+    }
     let n = trace.num_ranks() as usize;
     let k = configs.len();
 
@@ -290,7 +304,7 @@ pub fn replay(trace: &Trace, configs: &[ModelConfig]) -> Vec<ConfigResult> {
                             break 'advance;
                         }
                     },
-                    None => panic!("rank {r} waits on unknown request {}", req.0),
+                    None => return Err(ReplayError::UnknownRequest { rank: r, req: req.0 }),
                 },
                 EventKind::WaitAll { reqs: ids } => {
                     // All receive requests must have matched sends.
@@ -314,7 +328,7 @@ pub fn replay(trace: &Trace, configs: &[ModelConfig]) -> Vec<ConfigResult> {
                                     }
                                 }
                             }
-                            None => panic!("rank {r} waitall on unknown request {}", id.0),
+                            None => return Err(ReplayError::UnknownRequest { rank: r, req: id.0 }),
                         }
                     }
                 }
@@ -385,9 +399,11 @@ pub fn replay(trace: &Trace, configs: &[ModelConfig]) -> Vec<ConfigResult> {
     }
 
     let done = finished.iter().filter(|&&f| f).count();
-    assert_eq!(done, n, "replay deadlocked: {done}/{n} ranks finished (invalid trace?)");
+    if done != n {
+        return Err(ReplayError::Deadlock { finished: done as u32, total: n as u32 });
+    }
 
-    configs
+    Ok(configs
         .iter()
         .enumerate()
         .map(|(i, cfg)| {
@@ -396,7 +412,7 @@ pub fn replay(trace: &Trace, configs: &[ModelConfig]) -> Vec<ConfigResult> {
             let comm_time = (0..n).map(|r| clocks[r * k + i].saturating_sub(comp[r * k + i])).sum();
             ConfigResult { config: *cfg, total, per_rank, comm_time, counters: counters[i] }
         })
-        .collect()
+        .collect())
 }
 
 /// Instrumented wrapper around [`replay`]: bit-identical results, plus
@@ -408,8 +424,26 @@ pub fn replay_observed(
     configs: &[ModelConfig],
     ms: &MetricSet,
 ) -> Vec<ConfigResult> {
+    try_replay_observed(trace, configs, ms).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Observed variant of [`try_replay`]: same telemetry as
+/// [`replay_observed`] on success; on failure the span is still closed
+/// and a `mfact.replay.failed` counter records the aborted attempt.
+pub fn try_replay_observed(
+    trace: &Trace,
+    configs: &[ModelConfig],
+    ms: &MetricSet,
+) -> Result<Vec<ConfigResult>, ReplayError> {
     let span = ms.span("mfact.replay.replay");
-    let results = replay(trace, configs);
+    let results = match try_replay(trace, configs) {
+        Ok(r) => r,
+        Err(e) => {
+            span.stop();
+            ms.add("mfact.replay.failed", 1);
+            return Err(e);
+        }
+    };
     span.stop();
     ms.add("mfact.replay.events", trace.num_events() as u64);
     ms.add("mfact.replay.configs", configs.len() as u64);
@@ -418,7 +452,7 @@ pub fn replay_observed(
             ms.add(&clock_advance_bucket(t), 1);
         }
     }
-    results
+    Ok(results)
 }
 
 /// Histogram bucket name for a final per-rank logical clock: buckets are
@@ -669,7 +703,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "deadlock")]
     fn deadlock_detected() {
         let mut t = Trace::empty(meta(2));
         // Both ranks blocking-recv first: classic deadlock.
@@ -677,6 +710,22 @@ mod tests {
             vec![Event::new(EventKind::Recv { peer: Rank(1), bytes: 8, tag: 0 }, Time::ZERO)];
         t.events[1] =
             vec![Event::new(EventKind::Recv { peer: Rank(0), bytes: 8, tag: 0 }, Time::ZERO)];
-        let _ = replay(&t, &[ModelConfig::base(net())]);
+        let err = try_replay(&t, &[ModelConfig::base(net())]).unwrap_err();
+        assert_eq!(err, ReplayError::Deadlock { finished: 0, total: 2 });
+    }
+
+    #[test]
+    fn empty_config_list_is_typed_error() {
+        let t = send_recv_trace();
+        assert_eq!(try_replay(&t, &[]).unwrap_err(), ReplayError::NoConfigs);
+    }
+
+    #[test]
+    fn unknown_request_is_typed_error() {
+        use masim_trace::ReqId;
+        let mut t = Trace::empty(meta(1));
+        t.events[0] = vec![Event::new(EventKind::Wait { req: ReqId(42) }, Time::ZERO)];
+        let err = try_replay(&t, &[ModelConfig::base(net())]).unwrap_err();
+        assert_eq!(err, ReplayError::UnknownRequest { rank: 0, req: 42 });
     }
 }

@@ -5,13 +5,20 @@
 //! 235 corpus traces. This repo mirrors that — a run that cannot finish
 //! returns a [`SimError`] through [`crate::simulate_budgeted`]'s result
 //! path and the study marks the trace incomplete, instead of a panic
-//! taking down the whole study thread pool.
+//! taking down the whole study thread pool. Deadlocks, invalid
+//! configurations, and wall-clock deadline misses travel the same path.
 
 use masim_des::ClockOverflow;
 use std::fmt;
+use std::time::Duration;
+
+/// How many blocked ranks a [`SimError::Deadlock`] lists explicitly
+/// before summarizing (large traces can strand hundreds of ranks; the
+/// error stays small and cheap to clone).
+pub const DEADLOCK_RANK_SAMPLE: usize = 16;
 
 /// Why a simulation did not produce a prediction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SimError {
     /// The run exceeded its work budget (DES events + model work units),
     /// the analogue of the paper's wall-clock-limited tool failures.
@@ -20,6 +27,14 @@ pub enum SimError {
         consumed: u64,
         /// The budget that was exceeded.
         budget: u64,
+    },
+    /// The run exceeded its wall-clock deadline on this host (checked at
+    /// the same cadence as the work budget).
+    DeadlineExceeded {
+        /// Wall clock elapsed when the run was cut off.
+        elapsed: Duration,
+        /// The deadline that was exceeded.
+        deadline: Duration,
     },
     /// The simulation clock overflowed its u64 picosecond range — a
     /// pathological compute duration or retry loop pushed `now + delay`
@@ -30,6 +45,36 @@ pub enum SimError {
         /// Where the clock arithmetic failed.
         overflow: ClockOverflow,
     },
+    /// The event queue drained with ranks still blocked: the trace
+    /// deadlocks (e.g. mutually blocking receives or an unmatched
+    /// receive that validation would have flagged).
+    Deadlock {
+        /// Network model that was running.
+        model: &'static str,
+        /// Ranks that finished.
+        finished: u32,
+        /// Total ranks in the trace.
+        total: u32,
+        /// A sample of the blocked ranks (at most
+        /// [`DEADLOCK_RANK_SAMPLE`], in rank order).
+        waiting_ranks: Vec<u32>,
+    },
+    /// The configuration cannot be simulated at all: the mapping does
+    /// not match the trace or fit the machine.
+    InvalidConfig {
+        /// Human-readable description of the rejected configuration.
+        reason: String,
+    },
+    /// A `Wait`/`WaitAll` referenced a request id that was never issued
+    /// — a malformed trace that [`masim_trace::Trace::validate`] would
+    /// have reported first (the modeler's `ReplayError` has the same
+    /// variant).
+    UnknownRequest {
+        /// The waiting rank.
+        rank: u32,
+        /// The dangling request id.
+        req: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -38,8 +83,33 @@ impl fmt::Display for SimError {
             SimError::BudgetExhausted { consumed, budget } => {
                 write!(f, "simulation budget exhausted: {consumed} work units > budget {budget}")
             }
+            SimError::DeadlineExceeded { elapsed, deadline } => {
+                write!(
+                    f,
+                    "simulation deadline exceeded: {:.3}s wall > {:.3}s deadline",
+                    elapsed.as_secs_f64(),
+                    deadline.as_secs_f64()
+                )
+            }
             SimError::ClockOverflow { model, overflow } => {
                 write!(f, "{model} model aborted, trace incomplete: {overflow}")
+            }
+            SimError::Deadlock { model, finished, total, waiting_ranks } => {
+                write!(
+                    f,
+                    "simulation deadlocked: {finished}/{total} ranks finished ({model} model; \
+                     blocked ranks {waiting_ranks:?}{})",
+                    if (total - finished) as usize > waiting_ranks.len() { ", ..." } else { "" }
+                )
+            }
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid simulation configuration: {reason}")
+            }
+            SimError::UnknownRequest { rank, req } => {
+                write!(
+                    f,
+                    "malformed trace: rank {rank} waits on request {req} that was never issued"
+                )
             }
         }
     }

@@ -42,7 +42,8 @@ pub mod util_report;
 pub use error::SimError;
 pub use net::ModelKind;
 pub use runner::{
-    link_bytes_of, simulate, simulate_budgeted, simulate_observed, SimConfig, SimResult,
+    link_bytes_of, simulate, simulate_budgeted, simulate_limited, simulate_limited_observed,
+    simulate_observed, SimConfig, SimLimits, SimResult,
 };
 pub use util_report::UtilReport;
 

@@ -12,8 +12,10 @@ use masim_des::{Engine, Handler};
 use masim_obs::MetricSet;
 use masim_topo::{LinkId, Machine, Mapping};
 use masim_trace::{EventKind, Rank, Time, Trace};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Simulation configuration.
 #[derive(Clone, Debug)]
@@ -34,6 +36,32 @@ impl SimConfig {
     pub fn new(machine: Machine, model: ModelKind, trace: &Trace) -> SimConfig {
         let mapping = Mapping::block(trace.num_ranks(), trace.meta.ranks_per_node);
         SimConfig { machine, mapping, model, compute_scale: 1.0 }
+    }
+}
+
+/// Resource limits for one simulation run: a deterministic work budget
+/// and an optional wall-clock deadline, both checked at the same cadence
+/// in the run loop. The budget is what makes study results reproducible
+/// (it counts simulated work); the deadline is a host-level safety net
+/// for interactive and CI use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimLimits {
+    /// Work budget (DES events + model work units). `u64::MAX` for
+    /// unlimited.
+    pub max_work: u64,
+    /// Optional wall-clock deadline on this host.
+    pub deadline: Option<Duration>,
+}
+
+impl SimLimits {
+    /// A pure work budget, no deadline.
+    pub fn budget(max_work: u64) -> SimLimits {
+        SimLimits { max_work, deadline: None }
+    }
+
+    /// No limits at all.
+    pub fn unlimited() -> SimLimits {
+        SimLimits { max_work: u64::MAX, deadline: None }
     }
 }
 
@@ -195,6 +223,9 @@ pub struct SimState<'a> {
     next_msg_id: u64,
     messages: u64,
     done: usize,
+    /// First typed error latched mid-run (e.g. a wait on an unknown
+    /// request); reported by `sim_core` once the queue drains.
+    error: Option<SimError>,
 }
 
 // Receive-token encoding: rank in the high 32 bits, purpose below.
@@ -206,12 +237,24 @@ fn token(rank: Rank, code: u32) -> u64 {
 }
 
 impl<'a> SimState<'a> {
-    fn new(trace: &'a Trace, cfg: &SimConfig) -> SimState<'a> {
+    fn new(trace: &'a Trace, cfg: &SimConfig) -> Result<SimState<'a>, SimError> {
         let n = trace.num_ranks() as usize;
-        assert_eq!(cfg.mapping.ranks(), trace.num_ranks(), "mapping/trace rank mismatch");
-        cfg.mapping.validate_for(&cfg.machine).expect("mapping does not fit machine");
+        if cfg.mapping.ranks() != trace.num_ranks() {
+            return Err(SimError::InvalidConfig {
+                reason: format!(
+                    "mapping/trace rank mismatch: mapping has {} ranks, trace has {}",
+                    cfg.mapping.ranks(),
+                    trace.num_ranks()
+                ),
+            });
+        }
+        if let Err(e) = cfg.mapping.validate_for(&cfg.machine) {
+            return Err(SimError::InvalidConfig {
+                reason: format!("mapping does not fit machine {}: {e}", cfg.machine.name),
+            });
+        }
         let links = LinkTable::new(&cfg.machine, trace.num_ranks());
-        SimState {
+        Ok(SimState {
             machine: cfg.machine.clone(),
             mapping: cfg.mapping.clone(),
             net: NetState::new(cfg.model, links.len()),
@@ -225,7 +268,8 @@ impl<'a> SimState<'a> {
             next_msg_id: 0,
             messages: 0,
             done: 0,
-        }
+            error: None,
+        })
     }
 
     fn send_message(
@@ -276,7 +320,9 @@ fn advance<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) {
             EventKind::Compute => {
                 let d = ev.dur.scale(st.compute_scale);
                 let p = &mut st.procs[r.idx()];
-                p.compute_total += d;
+                // Saturate: a pathological duration must surface as the
+                // engine's typed clock overflow, not an accounting abort.
+                p.compute_total = p.compute_total.saturating_add(d);
                 p.status = PStatus::Computing;
                 eng.schedule_in(d, SimEvent::ComputeDone(r));
                 return;
@@ -304,8 +350,18 @@ fn advance<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) {
                 st.procs[r.idx()].reqs.insert(req.0, done);
             }
             EventKind::Wait { req } => {
+                if let Entry::Vacant(slot) = st.procs[r.idx()].reqs.entry(req.0) {
+                    // Malformed trace: the request was never issued.
+                    // Latch the typed cause and let the rank block on a
+                    // request that can never complete; sim_core reports
+                    // the latched error instead of a bare deadlock.
+                    slot.insert(false);
+                    if st.error.is_none() {
+                        st.error = Some(SimError::UnknownRequest { rank: r.0, req: req.0 });
+                    }
+                }
                 let p = &mut st.procs[r.idx()];
-                if p.reqs.remove(&req.0).expect("wait on unknown request") {
+                if p.reqs.remove(&req.0).unwrap_or(false) {
                     // Already complete.
                 } else {
                     p.reqs.insert(req.0, false);
@@ -315,6 +371,15 @@ fn advance<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) {
                 }
             }
             EventKind::WaitAll { reqs } => {
+                for id in reqs {
+                    if let Entry::Vacant(slot) = st.procs[r.idx()].reqs.entry(id.0) {
+                        // Same malformed-trace handling as Wait above.
+                        slot.insert(false);
+                        if st.error.is_none() {
+                            st.error = Some(SimError::UnknownRequest { rank: r.0, req: id.0 });
+                        }
+                    }
+                }
                 let p = &mut st.procs[r.idx()];
                 let pending: Vec<u32> =
                     reqs.iter().filter(|id| !p.reqs[&id.0]).map(|id| id.0).collect();
@@ -479,9 +544,12 @@ fn try_finish_wait<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r:
 
 /// Run a simulation and return the full per-link byte counters (for
 /// utilization reports; `SimResult` itself carries only the maximum).
+///
+/// Panics on an invalid configuration (reporting paths run on
+/// already-validated configurations).
 pub fn link_bytes_of(trace: &Trace, cfg: &SimConfig) -> Vec<u64> {
     let mut eng: Engine<SimState<'_>> = Engine::new();
-    let mut st = SimState::new(trace, cfg);
+    let mut st = SimState::new(trace, cfg).unwrap_or_else(|e| panic!("{e}"));
     for r in 0..trace.num_ranks() {
         eng.schedule_at(Time::ZERO, SimEvent::Advance(Rank(r)));
     }
@@ -492,7 +560,8 @@ pub fn link_bytes_of(trace: &Trace, cfg: &SimConfig) -> Vec<u64> {
 /// Run the simulation to completion and collect results.
 ///
 /// Panics if the replay deadlocks (validate traces first), the mapping
-/// does not fit the machine, or the simulated clock overflows.
+/// does not fit the machine, or the simulated clock overflows. Use
+/// [`simulate_budgeted`] / [`simulate_limited`] for the `Result` path.
 pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimResult {
     simulate_budgeted(trace, cfg, u64::MAX).unwrap_or_else(|e| panic!("simulation failed: {e}"))
 }
@@ -501,14 +570,26 @@ pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimResult {
 /// units). Returns an error when the budget is exhausted — the analogue
 /// of the paper's tool failures, where SST/Macro's packet and flow
 /// models completed only 216 and 162 of the 235 traces — or when the
-/// simulated clock overflows; either way the trace is reported
-/// incomplete instead of panicking the study's thread pool.
+/// simulated clock overflows or the trace deadlocks; either way the
+/// trace is reported incomplete instead of panicking the study's thread
+/// pool.
 pub fn simulate_budgeted(
     trace: &Trace,
     cfg: &SimConfig,
     max_work: u64,
 ) -> Result<SimResult, SimError> {
-    sim_core(trace, cfg, max_work, None)
+    sim_core(trace, cfg, SimLimits::budget(max_work), None)
+}
+
+/// Run the simulation under full [`SimLimits`]: the deterministic work
+/// budget plus an optional wall-clock deadline, both checked every 1024
+/// events.
+pub fn simulate_limited(
+    trace: &Trace,
+    cfg: &SimConfig,
+    limits: SimLimits,
+) -> Result<SimResult, SimError> {
+    sim_core(trace, cfg, limits, None)
 }
 
 /// Budgeted simulation with `sim.*` telemetry on `ms`: the engine's
@@ -523,60 +604,90 @@ pub fn simulate_observed(
     max_work: u64,
     ms: &MetricSet,
 ) -> Result<SimResult, SimError> {
-    sim_core(trace, cfg, max_work, Some(ms))
+    sim_core(trace, cfg, SimLimits::budget(max_work), Some(ms))
+}
+
+/// Observed variant of [`simulate_limited`].
+pub fn simulate_limited_observed(
+    trace: &Trace,
+    cfg: &SimConfig,
+    limits: SimLimits,
+    ms: &MetricSet,
+) -> Result<SimResult, SimError> {
+    sim_core(trace, cfg, limits, Some(ms))
 }
 
 fn sim_core(
     trace: &Trace,
     cfg: &SimConfig,
-    max_work: u64,
+    limits: SimLimits,
     obs: Option<&MetricSet>,
 ) -> Result<SimResult, SimError> {
     let span = obs.map(|ms| ms.span("sim.runner.simulate"));
     let mut eng: Engine<SimState<'_>> = Engine::new();
-    let mut st = SimState::new(trace, cfg);
+    let mut st = match SimState::new(trace, cfg) {
+        Ok(st) => st,
+        Err(e) => return Err(observe_fail(obs, span, e)),
+    };
     let n = trace.num_ranks();
     for r in 0..n {
         eng.schedule_at(Time::ZERO, SimEvent::Advance(Rank(r)));
     }
+    let max_work = limits.max_work;
+    // Wall clock is only consulted when a deadline is armed, so the
+    // budget-only path stays free of syscalls.
+    let started = limits.deadline.map(|_| Instant::now());
     let mut check = 0u32;
     while eng.step(&mut st) {
         check += 1;
-        // Budget check every 1024 events (work counters are monotone).
+        // Limit checks every 1024 events (work counters are monotone).
         if check == 1024 {
             check = 0;
             let consumed = eng.processed().saturating_add(st.net.work_units());
             if consumed > max_work {
                 if let Some(ms) = obs {
-                    if let Some(s) = span {
-                        s.stop();
-                    }
-                    ms.add("sim.budget.exhausted", 1);
                     ms.add("sim.budget.consumed", consumed);
                 }
-                return Err(SimError::BudgetExhausted { consumed, budget: max_work });
+                let err = SimError::BudgetExhausted { consumed, budget: max_work };
+                return Err(observe_fail(obs, span, err));
+            }
+            if let (Some(deadline), Some(started)) = (limits.deadline, started) {
+                let elapsed = started.elapsed();
+                if elapsed > deadline {
+                    let err = SimError::DeadlineExceeded { elapsed, deadline };
+                    return Err(observe_fail(obs, span, err));
+                }
             }
         }
+    }
+    if let Some(err) = st.error.take() {
+        // A malformed-trace cause latched mid-run outranks the generic
+        // deadlock the stalled rank would otherwise be reported as.
+        return Err(observe_fail(obs, span, err));
     }
     if let Some(overflow) = eng.error() {
         // The engine latched a clock overflow and stopped; the trace
         // prediction is incomplete.
-        if let Some(ms) = obs {
-            if let Some(s) = span {
-                s.stop();
-            }
-            ms.add("sim.clock.overflow", 1);
-        }
-        return Err(SimError::ClockOverflow { model: cfg.model.name(), overflow });
+        let err = SimError::ClockOverflow { model: cfg.model.name(), overflow };
+        return Err(observe_fail(obs, span, err));
     }
-    assert_eq!(
-        st.done,
-        n as usize,
-        "simulation deadlocked: {}/{} ranks finished ({} model)",
-        st.done,
-        n,
-        cfg.model.name()
-    );
+    if st.done != n as usize {
+        let waiting_ranks: Vec<u32> = st
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.status != PStatus::Done)
+            .map(|(r, _)| r as u32)
+            .take(crate::error::DEADLOCK_RANK_SAMPLE)
+            .collect();
+        let err = SimError::Deadlock {
+            model: cfg.model.name(),
+            finished: st.done as u32,
+            total: n,
+            waiting_ranks,
+        };
+        return Err(observe_fail(obs, span, err));
+    }
     let per_rank: Vec<Time> = st.procs.iter().map(|p| p.finish).collect();
     let total = per_rank.iter().copied().max().unwrap_or(Time::ZERO);
     let comm_time = st.procs.iter().map(|p| p.finish.saturating_sub(p.compute_total)).sum();
@@ -599,4 +710,28 @@ fn sim_core(
         work_units: st.net.work_units(),
         max_link_bytes: st.net.link_bytes().iter().copied().max().unwrap_or(0),
     })
+}
+
+/// Close out telemetry on a failing run: stop the wall span and bump the
+/// per-cause failure counter. Returns the error unchanged.
+fn observe_fail(
+    obs: Option<&MetricSet>,
+    span: Option<masim_obs::SpanGuard>,
+    err: SimError,
+) -> SimError {
+    if let Some(ms) = obs {
+        if let Some(s) = span {
+            s.stop();
+        }
+        let counter = match &err {
+            SimError::BudgetExhausted { .. } => "sim.budget.exhausted",
+            SimError::DeadlineExceeded { .. } => "sim.deadline.exceeded",
+            SimError::ClockOverflow { .. } => "sim.clock.overflow",
+            SimError::Deadlock { .. } => "sim.deadlock.detected",
+            SimError::InvalidConfig { .. } => "sim.config.invalid",
+            SimError::UnknownRequest { .. } => "sim.trace.unknown-request",
+        };
+        ms.add(counter, 1);
+    }
+    err
 }

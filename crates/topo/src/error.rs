@@ -1,0 +1,65 @@
+//! Typed configuration errors.
+//!
+//! Machine lookup, network-scalar construction, and mapping validation
+//! used to panic on bad input. Under the fault-contained study runner a
+//! bad configuration must instead surface as data — the study records
+//! *why* a trace's tools could not run — so every validation path
+//! returns a [`TopoError`] and the panicking constructors are thin
+//! wrappers kept for statically-known-good configurations.
+
+use std::fmt;
+
+/// Why a topology-layer configuration was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopoError {
+    /// [`crate::Machine::by_name`] was asked for a machine outside the
+    /// study catalogue.
+    UnknownMachine {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A bandwidth figure was zero, negative, or non-finite — it would
+    /// make every transfer time infinite and silently poison a
+    /// simulation.
+    NonPositiveBandwidth {
+        /// The rejected figure, in Gb/s.
+        gbps: f64,
+    },
+    /// A mapping places a rank on a node the topology does not have.
+    NonexistentNode {
+        /// The offending rank.
+        rank: u32,
+        /// The node it was mapped to.
+        node: u32,
+        /// How many nodes the topology actually has.
+        nodes: u32,
+    },
+    /// A mapping puts more ranks on a node than it has cores.
+    Oversubscribed {
+        /// The overloaded node.
+        node: u32,
+        /// Ranks assigned when the check fired.
+        ranks: u32,
+        /// The node's core count.
+        cores: u32,
+    },
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopoError::UnknownMachine { name } => write!(f, "unknown machine {name:?}"),
+            TopoError::NonPositiveBandwidth { gbps } => {
+                write!(f, "bandwidth must be positive and finite: {gbps} Gb/s")
+            }
+            TopoError::NonexistentNode { rank, node, nodes } => {
+                write!(f, "rank {rank} mapped to nonexistent node n{node} ({nodes} nodes)")
+            }
+            TopoError::Oversubscribed { node, ranks, cores } => {
+                write!(f, "node n{node} oversubscribed: {ranks} ranks > {cores} cores")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopoError {}

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod dragonfly;
+pub mod error;
 pub mod fattree;
 pub mod machine;
 pub mod mapping;
@@ -17,6 +18,7 @@ pub mod topology;
 pub mod torus;
 
 pub use dragonfly::Dragonfly;
+pub use error::TopoError;
 pub use fattree::FatTree;
 pub use machine::{Machine, NetworkConfig};
 pub use mapping::Mapping;

@@ -1,6 +1,7 @@
 //! Machine configurations: a topology plus the paper's published
 //! bandwidth/latency scalars for Cielito, Hopper, and Edison.
 
+use crate::error::TopoError;
 use crate::topology::Topology;
 use crate::{Dragonfly, Torus3d};
 use masim_trace::{Bandwidth, Time};
@@ -17,8 +18,20 @@ pub struct NetworkConfig {
 
 impl NetworkConfig {
     /// Construct from the paper's units (Gb/s, ns).
+    ///
+    /// Panics on non-positive or non-finite bandwidth; use
+    /// [`NetworkConfig::try_new`] for untrusted input.
     pub fn new(gbps: f64, latency_ns: u64) -> NetworkConfig {
         NetworkConfig { bandwidth: Bandwidth::from_gbps(gbps), latency: Time::from_ns(latency_ns) }
+    }
+
+    /// Fallible construction from the paper's units (Gb/s, ns): rejects
+    /// zero, negative, and non-finite bandwidth with a typed error
+    /// instead of panicking.
+    pub fn try_new(gbps: f64, latency_ns: u64) -> Result<NetworkConfig, TopoError> {
+        let bandwidth =
+            Bandwidth::try_from_gbps(gbps).ok_or(TopoError::NonPositiveBandwidth { gbps })?;
+        Ok(NetworkConfig { bandwidth, latency: Time::from_ns(latency_ns) })
     }
 
     /// A copy with bandwidth scaled by `bw` and latency by `lat`
@@ -110,13 +123,15 @@ impl Machine {
         vec![Machine::cielito(), Machine::hopper(), Machine::edison()]
     }
 
-    /// Look a study machine up by name.
-    pub fn by_name(name: &str) -> Option<Machine> {
+    /// Look a study machine up by name. Unknown names are a typed error
+    /// so the study can record the trace as unrunnable instead of
+    /// crashing the runner.
+    pub fn by_name(name: &str) -> Result<Machine, TopoError> {
         match name {
-            "cielito" => Some(Machine::cielito()),
-            "hopper" => Some(Machine::hopper()),
-            "edison" => Some(Machine::edison()),
-            _ => None,
+            "cielito" => Ok(Machine::cielito()),
+            "hopper" => Ok(Machine::hopper()),
+            "edison" => Ok(Machine::edison()),
+            _ => Err(TopoError::UnknownMachine { name: name.to_string() }),
         }
     }
 }
@@ -173,7 +188,17 @@ mod tests {
         for name in ["cielito", "hopper", "edison"] {
             assert_eq!(Machine::by_name(name).unwrap().name, name);
         }
-        assert!(Machine::by_name("summit").is_none());
+        let err = Machine::by_name("summit").unwrap_err();
+        assert_eq!(err, TopoError::UnknownMachine { name: "summit".into() });
+    }
+
+    #[test]
+    fn try_new_rejects_bad_bandwidth() {
+        for gbps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = NetworkConfig::try_new(gbps, 1_000).unwrap_err();
+            assert!(matches!(err, TopoError::NonPositiveBandwidth { .. }), "{gbps}: {err}");
+        }
+        assert!(NetworkConfig::try_new(10.0, 1_000).is_ok());
     }
 
     #[test]

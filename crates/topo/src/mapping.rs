@@ -5,6 +5,7 @@
 //! the block (SLURM-default) mapping. Round-robin and random mappings
 //! are provided for the mapping-sensitivity ablation.
 
+use crate::error::TopoError;
 use crate::machine::Machine;
 use masim_trace::{NodeId, Rank};
 
@@ -81,20 +82,20 @@ impl Mapping {
 
     /// Check the mapping fits a machine: every node id exists and no node
     /// holds more ranks than it has cores.
-    pub fn validate_for(&self, machine: &Machine) -> Result<(), String> {
+    pub fn validate_for(&self, machine: &Machine) -> Result<(), TopoError> {
         let nodes = machine.topology.num_nodes();
         let mut load = vec![0u32; nodes as usize];
         for (r, n) in self.node_of.iter().enumerate() {
             if n.0 >= nodes {
-                return Err(format!("rank {r} mapped to nonexistent node {n}"));
+                return Err(TopoError::NonexistentNode { rank: r as u32, node: n.0, nodes });
             }
             load[n.idx()] += 1;
             if load[n.idx()] > machine.cores_per_node {
-                return Err(format!(
-                    "node {n} oversubscribed: {} ranks > {} cores",
-                    load[n.idx()],
-                    machine.cores_per_node
-                ));
+                return Err(TopoError::Oversubscribed {
+                    node: n.0,
+                    ranks: load[n.idx()],
+                    cores: machine.cores_per_node,
+                });
             }
         }
         Ok(())

@@ -252,6 +252,47 @@ impl Features {
             self.no_c,
         ]
     }
+
+    /// Inverse of [`Features::as_vec`]: rebuild a `Features` from a
+    /// vector in [`FEATURE_NAMES`] order (checkpoint deserialization).
+    pub fn from_vec(v: &[f64; NUM_FEATURES]) -> Features {
+        Features {
+            r: v[0],
+            rn: v[1],
+            n: v[2],
+            t: v[3],
+            tcp: v[4],
+            po_cp: v[5],
+            tc: v[6],
+            po_c: v[7],
+            tbr: v[8],
+            po_br: v[9],
+            tfbr: v[10],
+            po_fbr: v[11],
+            tcoll: v[12],
+            po_coll: v[13],
+            tfcoll: v[14],
+            po_fcoll: v[15],
+            tp2p: v[16],
+            po_tp2p: v[17],
+            tsyn: v[18],
+            po_syn: v[19],
+            tasyn: v[20],
+            po_asyn: v[21],
+            tb: v[22],
+            no_m: v[23],
+            tb_p2p: v[24],
+            cr: v[25],
+            cr_comm: v[26],
+            no_call: v[27],
+            no_s: v[28],
+            no_is: v[29],
+            no_r: v[30],
+            no_ir: v[31],
+            no_b: v[32],
+            no_c: v[33],
+        }
+    }
 }
 
 #[cfg(test)]
@@ -373,6 +414,12 @@ mod tests {
         // Spot-check a middle entry against its name.
         let idx = FEATURE_NAMES.iter().position(|&n| n == "PoSYN").unwrap();
         assert_eq!(v[idx], f.po_syn);
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let f = Features::extract(&two_rank_trace());
+        assert_eq!(Features::from_vec(&f.as_vec()), f);
     }
 
     #[test]

@@ -155,12 +155,22 @@ pub fn decode(mut buf: &[u8]) -> Result<Trace, DecodeError> {
     let seed = get_u64_le(&mut buf);
     let meta = TraceMeta { app, machine, ranks, ranks_per_node, problem_size, seed };
 
+    // Capacity checks before the allocations: a corrupt count field must
+    // become a typed error, not an allocator abort. Every stream costs at
+    // least its 8-byte length field and every event at least a 9-byte
+    // header, so counts the remaining buffer cannot hold are truncations.
+    if ranks as usize > buf.len() / 8 {
+        return Err(DecodeError::Truncated { context: "rank streams" });
+    }
     let mut events = Vec::with_capacity(ranks as usize);
     for _ in 0..ranks {
         if buf.len() < 8 {
             return Err(DecodeError::Truncated { context: "stream length" });
         }
         let n = get_u64_le(&mut buf) as usize;
+        if n > buf.len() / 9 {
+            return Err(DecodeError::Truncated { context: "event stream" });
+        }
         let mut stream = Vec::with_capacity(n);
         for _ in 0..n {
             stream.push(get_event(&mut buf)?);

@@ -49,6 +49,11 @@ fn parse_time(line: usize, s: &str) -> Result<Time, ParseError> {
         .map(|(i, _)| (&s[..i], &s[i..]))
         .ok_or_else(|| err(line, format!("missing time unit in '{s}'")))?;
     let v: f64 = num.parse().map_err(|_| err(line, format!("bad time value '{s}'")))?;
+    if !v.is_finite() || v < 0.0 {
+        // Negative or non-finite durations would silently saturate in
+        // the float→u64 cast below; reject them at the source.
+        return Err(err(line, format!("bad time value '{s}'")));
+    }
     let ps = match unit {
         "ps" => v,
         "ns" => v * 1e3,
@@ -140,6 +145,9 @@ pub fn from_text(text: &str) -> Result<Trace, ParseError> {
                     return Err(err(lno, "expected '->'"));
                 }
                 let peer = parse_rank(lno, &next(&mut parts, "peer")?)?;
+                if peer.0 >= trace.meta.ranks {
+                    return Err(err(lno, format!("peer {peer} out of range")));
+                }
                 let bytes = parse_bytes(lno, &next(&mut parts, "bytes")?)?;
                 let tag = parse_tag(lno, &next(&mut parts, "tag")?)?;
                 if op == "send" {
@@ -156,6 +164,9 @@ pub fn from_text(text: &str) -> Result<Trace, ParseError> {
                     return Err(err(lno, "expected '<-'"));
                 }
                 let peer = parse_rank(lno, &next(&mut parts, "peer")?)?;
+                if peer.0 >= trace.meta.ranks {
+                    return Err(err(lno, format!("peer {peer} out of range")));
+                }
                 let bytes = parse_bytes(lno, &next(&mut parts, "bytes")?)?;
                 let tag = parse_tag(lno, &next(&mut parts, "tag")?)?;
                 if op == "recv" {

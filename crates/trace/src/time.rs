@@ -114,6 +114,13 @@ impl Time {
         self.0.checked_add(rhs.0).map(Time)
     }
 
+    /// Saturating addition, for accounting sums that must not abort on
+    /// pathological durations (the DES clock itself uses
+    /// [`Time::checked_add`] and reports a typed overflow instead).
+    pub fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
     /// Scale a duration by a dimensionless `f64` factor, rounding to the
     /// nearest picosecond. Used for compute-speed scaling during replay.
     ///

@@ -29,6 +29,19 @@ impl Bandwidth {
         Bandwidth { bits_per_sec: gbps * 1e9 }
     }
 
+    /// Fallible construction from gigabits per second: `None` on zero,
+    /// negative, or non-finite input. The panicking [`from_gbps`]
+    /// remains for statically-known-good constants.
+    ///
+    /// [`from_gbps`]: Bandwidth::from_gbps
+    pub fn try_from_gbps(gbps: f64) -> Option<Bandwidth> {
+        if gbps > 0.0 && gbps.is_finite() {
+            Some(Bandwidth { bits_per_sec: gbps * 1e9 })
+        } else {
+            None
+        }
+    }
+
     /// Construct from bytes per second.
     pub fn from_bytes_per_sec(bps: f64) -> Bandwidth {
         assert!(bps > 0.0 && bps.is_finite(), "bandwidth must be positive and finite: {bps} B/s");
@@ -135,6 +148,14 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bandwidth_rejected() {
         let _ = Bandwidth::from_gbps(0.0);
+    }
+
+    #[test]
+    fn try_from_gbps_screens_input() {
+        assert!(Bandwidth::try_from_gbps(10.0).is_some());
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(Bandwidth::try_from_gbps(bad).is_none(), "{bad}");
+        }
     }
 
     #[test]

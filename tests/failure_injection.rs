@@ -1,11 +1,24 @@
 //! Failure injection: malformed traces, degenerate configurations, and
 //! boundary conditions must fail loudly and precisely — never silently
-//! mis-simulate.
+//! mis-simulate, never panic past a tool boundary.
+//!
+//! Every test here asserts a *typed* error (`TraceError`, `TopoError`,
+//! `ReplayError`, `SimError`, or a contained `ToolFailure`); nothing in
+//! this suite is allowed to rely on `should_panic`.
 
-use masim_mfact::{replay, ModelConfig};
-use masim_sim::{simulate, simulate_budgeted, ModelKind, SimConfig};
-use masim_topo::{Machine, Mapping, NetworkConfig};
+use std::time::Duration;
+
+use masim_core::{contained, ToolFailure};
+use masim_mfact::{replay, try_replay, ModelConfig, ReplayError};
+use masim_rng::Rng;
+use masim_sim::{
+    simulate, simulate_budgeted, simulate_limited, ModelKind, SimConfig, SimError, SimLimits,
+};
+use masim_topo::{Machine, Mapping, NetworkConfig, TopoError};
 use masim_trace::{io, Event, EventKind, Rank, Time, Trace, TraceError, TraceMeta};
+use masim_workloads::{
+    corrupt_bytes, corrupt_trace, generate, App, ByteFault, GenConfig, TraceFault, TRACE_FAULTS,
+};
 
 fn meta(ranks: u32) -> TraceMeta {
     TraceMeta {
@@ -16,6 +29,24 @@ fn meta(ranks: u32) -> TraceMeta {
         problem_size: 1,
         seed: 0,
     }
+}
+
+/// The two-rank mutually-blocking-receive trace used by the deadlock
+/// tests.
+fn deadlock_trace() -> Trace {
+    let mut t = Trace::empty(meta(2));
+    t.events[0] = vec![Event::new(EventKind::Recv { peer: Rank(1), bytes: 8, tag: 0 }, Time::ZERO)];
+    t.events[1] = vec![Event::new(EventKind::Recv { peer: Rank(0), bytes: 8, tag: 0 }, Time::ZERO)];
+    t
+}
+
+/// The FT-64 trace used to exercise work budgets and deadlines: big
+/// enough that a tiny limit trips mid-run.
+fn ft64_trace() -> Trace {
+    let mut gcfg = GenConfig::test_default(App::Ft, 64);
+    gcfg.size = 3;
+    gcfg.comm_fraction = 0.6;
+    generate(&gcfg)
 }
 
 /// A truncated binary trace is rejected at every cut point.
@@ -81,18 +112,24 @@ fn single_rank_trace_works() {
     }
 }
 
-/// Zero bandwidth is rejected at configuration time, not discovered as
-/// an infinite simulation.
+/// Degenerate bandwidth figures are rejected at configuration time with
+/// a typed error, not discovered as an infinite simulation.
 #[test]
-#[should_panic(expected = "positive")]
 fn zero_bandwidth_rejected() {
-    let _ = NetworkConfig::new(0.0, 1_000);
+    for gbps in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let err = NetworkConfig::try_new(gbps, 1_000)
+            .expect_err("non-positive bandwidth must be rejected");
+        assert!(
+            matches!(err, TopoError::NonPositiveBandwidth { .. }),
+            "gbps={gbps}: unexpected error {err}"
+        );
+    }
+    assert!(NetworkConfig::try_new(10.0, 1_000).is_ok());
 }
 
 /// A mapping that oversubscribes node cores is rejected before the
-/// simulation starts.
+/// simulation starts — as `SimError::InvalidConfig`, not a panic.
 #[test]
-#[should_panic(expected = "mapping does not fit")]
 fn oversubscribed_mapping_rejected() {
     let machine = Machine::cielito(); // 16 cores/node
     let mut t = Trace::empty(meta(34));
@@ -105,19 +142,20 @@ fn oversubscribed_mapping_rejected() {
         model: ModelKind::Flow,
         compute_scale: 1.0,
     };
-    let _ = simulate(&t, &cfg);
+    let err = simulate_budgeted(&t, &cfg, u64::MAX).expect_err("oversubscription must fail");
+    match err {
+        SimError::InvalidConfig { reason } => {
+            assert!(reason.contains("mapping does not fit"), "reason: {reason}")
+        }
+        other => panic!("expected InvalidConfig, got {other}"),
+    }
 }
 
 /// Budget exhaustion returns a contextual error rather than a bogus
 /// partial result.
 #[test]
 fn budget_exhaustion_is_explicit() {
-    use masim_sim::SimError;
-    use masim_workloads::{generate, App, GenConfig};
-    let mut gcfg = GenConfig::test_default(App::Ft, 64);
-    gcfg.size = 3;
-    gcfg.comm_fraction = 0.6;
-    let t = generate(&gcfg);
+    let t = ft64_trace();
     let machine = Machine::cielito();
     let cfg = SimConfig::new(machine, ModelKind::Packet { packet_bytes: 1024 }, &t);
     let err = simulate_budgeted(&t, &cfg, 2_000).expect_err("tiny budget must fail");
@@ -129,29 +167,54 @@ fn budget_exhaustion_is_explicit() {
     assert!(full.events > 2_000);
 }
 
-/// MFACT rejects replays of deadlocking traces instead of hanging.
+/// A wall-clock deadline trips with a typed error carrying both the
+/// elapsed time and the deadline it exceeded.
 #[test]
-#[should_panic(expected = "deadlock")]
-fn mfact_detects_deadlock() {
-    let mut t = Trace::empty(meta(2));
-    t.events[0] = vec![Event::new(EventKind::Recv { peer: Rank(1), bytes: 8, tag: 0 }, Time::ZERO)];
-    t.events[1] = vec![Event::new(EventKind::Recv { peer: Rank(0), bytes: 8, tag: 0 }, Time::ZERO)];
-    let _ = replay(&t, &[ModelConfig::base(Machine::cielito().net)]);
+fn deadline_exceeded_is_explicit() {
+    let t = ft64_trace();
+    let machine = Machine::cielito();
+    let cfg = SimConfig::new(machine, ModelKind::Packet { packet_bytes: 1024 }, &t);
+    let limits = SimLimits { max_work: u64::MAX, deadline: Some(Duration::ZERO) };
+    let err = simulate_limited(&t, &cfg, limits).expect_err("zero deadline must fail");
+    match err {
+        SimError::DeadlineExceeded { elapsed: _, deadline } => {
+            assert_eq!(deadline, Duration::ZERO)
+        }
+        other => panic!("expected DeadlineExceeded, got {other}"),
+    }
+    // No deadline at all still completes.
+    assert!(simulate_limited(&t, &cfg, SimLimits::unlimited()).is_ok());
 }
 
-/// The simulator detects the same deadlock.
+/// MFACT rejects replays of deadlocking traces with a typed error
+/// instead of hanging or panicking.
 #[test]
-#[should_panic(expected = "deadlock")]
+fn mfact_detects_deadlock() {
+    let t = deadlock_trace();
+    let err = try_replay(&t, &[ModelConfig::base(Machine::cielito().net)])
+        .expect_err("deadlock must be detected");
+    assert_eq!(err, ReplayError::Deadlock { finished: 0, total: 2 });
+}
+
+/// The simulator detects the same deadlock, reporting which ranks were
+/// still blocked when the event queue drained.
+#[test]
 fn simulator_detects_deadlock() {
-    let mut t = Trace::empty(meta(2));
-    t.events[0] = vec![Event::new(EventKind::Recv { peer: Rank(1), bytes: 8, tag: 0 }, Time::ZERO)];
-    t.events[1] = vec![Event::new(EventKind::Recv { peer: Rank(0), bytes: 8, tag: 0 }, Time::ZERO)];
+    let t = deadlock_trace();
     let machine = Machine::cielito();
     let cfg = SimConfig::new(machine, ModelKind::Flow, &t);
-    let _ = simulate(&t, &cfg);
+    let err = simulate_budgeted(&t, &cfg, u64::MAX).expect_err("deadlock must be detected");
+    match err {
+        SimError::Deadlock { finished, total, ref waiting_ranks, .. } => {
+            assert_eq!((finished, total), (0, 2));
+            assert!(!waiting_ranks.is_empty(), "blocked ranks must be reported");
+        }
+        ref other => panic!("expected Deadlock, got {other}"),
+    }
 }
 
-/// Text parsing survives hostile input without panicking.
+/// Text parsing rejects hostile input with a parse error — it neither
+/// panics nor quietly fabricates a trace.
 #[test]
 fn hostile_text_input() {
     for garbage in [
@@ -162,6 +225,114 @@ fn hostile_text_input() {
         "# masim trace: app=x machine=y ranks=1 rpn=1 size=1 seed=0\nr0 -5us compute",
         "# masim trace: app=x machine=y ranks=1 rpn=1 size=1 seed=0\nr0 1us send -> r9 8B tag=0",
     ] {
-        let _ = masim_trace::from_text(garbage); // must return Err, not panic
+        assert!(
+            masim_trace::from_text(garbage).is_err(),
+            "hostile input must be rejected: {garbage:?}"
+        );
     }
+}
+
+/// Seeded fuzz over the binary codec: every truncation is rejected and
+/// no bit flip can make `decode` (or validation of whatever it yields)
+/// panic. Fixed seeds keep the sweep reproducible.
+#[test]
+fn decode_fuzz_survives_byte_corruption() {
+    let t = generate(&GenConfig::test_default(App::Mg, 8));
+    let bytes = io::encode(&t);
+    assert_eq!(io::decode(&bytes).expect("healthy buffer decodes"), t);
+    for seed in 0..200u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let cut = corrupt_bytes(&bytes, ByteFault::Truncate, &mut rng);
+        assert!(
+            io::decode(&cut).is_err(),
+            "seed {seed}: truncation to {} of {} bytes must be rejected",
+            cut.len(),
+            bytes.len()
+        );
+        let flipped = corrupt_bytes(&bytes, ByteFault::FlipBit, &mut rng);
+        // A single flipped bit may or may not be structurally fatal;
+        // both outcomes are fine, unwinding is not.
+        let outcome = contained(|| Ok(io::decode(&flipped).map(|t2| t2.validate().is_ok())));
+        assert!(
+            !matches!(outcome, Err(ToolFailure::Panicked { .. })),
+            "seed {seed}: decode of flipped buffer panicked"
+        );
+    }
+}
+
+/// Chaos sweep: every structural corruption lands in a typed error at
+/// validation, and even tools fed the corrupt trace *without* prior
+/// validation either return a typed error or are contained — no panic
+/// ever escapes a tool boundary.
+#[test]
+fn chaos_trace_faults_land_in_typed_errors() {
+    let healthy = generate(&GenConfig::test_default(App::Cg, 8));
+    let machine = Machine::cielito();
+    let configs = [ModelConfig::base(machine.net)];
+    // Derive the sim config from the healthy twin (same meta and rank
+    // count): deriving it from the corrupted trace would overflow in
+    // debug builds before the containment boundary is even reached.
+    let cfg = SimConfig::new(machine.clone(), ModelKind::Packet { packet_bytes: 1024 }, &healthy);
+    for fault in TRACE_FAULTS {
+        for seed in 0..6u64 {
+            let bad = corrupt_trace(&healthy, fault, &mut Rng::seed_from_u64(seed));
+
+            // Stage 1: validation. Every structural fault except the
+            // pathological-but-well-formed compute duration is caught
+            // here with a typed TraceError.
+            let verdict =
+                contained(|| Ok(bad.validate())).expect("validation itself must never panic");
+            match fault {
+                TraceFault::HugeCompute => {
+                    assert_eq!(verdict, Ok(()), "{fault:?}/{seed}: huge durations are well-formed")
+                }
+                _ => assert!(verdict.is_err(), "{fault:?}/{seed}: validation must object"),
+            }
+
+            // Stage 2: MFACT replay behind the containment boundary.
+            // The logical clock uses unchecked adds, so HugeCompute may
+            // debug-panic — `contained` must turn that into a typed
+            // failure rather than an unwind.
+            let mfact = contained(|| {
+                try_replay(&bad, &configs).map(|_| ()).map_err(ToolFailure::from_replay)
+            });
+            match fault {
+                TraceFault::RecvRecvDeadlock => assert!(
+                    matches!(mfact, Err(ToolFailure::Deadlock { .. })),
+                    "{fault:?}/{seed}: expected typed deadlock, got {mfact:?}"
+                ),
+                TraceFault::HugeCompute => { /* contained() returning at all is the contract */ }
+                _ => assert!(mfact.is_err(), "{fault:?}/{seed}: replay must fail: {mfact:?}"),
+            }
+
+            // Stage 3: the discrete-event simulator, same boundary. Its
+            // clock arithmetic is checked, so even the overflow fault
+            // must surface as a typed SimError.
+            let sim = contained(|| {
+                simulate_budgeted(&bad, &cfg, u64::MAX).map(|_| ()).map_err(ToolFailure::from_sim)
+            });
+            match fault {
+                TraceFault::HugeCompute => assert!(
+                    matches!(sim, Err(ToolFailure::ClockOverflow { .. })),
+                    "{fault:?}/{seed}: expected typed overflow, got {sim:?}"
+                ),
+                TraceFault::RecvRecvDeadlock => assert!(
+                    matches!(sim, Err(ToolFailure::Deadlock { .. })),
+                    "{fault:?}/{seed}: expected typed deadlock, got {sim:?}"
+                ),
+                _ => assert!(
+                    !matches!(sim, Err(ToolFailure::Panicked { .. })),
+                    "{fault:?}/{seed}: simulator panicked: {sim:?}"
+                ),
+            }
+        }
+    }
+}
+
+/// The containment primitive itself: an arbitrary panic inside a tool
+/// closure becomes `ToolFailure::Panicked` carrying the payload.
+#[test]
+fn panics_become_typed_failures() {
+    let r = contained::<()>(|| panic!("injected tool crash"));
+    assert_eq!(r, Err(ToolFailure::Panicked { message: "injected tool crash".into() }));
 }
