@@ -55,6 +55,7 @@ fn mapping_sweep(h: &mut Harness) {
             mapping,
             model: ModelKind::PacketFlow { packet_bytes: 8192 },
             compute_scale: 1.0,
+            eager_packets: false,
         };
         h.bench(&format!("ablation/mapping/{name}"), DEFAULT_SAMPLES, || {
             black_box(simulate(&trace, &cfg));

@@ -1,0 +1,49 @@
+//! Per-event cost probe for the packet model on the bench CG(64)
+//! workload (the slowest tool × the heaviest tiny-corpus entry).
+//!
+//! Complements `cargo bench`: reports ns/event and events/s from the
+//! engine's own processed-event counter, which is the unit the
+//! bench-gate throughput floor is written in. Run with
+//! `cargo run --release -p masim-bench --example packet_profile`.
+
+use masim_bench::bench_entries;
+use masim_obs::MetricSet;
+use masim_sim::{simulate_limited_observed, ModelKind, SimConfig, SimLimits};
+use masim_topo::Machine;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let machine = Machine::cielito();
+    let entry = &bench_entries()[1]; // CG(64)
+    let trace = entry.generate();
+    let [pkt, _, _] = ModelKind::study_models();
+    let cfg = SimConfig::new(machine.clone(), pkt, &trace);
+    // Warm up.
+    for _ in 0..3 {
+        let ms = MetricSet::new();
+        black_box(simulate_limited_observed(&trace, &cfg, SimLimits::unlimited(), &ms).unwrap());
+    }
+    let mut best = f64::MAX;
+    let mut events = 0u64;
+    let mut total_ps = 0u64;
+    for _ in 0..1500 {
+        let ms = MetricSet::new();
+        let t0 = Instant::now();
+        let res = simulate_limited_observed(&trace, &cfg, SimLimits::unlimited(), &ms).unwrap();
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt);
+        events = ms.snapshot().counters["des.engine.processed"];
+        total_ps = black_box(res).total.as_ps();
+    }
+    println!(
+        "events {}  best {:.3}ms  {:.1}ns/event  {:.2}M events/s  sim total {:.3}ms ({} buckets of 65536ps, {:.1} walked/event)",
+        events,
+        best * 1e3,
+        best * 1e9 / events as f64,
+        events as f64 / best / 1e6,
+        total_ps as f64 / 1e9,
+        total_ps / 65536,
+        (total_ps / 65536) as f64 / events as f64
+    );
+}

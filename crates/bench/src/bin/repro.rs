@@ -20,18 +20,30 @@
 //! re-running anything. `--tiny` shrinks the Table II heavyweights to
 //! smoke-test scale (CI uses `table2 --tiny --metrics`).
 //!
+//! `--profile` (requires `--metrics`) adds a per-phase wall-clock
+//! breakdown: generate / lower / simulate phases are folded from the
+//! span stats already present in the sidecars, the report phase is
+//! timed live around each report's text generation (for `table2` that
+//! includes the heavyweight runs it performs inline — their interior is
+//! still attributed to generate/lower/simulate via the sidecars). The
+//! breakdown is printed and written to `<dir>/profile.json` in sidecar
+//! shape, so future perf PRs can attribute wall-clock without an
+//! external profiler.
+//!
 //! `bench-gate [--metrics <dir>] [--tolerance <pct>]` compares the
 //! folded `BENCH_obs.json` against the committed `BENCH_baseline.json`:
 //! per-tool event counts must match exactly (the simulators are
 //! deterministic), while median wall-clock and events/s may regress by
-//! at most the tolerance (default 25%). `--write-baseline` refreshes
-//! the committed baseline instead of comparing.
+//! at most the tolerance (default 25%; the packet model's events/s is
+//! held to a tighter 15% floor that `--tolerance` cannot loosen).
+//! `--write-baseline` refreshes the committed baseline instead of
+//! comparing.
 
 use masim_core::report;
 use masim_core::{Checkpoint, Dataset, Enhanced, ResumableRun, Study, StudyConfig, TOOL_WALL_SPAN};
 use masim_obs::json::Value;
 use masim_obs::run::parse_json;
-use masim_obs::RunMetrics;
+use masim_obs::{RunMetrics, SpanStats};
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
@@ -58,6 +70,15 @@ const BENCH_BASELINE: &str = "BENCH_baseline.json";
 /// from any tolerance: the simulators are deterministic, so they must
 /// match the baseline exactly.
 const GATE_TOLERANCE_PCT: f64 = 25.0;
+
+/// Tighter events/s budget for the packet model, the study's slowest
+/// tool and the target of the hot-path work (route arena, lazy
+/// injection, integer-hashed matching). Its throughput is the floor the
+/// whole study's wall-clock rides on, so it gets less headroom than the
+/// generic budget; `GATE_NOISE_SECS` still absorbs µs-scale jitter on
+/// the tiny corpus. Applied as `min` with `--tolerance`, so the
+/// override can loosen other tools without loosening this floor.
+const GATE_PACKET_TOLERANCE_PCT: f64 = 15.0;
 
 /// Below this baseline median wall-clock, relative timing comparisons
 /// are timer noise (sub-100µs spans swing 2x run to run); such tools
@@ -103,6 +124,9 @@ struct Options {
     /// (exit code 3) — the deterministic interruption hook CI uses to
     /// exercise resume.
     fail_after: Option<usize>,
+    /// `--profile`: write a per-phase wall-clock breakdown
+    /// (generate/lower/simulate/report) alongside the metric sidecars.
+    profile: bool,
 }
 
 /// Exit code for a deliberate `--fail-after` interruption, so scripts
@@ -121,6 +145,7 @@ fn parse_args() -> Result<Options, String> {
         checkpoint: None,
         resume: false,
         fail_after: None,
+        profile: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -142,6 +167,7 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--tiny" => opts.tiny = true,
+            "--profile" => opts.profile = true,
             "bench-summary" => opts.summarize = true,
             "bench-gate" => opts.gate = true,
             "--write-baseline" => opts.write_baseline = true,
@@ -162,6 +188,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.fail_after.is_some() && opts.checkpoint.is_none() {
         return Err("--fail-after requires --checkpoint <dir>".into());
+    }
+    if opts.profile && opts.metrics.is_none() {
+        return Err("--profile requires --metrics <dir> (phases fold from the sidecars)".into());
     }
     if opts.reports.is_empty() && !opts.summarize && !opts.gate {
         opts.reports = ALL.iter().map(|s| s.to_string()).collect();
@@ -254,7 +283,9 @@ fn run() -> Result<(), String> {
         None
     };
 
+    let mut report_span = SpanStats::default();
     for a in &opts.reports {
+        let report_t0 = Instant::now();
         let text = match a.as_str() {
             "table1" => report::table1(need(&study, "study", a)?),
             "fig1" => report::fig1(need(&study, "study", a)?),
@@ -304,6 +335,7 @@ fn run() -> Result<(), String> {
             }
             _ => unreachable!("report names were validated in parse_args"),
         };
+        report_span.record(report_t0.elapsed().as_nanos() as u64);
         println!("{text}");
         let ext = if a == "csv" { "csv" } else { "txt" };
         let path = format!("reports/{a}.{ext}");
@@ -315,9 +347,89 @@ fn run() -> Result<(), String> {
     if let Some(dir) = &metrics_dir {
         eprintln!("wrote {sidecar_count} metric sidecar(s) under {}", dir.display());
         fold_sidecars(dir)?;
+        if opts.profile {
+            write_profile(dir, &report_span)?;
+        }
     } else if opts.summarize {
         fold_sidecars(Path::new("reports/metrics"))?;
     }
+    Ok(())
+}
+
+/// Span names whose sidecar stats fold into each `--profile` phase.
+/// The `report` phase has no sidecar source; it is timed live around
+/// the report-generation loop.
+const PROFILE_PHASES: [(&str, &str); 3] = [
+    ("generate", "workloads.corpus.generate"),
+    ("lower", "sim.runner.lower"),
+    ("simulate", "sim.runner.simulate"),
+];
+
+/// `--profile`: fold the per-phase spans out of the sidecars in `dir`,
+/// attach the live-measured report phase, print the breakdown, and
+/// write it to `<dir>/profile.json` in the same labels/counters/gauges/
+/// spans shape as the sidecars (with no `tool` label, so folds skip it).
+fn write_profile(dir: &Path, report: &SpanStats) -> Result<(), String> {
+    let mut phases: BTreeMap<&str, SpanStats> = BTreeMap::new();
+    let rd = fs::read_dir(dir).map_err(|e| format!("read metrics dir {}: {e}", dir.display()))?;
+    for ent in rd {
+        let path = ent.map_err(|e| format!("list {}: {e}", dir.display()))?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("read sidecar {}: {e}", path.display()))?;
+        let data =
+            parse_json(&text).map_err(|e| format!("parse sidecar {}: {e}", path.display()))?;
+        // Only tool-labeled sidecars feed the phases; a profile.json
+        // left over from a previous run must not fold into itself.
+        if !data.labels.contains_key("tool") {
+            continue;
+        }
+        for (phase, span_name) in PROFILE_PHASES {
+            if let Some(s) = data.snapshot.spans.get(span_name) {
+                phases.entry(phase).or_default().merge(s);
+            }
+        }
+    }
+    if report.count > 0 {
+        phases.insert("report", report.clone());
+    }
+
+    let mut lines = vec![format!(
+        "{:<10} {:>8} {:>12} {:>12} {:>12}",
+        "phase", "count", "total(s)", "mean(ms)", "max(ms)"
+    )];
+    let mut spans = Vec::new();
+    for (phase, s) in &phases {
+        lines.push(format!(
+            "{phase:<10} {:>8} {:>12.4} {:>12.3} {:>12.3}",
+            s.count,
+            s.sum_ns as f64 / 1e9,
+            s.mean_ns() as f64 / 1e6,
+            s.max_ns as f64 / 1e6
+        ));
+        spans.push((
+            format!("repro.profile.{phase}"),
+            Value::Obj(vec![
+                ("count".into(), Value::UInt(s.count)),
+                ("sum_ns".into(), Value::UInt(s.sum_ns)),
+                ("min_ns".into(), Value::UInt(s.min_ns)),
+                ("max_ns".into(), Value::UInt(s.max_ns)),
+            ]),
+        ));
+    }
+    let json = Value::Obj(vec![
+        ("labels".into(), Value::Obj(vec![])),
+        ("counters".into(), Value::Obj(vec![])),
+        ("gauges".into(), Value::Obj(vec![])),
+        ("spans".into(), Value::Obj(spans)),
+    ])
+    .to_json();
+    let path = dir.join("profile.json");
+    fs::write(&path, &json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("{}", lines.join("\n"));
+    eprintln!("wrote {}", path.display());
     Ok(())
 }
 
@@ -377,17 +489,10 @@ fn run_with_checkpoint(
     }
 }
 
-/// The Table II applications shrunk to seconds-scale for CI smoke runs.
+/// The Table II applications shrunk to seconds-scale for CI smoke runs
+/// (shared with the equivalence suite via `masim-core`).
 fn tiny_table2_entries(seed: u64) -> Vec<masim_workloads::CorpusEntry> {
-    let mut entries = report::table2_entries(seed);
-    for e in &mut entries {
-        e.cfg.ranks = e.cfg.app.legal_ranks(16);
-        e.cfg.ranks_per_node = 8;
-        e.cfg.size = 1;
-        e.cfg.iters = 2;
-        e.cfg.check();
-    }
-    entries
+    report::table2_tiny_entries(seed)
 }
 
 /// Write one JSON + one CSV sidecar per tool run; returns how many
@@ -412,6 +517,9 @@ fn write_sidecars(dir: &Path, stem: &str, runs: &[RunMetrics]) -> Result<usize, 
 fn fold_sidecars(dir: &Path) -> Result<(), String> {
     // tool -> per-run (wall_ns, events)
     let mut by_tool: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
+    // tool -> (max peak queue occupancy, max route arena bytes) across
+    // runs — the hot-path telemetry the sim runner exports as gauges.
+    let mut hot_gauges: BTreeMap<String, (u64, u64)> = BTreeMap::new();
     let rd = fs::read_dir(dir).map_err(|e| format!("read metrics dir {}: {e}", dir.display()))?;
     for ent in rd {
         let path = ent.map_err(|e| format!("list {}: {e}", dir.display()))?.path();
@@ -438,6 +546,10 @@ fn fold_sidecars(dir: &Path) -> Result<(), String> {
             .find_map(|k| data.snapshot.counters.get(*k))
             .copied()
             .unwrap_or(0);
+        let gauge = |name: &str| data.snapshot.gauges.get(name).copied().unwrap_or(0);
+        let (occ, arena) = hot_gauges.entry(tool.clone()).or_default();
+        *occ = (*occ).max(gauge("sim.queue.peak_occupancy"));
+        *arena = (*arena).max(gauge("sim.route.arena_bytes"));
         by_tool.entry(tool).or_default().push((wall_ns, events));
     }
     if by_tool.is_empty() {
@@ -458,16 +570,24 @@ fn fold_sidecars(dir: &Path) -> Result<(), String> {
             runs.iter().filter(|r| r.0 > 0).map(|r| r.1 as f64 / (r.0 as f64 / 1e9)).collect();
         rates.sort_unstable_by(f64::total_cmp);
         let events_per_sec = if rates.is_empty() { 0.0 } else { rates[(rates.len() - 1) / 2] };
-        obj.push((
-            tool,
-            Value::Obj(vec![
-                ("wall_p50".into(), Value::Num(p50_ns as f64 / 1e9)),
-                ("wall_max".into(), Value::Num(max_ns as f64 / 1e9)),
-                ("events_per_sec".into(), Value::Num(events_per_sec)),
-                ("events_total".into(), Value::UInt(total_events)),
-                ("runs".into(), Value::UInt(walls.len() as u64)),
-            ]),
-        ));
+        let mut fields = vec![
+            ("wall_p50".into(), Value::Num(p50_ns as f64 / 1e9)),
+            ("wall_max".into(), Value::Num(max_ns as f64 / 1e9)),
+            ("events_per_sec".into(), Value::Num(events_per_sec)),
+            ("events_total".into(), Value::UInt(total_events)),
+            ("runs".into(), Value::UInt(walls.len() as u64)),
+        ];
+        // Hot-path telemetry, present only for tools that export it
+        // (the simulators); the gate reads only the keys above, so
+        // these extra fields are informational.
+        let (occ, arena) = hot_gauges.get(&tool).copied().unwrap_or((0, 0));
+        if occ > 0 {
+            fields.push(("queue_peak_occupancy".into(), Value::UInt(occ)));
+        }
+        if arena > 0 {
+            fields.push(("route_arena_bytes".into(), Value::UInt(arena)));
+        }
+        obj.push((tool, Value::Obj(fields)));
     }
     let json = Value::Obj(obj).to_json();
     fs::write(BENCH_OBS, &json).map_err(|e| format!("write {BENCH_OBS}: {e}"))?;
@@ -508,7 +628,10 @@ fn gate_compare(base: &Value, obs: &Value, tolerance: f64) -> Result<String, Str
     let obs_tools = obs.as_obj().ok_or("observation: top level is not an object")?;
     let slack = 1.0 + tolerance / 100.0;
     let mut lines = vec![
-        format!("bench-gate: tolerance {tolerance}% (event counts exact)"),
+        format!(
+            "bench-gate: tolerance {tolerance}% (packet events/s {}%; event counts exact)",
+            tolerance.min(GATE_PACKET_TOLERANCE_PCT)
+        ),
         format!(
             "{:<14} {:>12} {:>12} {:>14} {:>8}",
             "tool", "wall_p50(s)", "base(s)", "events/s", "status"
@@ -554,14 +677,17 @@ fn gate_compare(base: &Value, obs: &Value, tolerance: f64) -> Result<String, Str
             let runs = b.get("runs").and_then(Value::as_u64).unwrap_or(1).max(1) as f64;
             ev / runs
         };
+        let eps_budget =
+            if tool == "packet" { tolerance.min(GATE_PACKET_TOLERANCE_PCT) } else { tolerance };
+        let eps_slack = 1.0 + eps_budget / 100.0;
         if measurable
             && be > 0.0
             && oe > 0.0
-            && oe * slack < be
+            && oe * eps_slack < be
             && per_run * (1.0 / oe - 1.0 / be) > GATE_NOISE_SECS
         {
             violations.push(format!(
-                "{tool}: events/s {oe:.0} is {:.0}% below baseline {be:.0} (budget {tolerance}%)",
+                "{tool}: events/s {oe:.0} is {:.0}% below baseline {be:.0} (budget {eps_budget}%)",
                 (1.0 - oe / be) * 100.0
             ));
             bad = true;
@@ -676,6 +802,22 @@ mod gate_tests {
         // ...but an event-count drift still fails.
         let drift = doc(&[("corpus", tool(30e-6, 1e7, 2225, 3))]);
         assert!(gate_compare(&b, &drift, 25.0).is_err());
+    }
+
+    #[test]
+    fn packet_throughput_floor_is_tighter() {
+        // A 20% events/s drop at seconds scale: inside the generic 25%
+        // budget, outside the 15% packet floor — so the same numbers
+        // pass as "flow" but fail as "packet".
+        let b = |name| doc(&[(name, tool(2.0, 4e6, 24_000_000, 3))]);
+        let o = |name| doc(&[(name, tool(2.0, 3.2e6, 24_000_000, 3))]);
+        assert!(gate_compare(&b("flow"), &o("flow"), 25.0).is_ok());
+        let err = gate_compare(&b("packet"), &o("packet"), 25.0).unwrap_err();
+        assert!(err.contains("events/s") && err.contains("budget 15%"), "{err}");
+        // `--tolerance` can loosen other tools but never the packet
+        // floor.
+        let err = gate_compare(&b("packet"), &o("packet"), 50.0).unwrap_err();
+        assert!(err.contains("budget 15%"), "{err}");
     }
 
     #[test]

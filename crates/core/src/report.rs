@@ -161,6 +161,22 @@ pub fn table2_entries(seed: u64) -> Vec<CorpusEntry> {
     ]
 }
 
+/// The Table II applications shrunk to seconds-scale: the corpus CI
+/// smoke runs, the bench gate, and the equivalence suite all replay
+/// (`repro table2 --tiny` uses it too, so every consumer sees the same
+/// tiny corpus).
+pub fn table2_tiny_entries(seed: u64) -> Vec<CorpusEntry> {
+    let mut entries = table2_entries(seed);
+    for e in &mut entries {
+        e.cfg.ranks = e.cfg.app.legal_ranks(16);
+        e.cfg.ranks_per_node = 8;
+        e.cfg.size = 1;
+        e.cfg.iters = 2;
+        e.cfg.check();
+    }
+    entries
+}
+
 /// Table II: wall-clock seconds of each tool on the three named runs.
 pub fn table2(seed: u64) -> String {
     table2_observed(&table2_entries(seed), seed).0

@@ -11,6 +11,17 @@
 //! immediately; the queue entry that pointed at the slot is lazily
 //! discarded when it surfaces.
 
+/// Inline-payload budget for arena-stored events, in bytes.
+///
+/// Every pending event's payload lives inline in an arena slot, so the
+/// slab's footprint and cache behaviour are `size_of::<E>() ×
+/// pending`. Handlers are expected to keep payloads small, `Copy`
+/// handles into side tables (slabs, interning arenas) rather than owning
+/// containers; [`EventArena::new`] debug-asserts the budget so an
+/// accidentally fattened payload fails loudly in CI instead of silently
+/// doubling the hot loop's cache traffic.
+pub const MAX_INLINE_PAYLOAD_BYTES: usize = 32;
+
 /// Handle for a scheduled event, usable to cancel it.
 ///
 /// Generation-tagged: a handle left over from an executed or cancelled
@@ -41,6 +52,12 @@ pub(crate) struct EventArena<E> {
 
 impl<E> EventArena<E> {
     pub(crate) fn new() -> EventArena<E> {
+        debug_assert!(
+            std::mem::size_of::<E>() <= MAX_INLINE_PAYLOAD_BYTES,
+            "event payload is {} bytes (> {MAX_INLINE_PAYLOAD_BYTES}); store a handle into a \
+             side table instead of inlining owning data",
+            std::mem::size_of::<E>(),
+        );
         EventArena { slots: Vec::new(), free: Vec::new(), live: 0 }
     }
 

@@ -20,7 +20,7 @@ pub mod error;
 pub mod pdes;
 pub mod queue;
 
-pub use arena::EventId;
+pub use arena::{EventId, MAX_INLINE_PAYLOAD_BYTES};
 pub use engine::{Engine, Handler};
 pub use error::ClockOverflow;
 pub use pdes::{LogicalProcess, WindowedPdes};

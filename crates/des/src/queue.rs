@@ -40,6 +40,11 @@ const BUCKET_SHIFT: u32 = 16;
 pub const BUCKET_WIDTH_PS: u64 = 1 << BUCKET_SHIFT;
 /// Number of ring buckets (power of two; the ring spans ~67 µs).
 pub const NUM_BUCKETS: u64 = 1024;
+/// First-touch capacity of a ring bucket. Bucket `Vec`s keep (and
+/// circulate, via the drain swap) their capacity for the queue's
+/// lifetime, so each bucket pays this reserve at most once and
+/// steady-state scheduling stays allocation-free.
+const BUCKET_RESERVE: usize = 16;
 
 #[inline]
 fn bucket_of(at_ps: u64) -> u64 {
@@ -109,12 +114,18 @@ impl<T> Default for LadderQueue<T> {
 
 impl<T> LadderQueue<T> {
     /// An empty queue with its window at time zero.
+    ///
+    /// Drain lanes are pre-reserved; ring buckets reserve lazily on
+    /// first touch (see [`Self::ring_push`]), so constructing a queue
+    /// costs one allocation for the ring spine instead of
+    /// `NUM_BUCKETS` bucket allocations — short simulations never pay
+    /// for buckets they don't reach.
     pub fn new() -> LadderQueue<T> {
         LadderQueue {
-            imm: VecDeque::new(),
+            imm: VecDeque::with_capacity(BUCKET_RESERVE),
             imm_at: 0,
             last_ps: 0,
-            current: Vec::new(),
+            current: Vec::with_capacity(BUCKET_RESERVE),
             cur_bucket: 0,
             ring: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
             ring_len: 0,
@@ -168,8 +179,7 @@ impl<T> LadderQueue<T> {
             let idx = self.current.partition_point(|e| (e.at, e.seq) > key);
             self.current.insert(idx, entry);
         } else if b <= self.cur_bucket + NUM_BUCKETS {
-            self.ring[(b % NUM_BUCKETS) as usize].push(entry);
-            self.ring_len += 1;
+            self.ring_push(b, entry);
         } else {
             self.overflow.push(OverflowEntry(entry));
         }
@@ -282,10 +292,21 @@ impl<T> LadderQueue<T> {
             if b <= self.cur_bucket {
                 self.current.push(e);
             } else {
-                self.ring[(b % NUM_BUCKETS) as usize].push(e);
-                self.ring_len += 1;
+                self.ring_push(b, e);
             }
         }
+    }
+
+    /// Push into the ring bucket for `b`, reserving the bucket's
+    /// steady-state capacity on first touch.
+    #[inline]
+    fn ring_push(&mut self, b: u64, entry: Entry<T>) {
+        let bucket = &mut self.ring[(b % NUM_BUCKETS) as usize];
+        if bucket.capacity() == 0 {
+            bucket.reserve(BUCKET_RESERVE);
+        }
+        bucket.push(entry);
+        self.ring_len += 1;
     }
 }
 

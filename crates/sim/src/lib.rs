@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub(crate) mod hash;
 pub mod lower;
 pub mod msg;
 pub mod net;
@@ -63,5 +64,68 @@ impl ModelKind {
             ModelKind::Flow,
             ModelKind::PacketFlow { packet_bytes: DEFAULT_PFLOW_BYTES },
         ]
+    }
+}
+
+/// Unit-test-only counting allocator: wraps the system allocator and
+/// counts allocation events per thread, so hot-path routines (the flow
+/// re-solve, most prominently) can assert they are allocation-free in
+/// steady state.
+#[cfg(test)]
+pub(crate) mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::{Cell, RefCell};
+
+    thread_local! {
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+        static RESOLVE_DELTAS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(crate) struct Counting;
+
+    // SAFETY: defers all allocation to `System`; the per-thread counter
+    // bump is allocation-free and panic-free (`try_with` tolerates TLS
+    // teardown).
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: Counting = Counting;
+
+    /// Allocation events on this thread so far.
+    pub(crate) fn count() -> u64 {
+        ALLOCS.with(|c| c.get())
+    }
+
+    /// Log one re-solve's allocation delta (called by `flow_resolve`
+    /// after the delta is snapshotted, so the log's own growth lands in
+    /// the *next* window — and `reset` pre-reserves it away anyway).
+    pub(crate) fn record_resolve(delta: u64) {
+        RESOLVE_DELTAS.with(|v| v.borrow_mut().push(delta));
+    }
+
+    pub(crate) fn reset() {
+        RESOLVE_DELTAS.with(|v| {
+            let mut v = v.borrow_mut();
+            v.clear();
+            v.reserve(1 << 16);
+        });
+    }
+
+    pub(crate) fn take() -> Vec<u64> {
+        RESOLVE_DELTAS.with(|v| std::mem::take(&mut *v.borrow_mut()))
     }
 }

@@ -1,14 +1,16 @@
 //! Messages and per-rank mailboxes (MPI matching semantics).
 
+use crate::hash::IntMap;
 use masim_trace::{Rank, Time};
-use std::collections::{HashMap, VecDeque};
+use std::collections::hash_map::Entry;
+use std::collections::VecDeque;
 
 /// A point-to-point message in flight (application or lowered-collective
-/// traffic).
-#[derive(Clone, Debug)]
+/// traffic). Plain `Copy` data: a message's identity is its index in the
+/// [`MsgSlab`], so in-flight packets and flows refer to it by a `u32`
+/// id instead of carrying an `Arc` clone through the event arena.
+#[derive(Clone, Copy, Debug)]
 pub struct Message {
-    /// Unique id, assigned at injection.
-    pub id: u64,
     /// Source rank.
     pub src: Rank,
     /// Destination rank.
@@ -19,49 +21,119 @@ pub struct Message {
     pub tag: u32,
 }
 
+/// Id-indexed message table. Ids are assigned sequentially at injection
+/// and never retired (a run's messages are bounded by its trace), so
+/// the slab is a plain `Vec` and every lookup is a bounds-checked index
+/// — no hashing, no refcounts on the packet/flow hot paths.
+#[derive(Default, Debug)]
+pub struct MsgSlab {
+    msgs: Vec<Message>,
+}
+
+impl MsgSlab {
+    /// Intern a message; returns its id.
+    #[inline]
+    pub fn push(&mut self, msg: Message) -> u32 {
+        let id = self.msgs.len();
+        assert!(id < u32::MAX as usize, "message slab exhausted");
+        self.msgs.push(msg);
+        id as u32
+    }
+
+    /// Look up a message by id.
+    #[inline]
+    pub fn get(&self, id: u32) -> &Message {
+        &self.msgs[id as usize]
+    }
+
+    /// Messages interned so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// True before the first injection.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
 /// Matching state per destination rank: MPI's posted-receive queue and
 /// unexpected-message queue, keyed by (source, tag). No wildcard
 /// receives — DUMPI traces record fully-resolved matches.
+///
+/// Channels are transient (lowered collectives tag every instance
+/// uniquely), so drained channels are removed to keep the maps small —
+/// but their queue buffers park in a free pool instead of dropping, so
+/// steady-state matching recycles capacity instead of calling the
+/// allocator once per message.
 #[derive(Default, Debug)]
 pub struct Mailbox {
-    /// Delivered messages with no posted receive yet: (src, tag) → FIFO
-    /// of delivery times.
-    unexpected: HashMap<(u32, u32), VecDeque<Time>>,
-    /// Posted receives with no delivered message yet: (src, tag) → FIFO
-    /// of receive tokens.
-    posted: HashMap<(u32, u32), VecDeque<u64>>,
+    /// Delivered messages with no posted receive yet: packed (src, tag)
+    /// → FIFO of delivery times.
+    unexpected: IntMap<u64, VecDeque<Time>>,
+    /// Posted receives with no delivered message yet: packed (src, tag)
+    /// → FIFO of receive tokens.
+    posted: IntMap<u64, VecDeque<u64>>,
+    /// Parked buffers of drained `unexpected` channels.
+    pool_at: Vec<VecDeque<Time>>,
+    /// Parked buffers of drained `posted` channels.
+    pool_tok: Vec<VecDeque<u64>>,
+}
+
+/// Channel key: one map word (hashes in a single round) instead of a
+/// `(u32, u32)` pair.
+#[inline]
+fn chan(src: Rank, tag: u32) -> u64 {
+    (src.0 as u64) << 32 | tag as u64
 }
 
 impl Mailbox {
     /// A message arrived at `at`. Returns the matching posted-receive
     /// token if one was waiting.
     pub fn deliver(&mut self, src: Rank, tag: u32, at: Time) -> Option<u64> {
-        let key = (src.0, tag);
+        let key = chan(src, tag);
         if let Some(q) = self.posted.get_mut(&key) {
             if let Some(token) = q.pop_front() {
                 if q.is_empty() {
-                    self.posted.remove(&key);
+                    let q = self.posted.remove(&key).expect("just matched");
+                    self.pool_tok.push(q);
                 }
                 return Some(token);
             }
         }
-        self.unexpected.entry(key).or_default().push_back(at);
+        match self.unexpected.entry(key) {
+            Entry::Occupied(mut e) => e.get_mut().push_back(at),
+            Entry::Vacant(v) => {
+                let mut q = self.pool_at.pop().unwrap_or_default();
+                q.push_back(at);
+                v.insert(q);
+            }
+        }
         None
     }
 
     /// A receive was posted. Returns the delivery time if a matching
     /// message already arrived (the receive completes immediately).
     pub fn post(&mut self, src: Rank, tag: u32, token: u64) -> Option<Time> {
-        let key = (src.0, tag);
+        let key = chan(src, tag);
         if let Some(q) = self.unexpected.get_mut(&key) {
             if let Some(at) = q.pop_front() {
                 if q.is_empty() {
-                    self.unexpected.remove(&key);
+                    let q = self.unexpected.remove(&key).expect("just matched");
+                    self.pool_at.push(q);
                 }
                 return Some(at);
             }
         }
-        self.posted.entry(key).or_default().push_back(token);
+        match self.posted.entry(key) {
+            Entry::Occupied(mut e) => e.get_mut().push_back(token),
+            Entry::Vacant(v) => {
+                let mut q = self.pool_tok.pop().unwrap_or_default();
+                q.push_back(token);
+                v.insert(q);
+            }
+        }
         None
     }
 

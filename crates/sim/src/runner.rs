@@ -2,19 +2,17 @@
 //! (and lowered collective schedules) on the discrete-event engine.
 
 use crate::error::SimError;
+use crate::hash::IntMap;
 use crate::lower::{coll_tag, lower, Schedule};
-use crate::msg::{Mailbox, Message};
+use crate::msg::{Mailbox, Message, MsgSlab};
 use crate::net::{
-    flow_complete, inject, on_flow_resolve, packet_hop, LinkTable, ModelKind, MsgMeta, NetState,
-    Packet,
+    flow_complete, inject, on_flow_resolve, packet_hop, LinkTable, ModelKind, NetState, Packet,
+    RouteArena,
 };
 use masim_des::{Engine, Handler};
 use masim_obs::MetricSet;
-use masim_topo::{LinkId, Machine, Mapping};
+use masim_topo::{Machine, Mapping};
 use masim_trace::{EventKind, Rank, Time, Trace};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Simulation configuration.
@@ -28,6 +26,13 @@ pub struct SimConfig {
     pub model: ModelKind,
     /// Computation-time multiplier.
     pub compute_scale: f64,
+    /// Test shim: schedule every packet of a message at injection time
+    /// (the pre-lazy-injection behaviour) instead of chaining packets
+    /// at their injection-link departures. Reservation math is
+    /// identical; the equivalence suite runs both paths and asserts
+    /// bit-identical predictions.
+    #[doc(hidden)]
+    pub eager_packets: bool,
 }
 
 impl SimConfig {
@@ -35,7 +40,7 @@ impl SimConfig {
     /// at the trace's recorded ranks-per-node, unit compute scale.
     pub fn new(machine: Machine, model: ModelKind, trace: &Trace) -> SimConfig {
         let mapping = Mapping::block(trace.num_ranks(), trace.meta.ranks_per_node);
-        SimConfig { machine, mapping, model, compute_scale: 1.0 }
+        SimConfig { machine, mapping, model, compute_scale: 1.0, eager_packets: false }
     }
 }
 
@@ -99,16 +104,56 @@ enum PStatus {
 }
 
 struct CollExec {
-    sched: Schedule,
+    /// Index into [`SimState::coll_scheds`] (schedules are cached and
+    /// shared across identical collective invocations).
+    sched_idx: u32,
     round: usize,
     ordinal: u32,
+}
+
+/// Outstanding nonblocking requests for one rank: (id, completed).
+/// A rank keeps at most a handful in flight, so an unsorted vec with
+/// linear scans beats a hash map — no hashing, no per-request
+/// allocation once the buffer has warmed, and removal is a tail swap
+/// (order is irrelevant; every access is keyed).
+#[derive(Default, Debug)]
+struct ReqSet {
+    reqs: Vec<(u32, bool)>,
+}
+
+impl ReqSet {
+    /// Completion state of `id`, if issued.
+    fn get(&self, id: u32) -> Option<bool> {
+        self.reqs.iter().find(|(rid, _)| *rid == id).map(|&(_, done)| done)
+    }
+
+    /// Record `id` as issued (overwriting a stale duplicate).
+    fn insert(&mut self, id: u32, done: bool) {
+        match self.reqs.iter_mut().find(|(rid, _)| *rid == id) {
+            Some(slot) => slot.1 = done,
+            None => self.reqs.push((id, done)),
+        }
+    }
+
+    /// Mark `id` complete if it is still outstanding.
+    fn set_done(&mut self, id: u32) {
+        if let Some(slot) = self.reqs.iter_mut().find(|(rid, _)| *rid == id) {
+            slot.1 = true;
+        }
+    }
+
+    /// Retire `id`, returning its completion state.
+    fn remove(&mut self, id: u32) -> Option<bool> {
+        let idx = self.reqs.iter().position(|(rid, _)| *rid == id)?;
+        Some(self.reqs.swap_remove(idx).1)
+    }
 }
 
 struct Proc {
     cursor: usize,
     status: PStatus,
     /// Application nonblocking requests: id → completed?
-    reqs: HashMap<u32, bool>,
+    reqs: ReqSet,
     /// Requests a `Wait`/`WaitAll` is currently blocked on.
     wait_set: Vec<u32>,
     coll: Option<CollExec>,
@@ -118,7 +163,7 @@ struct Proc {
     round_pending: u32,
     compute_total: Time,
     finish: Time,
-    blocked_send_msg: u64,
+    blocked_send_msg: u32,
 }
 
 impl Proc {
@@ -126,7 +171,7 @@ impl Proc {
         Proc {
             cursor: 0,
             status: PStatus::Idle,
-            reqs: HashMap::new(),
+            reqs: ReqSet::default(),
             wait_set: Vec::new(),
             coll: None,
             coll_count: 0,
@@ -147,8 +192,11 @@ enum RelPurpose {
 
 /// The typed DES event vocabulary of the replay (the engine's
 /// `S::Event`). One variant per closure shape the old engine boxed; the
-/// payloads are small plain values, slab-allocated in the engine's
-/// event arena.
+/// payloads are small `Copy` values — message ids into the
+/// [`MsgSlab`], [`RouteRef`](crate::net::RouteRef)s into the route
+/// arena — slab-allocated inline in the engine's event arena with no
+/// `Drop` glue (asserted by `sim_event_is_copy_and_small`).
+#[derive(Clone, Copy)]
 pub enum SimEvent {
     /// (Re)start rank `r`'s replay loop (initial seed).
     Advance(Rank),
@@ -159,8 +207,8 @@ pub enum SimEvent {
         /// Source rank (for symmetry with `Deliver`; the release table
         /// is keyed by message id).
         src: Rank,
-        /// Message id.
-        msg: u64,
+        /// Message slab id.
+        msg: u32,
     },
     /// A message's payload reached its destination rank.
     Deliver {
@@ -170,8 +218,8 @@ pub enum SimEvent {
         src: Rank,
         /// Matching tag.
         tag: u32,
-        /// Message id.
-        msg: u64,
+        /// Message slab id.
+        msg: u32,
     },
     /// A packet crosses its next route link (packet model only).
     PacketHop(Packet),
@@ -182,8 +230,8 @@ pub enum SimEvent {
     FlowComplete {
         /// Flow slab slot.
         slot: u32,
-        /// Message id occupying the slot when scheduled.
-        msg: u64,
+        /// Message slab id occupying the slot when scheduled.
+        msg: u32,
     },
 }
 
@@ -212,17 +260,38 @@ pub struct SimState<'a> {
     pub(crate) mapping: Mapping,
     pub(crate) net: NetState,
     pub(crate) links: LinkTable,
-    /// Route cache: (src rank, dst rank) → full virtual-link route.
-    pub(crate) route_cache: HashMap<(u32, u32), Arc<[LinkId]>>,
+    /// Interned (src rank, dst rank) → virtual-link routes; in-flight
+    /// packets and flows hold `RouteRef`s into this arena.
+    pub(crate) routes: RouteArena,
+    /// Id-indexed message table; event payloads carry `u32` ids into it.
+    pub(crate) msgs: MsgSlab,
     trace: &'a Trace,
     procs: Vec<Proc>,
     mailboxes: Vec<Mailbox>,
     /// Release purposes indexed by message id (ids are sequential).
     releases: Vec<Option<RelPurpose>>,
     compute_scale: f64,
-    next_msg_id: u64,
     messages: u64,
     done: usize,
+    /// Lowered collective schedules, interned by
+    /// `(kind, rank, bytes, root)`: iterative apps re-issue identical
+    /// collectives every iteration, so each unique signature lowers
+    /// once and replays from the cache.
+    coll_scheds: Vec<Schedule>,
+    /// Signature → index into `coll_scheds`.
+    coll_cache: IntMap<(u8, u32, u64, u32), u32>,
+    /// Reusable copy-out buffers for the collective round being
+    /// executed (the cached schedule cannot stay borrowed across
+    /// `send_message`, which needs `&mut self`).
+    scr_recvs: Vec<(Rank, u64)>,
+    scr_sends: Vec<(Rank, u64)>,
+    /// Nanoseconds spent lowering collectives (profiled only when
+    /// telemetry is attached; stays zero — and syscall-free — otherwise).
+    /// With the schedule cache, this times unique lowerings, not every
+    /// collective event.
+    lower_ns: u64,
+    /// Gate for the lowering profile above.
+    profile_lower: bool,
     /// First typed error latched mid-run (e.g. a wait on an unknown
     /// request); reported by `sim_core` once the queue drains.
     error: Option<SimError>,
@@ -254,20 +323,30 @@ impl<'a> SimState<'a> {
             });
         }
         let links = LinkTable::new(&cfg.machine, trace.num_ranks());
+        let mut net = NetState::new(cfg.model, links.len());
+        if cfg.eager_packets {
+            net.set_eager_packets();
+        }
         Ok(SimState {
             machine: cfg.machine.clone(),
             mapping: cfg.mapping.clone(),
-            net: NetState::new(cfg.model, links.len()),
+            net,
             links,
-            route_cache: HashMap::new(),
+            routes: RouteArena::new(trace.num_ranks()),
+            msgs: MsgSlab::default(),
             trace,
             procs: (0..n).map(|_| Proc::new()).collect(),
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
             releases: Vec::new(),
             compute_scale: cfg.compute_scale,
-            next_msg_id: 0,
             messages: 0,
             done: 0,
+            coll_scheds: Vec::new(),
+            coll_cache: IntMap::default(),
+            scr_recvs: Vec::new(),
+            scr_sends: Vec::new(),
+            lower_ns: 0,
+            profile_lower: false,
             error: None,
         })
     }
@@ -280,15 +359,13 @@ impl<'a> SimState<'a> {
         bytes: u64,
         tag: u32,
         purpose: RelPurpose,
-    ) -> u64 {
-        let id = self.next_msg_id;
-        self.next_msg_id += 1;
+    ) -> u32 {
         self.messages += 1;
+        // Zero-byte MPI messages still cross the wire as a header.
+        let id = self.msgs.push(Message { src, dst, bytes: bytes.max(1), tag });
         debug_assert_eq!(id as usize, self.releases.len());
         self.releases.push(Some(purpose));
-        let meta = MsgMeta { id, src, dst, bytes: bytes.max(1), tag };
-        inject(eng, self, meta);
-        let _ = Message { id, src, dst, bytes, tag }; // keep public type exercised
+        inject(eng, self, id);
         id
     }
 }
@@ -350,60 +427,80 @@ fn advance<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) {
                 st.procs[r.idx()].reqs.insert(req.0, done);
             }
             EventKind::Wait { req } => {
-                if let Entry::Vacant(slot) = st.procs[r.idx()].reqs.entry(req.0) {
+                if st.procs[r.idx()].reqs.get(req.0).is_none() {
                     // Malformed trace: the request was never issued.
                     // Latch the typed cause and let the rank block on a
                     // request that can never complete; sim_core reports
                     // the latched error instead of a bare deadlock.
-                    slot.insert(false);
+                    st.procs[r.idx()].reqs.insert(req.0, false);
                     if st.error.is_none() {
                         st.error = Some(SimError::UnknownRequest { rank: r.0, req: req.0 });
                     }
                 }
                 let p = &mut st.procs[r.idx()];
-                if p.reqs.remove(&req.0).unwrap_or(false) {
+                if p.reqs.remove(req.0).unwrap_or(false) {
                     // Already complete.
                 } else {
                     p.reqs.insert(req.0, false);
-                    p.wait_set = vec![req.0];
+                    p.wait_set.clear();
+                    p.wait_set.push(req.0);
                     p.status = PStatus::Waiting;
                     return;
                 }
             }
             EventKind::WaitAll { reqs } => {
                 for id in reqs {
-                    if let Entry::Vacant(slot) = st.procs[r.idx()].reqs.entry(id.0) {
+                    if st.procs[r.idx()].reqs.get(id.0).is_none() {
                         // Same malformed-trace handling as Wait above.
-                        slot.insert(false);
+                        st.procs[r.idx()].reqs.insert(id.0, false);
                         if st.error.is_none() {
                             st.error = Some(SimError::UnknownRequest { rank: r.0, req: id.0 });
                         }
                     }
                 }
                 let p = &mut st.procs[r.idx()];
-                let pending: Vec<u32> =
-                    reqs.iter().filter(|id| !p.reqs[&id.0]).map(|id| id.0).collect();
-                if pending.is_empty() {
+                p.wait_set.clear();
+                for id in reqs {
+                    if !p.reqs.get(id.0).unwrap_or(false) {
+                        p.wait_set.push(id.0);
+                    }
+                }
+                if p.wait_set.is_empty() {
                     for id in reqs {
-                        p.reqs.remove(&id.0);
+                        p.reqs.remove(id.0);
                     }
                 } else {
                     for id in reqs {
-                        if p.reqs[&id.0] {
-                            p.reqs.remove(&id.0);
+                        if p.reqs.get(id.0) == Some(true) {
+                            p.reqs.remove(id.0);
                         }
                     }
-                    p.wait_set = pending;
                     p.status = PStatus::Waiting;
                     return;
                 }
             }
             EventKind::Coll { kind, bytes, root } => {
-                let p = &mut st.procs[r.idx()];
-                let ordinal = p.coll_count;
-                p.coll_count += 1;
-                let sched = lower(*kind, r, st.trace.num_ranks(), *bytes, *root);
-                p.coll = Some(CollExec { sched, round: 0, ordinal });
+                let ordinal = st.procs[r.idx()].coll_count;
+                st.procs[r.idx()].coll_count += 1;
+                let key = (*kind as u8, r.0, *bytes, root.0);
+                let sched_idx = match st.coll_cache.get(&key) {
+                    Some(&idx) => idx,
+                    None => {
+                        let sched = if st.profile_lower {
+                            let t0 = Instant::now();
+                            let sched = lower(*kind, r, st.trace.num_ranks(), *bytes, *root);
+                            st.lower_ns += t0.elapsed().as_nanos() as u64;
+                            sched
+                        } else {
+                            lower(*kind, r, st.trace.num_ranks(), *bytes, *root)
+                        };
+                        let idx = st.coll_scheds.len() as u32;
+                        st.coll_scheds.push(sched);
+                        st.coll_cache.insert(key, idx);
+                        idx
+                    }
+                };
+                st.procs[r.idx()].coll = Some(CollExec { sched_idx, round: 0, ordinal });
                 // Loop continues into enter_coll_rounds.
             }
         }
@@ -413,32 +510,40 @@ fn advance<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) {
 /// Execute collective rounds until blocked (true) or done (false).
 fn enter_coll_rounds<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) -> bool {
     loop {
-        let (round_idx, ordinal, n_rounds) = {
+        let (round_idx, ordinal, sched_idx) = {
             let p = &st.procs[r.idx()];
             let c = p.coll.as_ref().expect("in collective");
-            (c.round, c.ordinal, c.sched.rounds.len())
+            (c.round, c.ordinal, c.sched_idx as usize)
         };
-        if round_idx >= n_rounds {
+        if round_idx >= st.coll_scheds[sched_idx].rounds.len() {
             st.procs[r.idx()].coll = None;
             return false;
         }
-        let round = {
-            let p = &st.procs[r.idx()];
-            p.coll.as_ref().unwrap().sched.rounds[round_idx].clone()
-        };
+        // Copy this round out of the shared cached schedule (the sends
+        // below need `st` mutably); the scratch buffers are reused
+        // across rounds, so steady state copies without allocating.
+        let mut recvs = std::mem::take(&mut st.scr_recvs);
+        let mut sends = std::mem::take(&mut st.scr_sends);
+        let round = &st.coll_scheds[sched_idx].rounds[round_idx];
+        recvs.clear();
+        recvs.extend_from_slice(&round.recvs);
+        sends.clear();
+        sends.extend_from_slice(&round.sends);
         let tag = coll_tag(ordinal, round_idx as u32);
         let mut pending = 0u32;
         // Post receives first (they may already be unexpected-matched).
-        for &(peer, _bytes) in &round.recvs {
+        for &(peer, _bytes) in &recvs {
             if st.mailboxes[r.idx()].post(peer, tag, token(r, TOKEN_COLL)).is_none() {
                 pending += 1;
             }
         }
         // Issue sends.
-        for &(peer, bytes) in &round.sends {
+        for &(peer, bytes) in &sends {
             st.send_message(eng, r, peer, bytes, tag, RelPurpose::CollRound(r));
             pending += 1;
         }
+        st.scr_recvs = recvs;
+        st.scr_sends = sends;
         let p = &mut st.procs[r.idx()];
         p.coll.as_mut().unwrap().round = round_idx + 1;
         if pending > 0 {
@@ -457,7 +562,7 @@ pub(crate) fn on_deliver<'a>(
     dst: Rank,
     src: Rank,
     tag: u32,
-    _msg_id: u64,
+    _msg_id: u32,
 ) {
     let Some(tok) = st.mailboxes[dst.idx()].deliver(src, tag, eng.now()) else {
         return; // queued as unexpected
@@ -483,9 +588,7 @@ fn recv_complete<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, tok:
         }
     } else {
         // Application request completion.
-        if let Some(done) = p.reqs.get_mut(&code) {
-            *done = true;
-        }
+        p.reqs.set_done(code);
         try_finish_wait(eng, st, r);
     }
 }
@@ -495,7 +598,7 @@ pub(crate) fn on_release<'a>(
     eng: &mut Engine<SimState<'a>>,
     st: &mut SimState<'a>,
     _src: Rank,
-    msg_id: u64,
+    msg_id: u32,
 ) {
     let Some(purpose) = st.releases.get_mut(msg_id as usize).and_then(Option::take) else {
         return;
@@ -509,9 +612,7 @@ pub(crate) fn on_release<'a>(
             advance(eng, st, r);
         }
         RelPurpose::AppReq(r, req) => {
-            if let Some(done) = st.procs[r.idx()].reqs.get_mut(&req) {
-                *done = true;
-            }
+            st.procs[r.idx()].reqs.set_done(req);
             try_finish_wait(eng, st, r);
         }
         RelPurpose::CollRound(r) => {
@@ -533,10 +634,13 @@ fn try_finish_wait<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r:
     if p.status != PStatus::Waiting {
         return;
     }
-    if p.wait_set.iter().all(|id| p.reqs[id]) {
-        for id in std::mem::take(&mut p.wait_set) {
-            p.reqs.remove(&id);
+    if p.wait_set.iter().all(|&id| p.reqs.get(id).unwrap_or(false)) {
+        // Drain in place so the wait-set buffer keeps its capacity.
+        for i in 0..p.wait_set.len() {
+            let id = p.wait_set[i];
+            p.reqs.remove(id);
         }
+        p.wait_set.clear();
         p.status = PStatus::Idle;
         advance(eng, st, r);
     }
@@ -629,6 +733,7 @@ fn sim_core(
         Ok(st) => st,
         Err(e) => return Err(observe_fail(obs, span, e)),
     };
+    st.profile_lower = obs.is_some();
     let n = trace.num_ranks();
     for r in 0..n {
         eng.schedule_at(Time::ZERO, SimEvent::Advance(Rank(r)));
@@ -697,6 +802,14 @@ fn sim_core(
         }
         ms.add("sim.runner.messages", st.messages);
         ms.add("sim.budget.consumed", eng.processed().saturating_add(st.net.work_units()));
+        // Peak pending-event occupancy: the quantity lazy packet
+        // injection bounds to O(in-flight messages).
+        ms.gauge_max("sim.queue.peak_occupancy", eng.max_pending() as u64);
+        // Resident interned-route footprint (flat storage + index).
+        ms.gauge_max("sim.route.arena_bytes", st.routes.bytes());
+        if st.lower_ns > 0 {
+            ms.record_span("sim.runner.lower", st.lower_ns);
+        }
         eng.export_metrics(ms);
         st.net.export_metrics(ms);
     }
@@ -734,4 +847,25 @@ fn observe_fail(
         ms.add(counter, 1);
     }
     err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The engine slab stores one `SimEvent` inline per pending event:
+    /// it must stay `Copy` (no `Drop` glue on the cancel/recycle paths)
+    /// and within the arena's inline-payload budget. CI runs this test
+    /// by name as the payload-size gate.
+    #[test]
+    fn sim_event_is_copy_and_small() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<SimEvent>();
+        let size = std::mem::size_of::<SimEvent>();
+        assert!(
+            size <= masim_des::MAX_INLINE_PAYLOAD_BYTES,
+            "SimEvent grew to {size} bytes; keep event payloads within the arena budget"
+        );
+        assert!(!std::mem::needs_drop::<SimEvent>());
+    }
 }

@@ -95,6 +95,7 @@ fn simulation_respects_hockney_lower_bound() {
                 mapping: masim_topo::Mapping::block(ranks, 1),
                 model,
                 compute_scale: 1.0,
+                eager_packets: false,
             };
             let r = simulate(&trace, &cfg);
             assert!(

@@ -286,6 +286,7 @@ fn all_apps_simulate_on_cielito() {
                 mapping: Mapping::block(t.num_ranks(), t.meta.ranks_per_node),
                 model,
                 compute_scale: 1.0,
+                eager_packets: false,
             };
             let r = simulate(&t, &cfg);
             assert!(r.total > Time::ZERO, "{app}/{}", model.name());
@@ -294,5 +295,40 @@ fn all_apps_simulate_on_cielito() {
             let ratio = r.total.as_secs_f64() / mfact_total.as_secs_f64();
             assert!((0.4..3.0).contains(&ratio), "{app}/{}: ratio {ratio}", model.name());
         }
+    }
+}
+
+/// Lazy packet injection (packet i+1's first hop scheduled at packet
+/// i's injection-link departure) is an event-count-preserving
+/// reordering: the NIC's FIFO serializes the packets either way, so
+/// every observable — per-rank finishes, communication time, event and
+/// packet counts, per-link bytes — must be bit-identical to the eager
+/// all-at-injection schedule it replaced.
+#[test]
+fn lazy_and_eager_packet_injection_are_bit_identical() {
+    use masim_workloads::{generate, App, GenConfig};
+    let machine = Machine::cielito();
+    for app in App::ALL {
+        let mut gcfg = GenConfig::test_default(app, 16);
+        gcfg.machine = "cielito".into();
+        gcfg.ranks_per_node = 16;
+        let t = generate(&gcfg);
+        let lazy = SimConfig {
+            machine: machine.clone(),
+            mapping: Mapping::block(t.num_ranks(), t.meta.ranks_per_node),
+            model: ModelKind::Packet { packet_bytes: 1024 },
+            compute_scale: 1.0,
+            eager_packets: false,
+        };
+        let eager = SimConfig { eager_packets: true, ..lazy.clone() };
+        let a = simulate(&t, &lazy);
+        let b = simulate(&t, &eager);
+        assert_eq!(a.total, b.total, "{app}: total");
+        assert_eq!(a.per_rank, b.per_rank, "{app}: per-rank finishes");
+        assert_eq!(a.comm_time, b.comm_time, "{app}: comm time");
+        assert_eq!(a.events, b.events, "{app}: event count");
+        assert_eq!(a.messages, b.messages, "{app}: messages");
+        assert_eq!(a.work_units, b.work_units, "{app}: packets routed");
+        assert_eq!(a.max_link_bytes, b.max_link_bytes, "{app}: link bytes");
     }
 }

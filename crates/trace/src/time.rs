@@ -127,6 +127,12 @@ impl Time {
     /// Panics if the factor is negative, NaN, or the result overflows.
     #[inline]
     pub fn scale(self, factor: f64) -> Time {
+        if factor == 1.0 {
+            // Identity fast path: replay with an unscaled clock (the
+            // common case) skips the float round-trip, which would
+            // also lose precision beyond 2^53 ps.
+            return self;
+        }
         assert!(
             factor >= 0.0 && factor.is_finite(),
             "scale factor must be finite and non-negative: {factor}"

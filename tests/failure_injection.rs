@@ -141,6 +141,7 @@ fn oversubscribed_mapping_rejected() {
         mapping: Mapping::block(34, 17), // 17 ranks on one 16-core node
         model: ModelKind::Flow,
         compute_scale: 1.0,
+        eager_packets: false,
     };
     let err = simulate_budgeted(&t, &cfg, u64::MAX).expect_err("oversubscription must fail");
     match err {

@@ -1,0 +1,127 @@
+//! Cross-model equivalence suite for the network hot-path rework.
+//!
+//! The tiny Table II corpus is replayed through all four tools and every
+//! *deterministic* observable — predicted times (exact picoseconds),
+//! engine event counts, model work counters, link-utilization aggregates
+//! — is compared byte-for-byte against `tests/golden/tiny_corpus.txt`,
+//! captured before the route-interning/lazy-injection refactor landed.
+//! Wall-clock spans and the pending-set high-water mark are excluded:
+//! the first is host noise, the second *drops by design* under lazy
+//! packet injection.
+//!
+//! Table II's rendered text is all wall-clock, so it is checked in
+//! masked form (numbers blanked, layout and `^ incomplete` annotations
+//! kept); Table III is static text and included verbatim.
+//!
+//! Regenerate with `GOLDEN_WRITE=1 cargo test --test route_equivalence`
+//! — but only when a PR *intends* to change predictions; this suite
+//! exists to prove perf PRs are bit-identical.
+
+use masim_core::report;
+use masim_core::study::run_one_observed;
+use std::fmt::Write as _;
+
+const GOLDEN: &str = "tests/golden/tiny_corpus.txt";
+
+/// Counters that must be bit-identical across perf refactors. Spans
+/// (wall-clock) and `des.engine.pending_hwm` (peak occupancy, lowered on
+/// purpose by lazy injection) are deliberately absent.
+const DET_COUNTERS: [&str; 13] = [
+    "des.engine.cancelled",
+    "des.engine.processed",
+    "des.engine.scheduled",
+    "mfact.replay.events",
+    "sim.budget.consumed",
+    "sim.flow.resolves",
+    "sim.link.bytes_total",
+    "sim.link.links_used",
+    "sim.packet.hops",
+    "sim.packet.packets",
+    "sim.pflow.packets",
+    "sim.runner.messages",
+    "workloads.corpus.events",
+];
+
+const DET_GAUGES: [&str; 1] = ["sim.link.bytes_max"];
+
+/// Blank every numeric field of a report so layout, labels, and failure
+/// annotations are compared while host-dependent timings are not.
+fn mask_numbers(text: &str) -> String {
+    text.lines()
+        .map(|line| {
+            line.split(' ')
+                .map(|tok| if tok.parse::<f64>().is_ok() { "#" } else { tok })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn render_snapshot() -> String {
+    let entries = report::table2_tiny_entries(7);
+    let cfg = report::table2_config(7);
+    let mut out = String::new();
+    let mut studies = Vec::new();
+    for e in &entries {
+        let obs = run_one_observed(e, &cfg);
+        let stem = report::table2_stem(e);
+        let t = &obs.study;
+        let ps = |r: &masim_core::ToolRun| {
+            r.total.map_or_else(|| "failed".to_string(), |t| t.as_ps().to_string())
+        };
+        let comm_ps = |r: &masim_core::ToolRun| {
+            r.comm.map_or_else(|| "failed".to_string(), |t| t.as_ps().to_string())
+        };
+        let _ = writeln!(out, "[{stem}] measured_ps={}", t.measured_total.as_ps());
+        for (name, run) in
+            [("mfact", &t.mfact), ("packet", &t.packet), ("flow", &t.flow), ("pflow", &t.pflow)]
+        {
+            let _ = writeln!(out, "[{stem}] {name} total_ps={} comm_ps={}", ps(run), comm_ps(run));
+        }
+        for rm in &obs.sidecars {
+            let tool = rm.labels()["tool"].clone();
+            let snap = rm.set().snapshot();
+            for key in DET_COUNTERS {
+                if let Some(v) = snap.counters.get(key) {
+                    let _ = writeln!(out, "[{stem}] {tool} {key}={v}");
+                }
+            }
+            for key in DET_GAUGES {
+                if let Some(v) = snap.gauges.get(key) {
+                    let _ = writeln!(out, "[{stem}] {tool} {key}={v}");
+                }
+            }
+        }
+        studies.push(obs.study);
+    }
+    let _ = writeln!(out, "--- table2 (masked) ---");
+    let _ = writeln!(out, "{}", mask_numbers(&report::table2_text(&studies)));
+    let _ = writeln!(out, "--- table3 ---");
+    let _ = write!(out, "{}", report::table3());
+    out
+}
+
+#[test]
+fn tiny_corpus_matches_pre_refactor_golden() {
+    let rendered = render_snapshot();
+    if std::env::var_os("GOLDEN_WRITE").is_some() {
+        std::fs::create_dir_all("tests/golden").expect("mkdir golden");
+        std::fs::write(GOLDEN, &rendered).expect("write golden");
+        eprintln!("wrote {GOLDEN}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .expect("missing golden; regenerate with GOLDEN_WRITE=1 on a known-good build");
+    if rendered != golden {
+        // Line-level diff beats a 10k-char assert_eq dump.
+        for (i, (g, r)) in golden.lines().zip(rendered.lines()).enumerate() {
+            assert_eq!(g, r, "first divergence at golden line {}", i + 1);
+        }
+        assert_eq!(
+            golden.lines().count(),
+            rendered.lines().count(),
+            "snapshot gained/lost lines vs golden"
+        );
+    }
+}
