@@ -10,7 +10,11 @@
 //! Reports are printed and written under `reports/`. The full study
 //! (235 traces × 4 tools) runs once per invocation and is shared by all
 //! requested reports; budget-limited tool failures are part of the
-//! result, mirroring the paper's 216/162/235 completion counts.
+//! result, mirroring the paper's 216/162/235 completion counts. The
+//! study spreads traces across a work-stealing worker pool by default
+//! (`--threads N`, default = available parallelism); results are
+//! bit-identical at any thread count, but the timing reports (Figure 1,
+//! Table II) should be measured with `--threads 1` — see DESIGN.md §9.
 //!
 //! With `--metrics <dir>`, every trace×tool run also writes a JSON+CSV
 //! observability sidecar (counters, gauges, wall-clock spans) under
@@ -40,10 +44,13 @@
 //! comparing.
 
 use masim_core::report;
-use masim_core::{Checkpoint, Dataset, Enhanced, ResumableRun, Study, StudyConfig, TOOL_WALL_SPAN};
+use masim_core::{
+    Checkpoint, Dataset, Enhanced, ResumableRun, Study, StudyConfig, PARALLEL_BACKLOG_GAUGE,
+    PARALLEL_STEALS_COUNTER, PARALLEL_WORKERS_GAUGE, TOOL_WALL_SPAN,
+};
 use masim_obs::json::Value;
 use masim_obs::run::parse_json;
-use masim_obs::{RunMetrics, SpanStats};
+use masim_obs::{MetricSet, RunMetrics, SpanStats};
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
@@ -127,6 +134,11 @@ struct Options {
     /// `--profile`: write a per-phase wall-clock breakdown
     /// (generate/lower/simulate/report) alongside the metric sidecars.
     profile: bool,
+    /// `--threads <n>`: worker threads for the full-study and table2
+    /// paths (default: `available_parallelism`). Per-tool predictions
+    /// and sidecars are bit-identical at any value; host wall-clock
+    /// columns (Figure 1, Table II) are only meaningful at 1.
+    threads: usize,
 }
 
 /// Exit code for a deliberate `--fail-after` interruption, so scripts
@@ -146,10 +158,19 @@ fn parse_args() -> Result<Options, String> {
         resume: false,
         fail_after: None,
         profile: false,
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--threads" => {
+                let n = it.next().ok_or("--threads requires a count argument")?;
+                opts.threads = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--threads: '{n}' is not a positive count"))?;
+            }
             "--metrics" => {
                 let dir = it.next().ok_or("--metrics requires a directory argument")?;
                 opts.metrics = Some(PathBuf::from(dir));
@@ -241,9 +262,25 @@ fn run() -> Result<(), String> {
     let needs_model =
         opts.reports.iter().any(|a| matches!(a.as_str(), "table4" | "predict" | "stability"));
 
+    // Runner telemetry (worker/steal/backlog metrics) for the parallel
+    // paths. Kept off the per-tool sidecars, which must stay
+    // bit-identical to the sequential runner's.
+    let study_ms = MetricSet::new();
+    if opts.threads > 1 && opts.reports.iter().any(|a| matches!(a.as_str(), "fig1" | "table2")) {
+        eprintln!(
+            "note: --threads {} co-schedules the tools, so Figure 1 / Table II host \
+             wall-clock columns are not comparable to the paper's; use --threads 1 \
+             for timing studies (predictions are identical either way)",
+            opts.threads
+        );
+    }
+
     let mut sidecar_count = 0usize;
     let study: Option<Study> = if needs_study {
-        eprintln!("running the full 235-trace study (single core; several minutes)...");
+        eprintln!(
+            "running the full 235-trace study ({} thread(s); several minutes)...",
+            opts.threads
+        );
         let t0 = Instant::now();
         let s = if let Some(ckdir) = &opts.checkpoint {
             let cfg = StudyConfig::default();
@@ -254,17 +291,30 @@ fn run() -> Result<(), String> {
                 ckdir,
                 opts.resume,
                 opts.fail_after,
+                opts.threads,
+                &study_ms,
                 metrics_dir.as_deref(),
                 |i| format!("trace{i:03}"),
             )?;
             sidecar_count += n;
             s
         } else if let Some(dir) = &metrics_dir {
-            let (s, sidecars) = Study::run_filtered_observed(StudyConfig::default(), |_| true);
+            let (s, sidecars) = if opts.threads > 1 {
+                Study::run_filtered_observed_parallel(
+                    StudyConfig::default(),
+                    |_| true,
+                    opts.threads,
+                    &study_ms,
+                )
+            } else {
+                Study::run_filtered_observed(StudyConfig::default(), |_| true)
+            };
             for (idx, runs) in &sidecars {
                 sidecar_count += write_sidecars(dir, &format!("trace{idx:03}"), runs)?;
             }
             s
+        } else if opts.threads > 1 {
+            Study::run_parallel(StudyConfig::default(), opts.threads)
         } else {
             Study::run(StudyConfig::default())
         };
@@ -300,13 +350,19 @@ fn run() -> Result<(), String> {
                         ckdir,
                         opts.resume,
                         opts.fail_after,
+                        opts.threads,
+                        &study_ms,
                         metrics_dir.as_deref(),
                         |i| format!("table2_{}", report::table2_stem(&entries[i])),
                     )?;
                     sidecar_count += n;
                     report::table2_text(&s.traces)
                 } else {
-                    let (text, sidecars) = report::table2_observed(&entries, 7);
+                    let (text, sidecars) = if opts.threads > 1 {
+                        report::table2_observed_threads(&entries, 7, opts.threads, &study_ms)
+                    } else {
+                        report::table2_observed(&entries, 7)
+                    };
                     if let Some(dir) = &metrics_dir {
                         for (stem, runs) in &sidecars {
                             sidecar_count += write_sidecars(dir, &format!("table2_{stem}"), runs)?;
@@ -345,6 +401,15 @@ fn run() -> Result<(), String> {
     }
 
     if let Some(dir) = &metrics_dir {
+        // One extra sidecar for the parallel runner itself (tool =
+        // "runner": workers, steals, writer backlog, wall span) so the
+        // fold can report the parallel speedup next to the tools.
+        if study_ms.snapshot().gauges.get(PARALLEL_WORKERS_GAUGE).copied().unwrap_or(0) > 0 {
+            let rm = RunMetrics::with_set(study_ms.clone())
+                .label("tool", "runner")
+                .label("threads", &opts.threads.to_string());
+            sidecar_count += write_sidecars(dir, "study", &[rm])?;
+        }
         eprintln!("wrote {sidecar_count} metric sidecar(s) under {}", dir.display());
         fold_sidecars(dir)?;
         if opts.profile {
@@ -439,12 +504,15 @@ fn write_profile(dir: &Path, report: &SpanStats) -> Result<(), String> {
 /// resumed `--metrics` directory ends up with exactly one sidecar set
 /// per entry). On a deliberate `--fail-after` interruption, prints
 /// resume guidance and exits with [`EXIT_INTERRUPTED`].
+#[allow(clippy::too_many_arguments)] // CLI plumbing: every knob is a distinct flag
 fn run_with_checkpoint(
     cfg: StudyConfig,
     entries: &[masim_workloads::CorpusEntry],
     ckdir: &Path,
     resume: bool,
     fail_after: Option<usize>,
+    threads: usize,
+    study_ms: &MetricSet,
     metrics_dir: Option<&Path>,
     stem_of: impl Fn(usize) -> String,
 ) -> Result<(Study, usize), String> {
@@ -462,8 +530,14 @@ fn run_with_checkpoint(
         );
     }
     let indices: Vec<usize> = (0..entries.len()).collect();
-    let outcome = Study::run_resumable(cfg, entries, &indices, &mut ckpt, fail_after)
-        .map_err(|e| e.to_string())?;
+    let outcome = if threads > 1 {
+        Study::run_resumable_parallel(
+            cfg, entries, &indices, &mut ckpt, fail_after, threads, study_ms,
+        )
+    } else {
+        Study::run_resumable(cfg, entries, &indices, &mut ckpt, fail_after)
+    }
+    .map_err(|e| e.to_string())?;
     let write = |new_sidecars: &[(usize, Vec<RunMetrics>)]| -> Result<usize, String> {
         let mut written = 0;
         if let Some(dir) = metrics_dir {
@@ -520,6 +594,9 @@ fn fold_sidecars(dir: &Path) -> Result<(), String> {
     // tool -> (max peak queue occupancy, max route arena bytes) across
     // runs — the hot-path telemetry the sim runner exports as gauges.
     let mut hot_gauges: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    // tool -> (workers, steals, writer backlog max): parallel-runner
+    // telemetry from the `study_runner` sidecar (tool = "runner").
+    let mut par_gauges: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
     let rd = fs::read_dir(dir).map_err(|e| format!("read metrics dir {}: {e}", dir.display()))?;
     for ent in rd {
         let path = ent.map_err(|e| format!("list {}: {e}", dir.display()))?.path();
@@ -550,6 +627,11 @@ fn fold_sidecars(dir: &Path) -> Result<(), String> {
         let (occ, arena) = hot_gauges.entry(tool.clone()).or_default();
         *occ = (*occ).max(gauge("sim.queue.peak_occupancy"));
         *arena = (*arena).max(gauge("sim.route.arena_bytes"));
+        let counter = |name: &str| data.snapshot.counters.get(name).copied().unwrap_or(0);
+        let (w, st, bl) = par_gauges.entry(tool.clone()).or_default();
+        *w = (*w).max(gauge(PARALLEL_WORKERS_GAUGE));
+        *st = (*st).max(counter(PARALLEL_STEALS_COUNTER));
+        *bl = (*bl).max(gauge(PARALLEL_BACKLOG_GAUGE));
         by_tool.entry(tool).or_default().push((wall_ns, events));
     }
     if by_tool.is_empty() {
@@ -586,6 +668,16 @@ fn fold_sidecars(dir: &Path) -> Result<(), String> {
         }
         if arena > 0 {
             fields.push(("route_arena_bytes".into(), Value::UInt(arena)));
+        }
+        // Parallel-runner telemetry (the `runner` pseudo-tool): how many
+        // workers ran, how many claims were steals, and the writer's
+        // re-sequencing high-water mark. Informational — the gate reads
+        // only the standard keys.
+        let (workers, steals, backlog) = par_gauges.get(&tool).copied().unwrap_or((0, 0, 0));
+        if workers > 0 {
+            fields.push(("workers".into(), Value::UInt(workers)));
+            fields.push(("steals".into(), Value::UInt(steals)));
+            fields.push(("writer_backlog_max".into(), Value::UInt(backlog)));
         }
         obj.push((tool, Value::Obj(fields)));
     }

@@ -26,10 +26,12 @@
 //!   and entry count must match on resume; mixing configurations in one
 //!   journal would merge incomparable results.
 
-use crate::study::{run_one_observed, Study, StudyConfig, ToolFailure, ToolRun, TraceStudy};
+use crate::study::{
+    run_entries_parallel, run_one_observed, Study, StudyConfig, ToolFailure, ToolRun, TraceStudy,
+};
 use masim_mfact::{AppClass, Classification, Counters};
 use masim_obs::json::{parse, Value};
-use masim_obs::{Progress, RunMetrics};
+use masim_obs::{MetricSet, Progress, RunMetrics};
 use masim_trace::{Features, Time, NUM_FEATURES};
 use masim_workloads::CorpusEntry;
 use std::collections::BTreeMap;
@@ -251,6 +253,56 @@ impl Study {
             progress.tick(1);
         }
         progress.finish();
+        let traces = indices.iter().map(|i| ckpt.completed()[i].clone()).collect();
+        Ok(ResumableRun::Complete { study: Study { traces, config: cfg }, new_sidecars })
+    }
+
+    /// Parallel twin of [`Study::run_resumable`]: pending entries spread
+    /// over up to `threads` work-stealing workers while one writer
+    /// appends journal lines (and collects sidecars) strictly in
+    /// `indices` order — so the journal, the sidecar set, and every
+    /// derived report are bit-identical (modulo host wall-clock fields)
+    /// to the sequential runner's at any thread count.
+    ///
+    /// `abort_after = Some(n)` dispatches only the first `n` pending
+    /// entries before reporting [`ResumableRun::Interrupted`] — exactly
+    /// the entries the sequential runner would have journaled before
+    /// stopping, which is what keeps interrupt + resume equivalent on
+    /// both paths. Runner telemetry lands on `study_ms`.
+    pub fn run_resumable_parallel(
+        cfg: StudyConfig,
+        entries: &[CorpusEntry],
+        indices: &[usize],
+        ckpt: &mut Checkpoint,
+        abort_after: Option<usize>,
+        threads: usize,
+        study_ms: &MetricSet,
+    ) -> Result<ResumableRun, CheckpointError> {
+        let todo: Vec<usize> =
+            indices.iter().copied().filter(|i| !ckpt.completed().contains_key(i)).collect();
+        let interrupted = abort_after.is_some_and(|n| n < todo.len());
+        let dispatch = if interrupted { &todo[..abort_after.unwrap_or(0)] } else { &todo[..] };
+        let mut new_sidecars = Vec::new();
+        run_entries_parallel(
+            &cfg,
+            entries,
+            dispatch,
+            threads,
+            study_ms,
+            "study(resumable)",
+            |i, observed| -> Result<(), CheckpointError> {
+                ckpt.record(i, &observed.study)?;
+                new_sidecars.push((i, observed.sidecars));
+                Ok(())
+            },
+        )?;
+        if interrupted {
+            return Ok(ResumableRun::Interrupted {
+                completed: ckpt.completed().len(),
+                total: indices.len(),
+                new_sidecars,
+            });
+        }
         let traces = indices.iter().map(|i| ckpt.completed()[i].clone()).collect();
         Ok(ResumableRun::Complete { study: Study { traces, config: cfg }, new_sidecars })
     }

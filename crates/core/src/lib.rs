@@ -21,7 +21,8 @@ pub use checkpoint::{Checkpoint, CheckpointError, ResumableRun, CHECKPOINT_FILE}
 pub use enhanced::{Dataset, Enhanced, ErrorRates, DIFF_THRESHOLD};
 pub use study::{
     contained, fraction_within, run_one, run_one_observed, ObservedTrace, Study, StudyConfig,
-    ToolFailure, ToolRun, TraceStudy, TOOL_WALL_SPAN,
+    ToolFailure, ToolRun, TraceStudy, PARALLEL_BACKLOG_GAUGE, PARALLEL_STEALS_COUNTER,
+    PARALLEL_WALL_SPAN, PARALLEL_WORKERS_GAUGE, TOOL_WALL_SPAN,
 };
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 use crate::enhanced::{Dataset, Enhanced};
 use crate::study::{fraction_within, run_one_observed, Study, StudyConfig, ToolRun, TraceStudy};
 use masim_mfact::AppClass;
-use masim_obs::RunMetrics;
+use masim_obs::{MetricSet, RunMetrics};
 use masim_trace::Time;
 use masim_workloads::{App, CorpusEntry, GenConfig, RANK_BUCKETS};
 use std::fmt::Write as _;
@@ -25,17 +25,23 @@ pub fn table1(study: &Study) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table I(a): number of ranks");
     let mut rank_hist = [0usize; 6];
+    // The lookup is total: a corpus entry whose rank count falls outside
+    // every Table I bucket (hand-built entries, corrupt journals) is
+    // censused instead of aborting the whole report.
+    let mut unbucketed = 0usize;
     for t in &study.traces {
         let r = t.entry.cfg.ranks;
-        let b = RANK_BUCKETS
-            .iter()
-            .position(|&(lo, hi, _)| r >= lo && r <= hi)
-            .expect("rank in some bucket");
-        rank_hist[b] += 1;
+        match RANK_BUCKETS.iter().position(|&(lo, hi, _)| r >= lo && r <= hi) {
+            Some(b) => rank_hist[b] += 1,
+            None => unbucketed += 1,
+        }
     }
     for (i, &(lo, hi, _)) in RANK_BUCKETS.iter().enumerate() {
         let label = if lo == hi { format!("{lo}") } else { format!("{lo}-{hi}") };
         let _ = writeln!(out, "  {label:>10}  {:>4}", rank_hist[i]);
+    }
+    if unbucketed > 0 {
+        let _ = writeln!(out, "  {:>10}  {unbucketed:>4}  (outside every Table I bucket)", "other");
     }
     let _ = writeln!(out, "  {:>10}  {:>4}", "Total", study.traces.len());
 
@@ -89,7 +95,7 @@ pub fn fig1(study: &Study) -> String {
             (3, t.pflow.wall.as_secs_f64()),
         ]
         .to_vec();
-        walls.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        walls.sort_by(|a, b| a.1.total_cmp(&b.1));
         for (place, &(tool, _)) in walls.iter().enumerate() {
             place_counts[tool][place] += 1;
         }
@@ -254,6 +260,37 @@ pub fn table2_observed(
     (table2_text(&studies), sidecars)
 }
 
+/// [`table2_observed`] spread over up to `threads` work-stealing
+/// workers. Per-tool predictions and sidecars are bit-identical to the
+/// sequential path (only host wall-clock fields differ run to run);
+/// runner telemetry (worker/steal/backlog metrics) lands on `study_ms`.
+pub fn table2_observed_threads(
+    entries: &[CorpusEntry],
+    seed: u64,
+    threads: usize,
+    study_ms: &MetricSet,
+) -> (String, Vec<(String, Vec<RunMetrics>)>) {
+    let big = table2_config(seed);
+    let todo: Vec<usize> = (0..entries.len()).collect();
+    let mut studies: Vec<TraceStudy> = Vec::with_capacity(entries.len());
+    let mut sidecars = Vec::with_capacity(entries.len());
+    let res: Result<(), std::convert::Infallible> = crate::study::run_entries_parallel(
+        &big,
+        entries,
+        &todo,
+        threads,
+        study_ms,
+        "table2",
+        |i, obs| {
+            sidecars.push((table2_stem(&entries[i]), obs.sidecars));
+            studies.push(obs.study);
+            Ok(())
+        },
+    );
+    let Ok(()) = res;
+    (table2_text(&studies), sidecars)
+}
+
 /// Figure 2: CDFs of the relative difference between each simulator and
 /// MFACT, for communication time (a) and total time (b).
 pub fn fig2(study: &Study) -> String {
@@ -303,24 +340,30 @@ fn per_app_report(study: &Study, nas: bool) -> String {
     );
     let mut sst_norm_all = Vec::new();
     let mut mfact_norm_all = Vec::new();
+    // Every value below divides by an MFACT or packet-flow prediction,
+    // so a row needs *both* tools to have completed. A trace where one
+    // of them failed (first-class since the fault-containment work) is
+    // excluded and censused — never unwrapped.
+    let mut incomplete = 0usize;
     for app in apps {
-        let traces: Vec<&TraceStudy> =
-            study.traces.iter().filter(|t| t.entry.cfg.app == app && t.pflow.completed()).collect();
+        let (traces, excluded): (Vec<&TraceStudy>, Vec<&TraceStudy>) = study
+            .traces
+            .iter()
+            .filter(|t| t.entry.cfg.app == app)
+            .partition(|t| t.pflow.completed() && t.mfact.completed());
+        incomplete += excluded.len();
         if traces.is_empty() {
             continue;
         }
         let max_comm =
             traces.iter().filter_map(|t| t.diff_comm(&t.pflow).map(f64::abs)).fold(0.0, f64::max);
         let max_total = traces.iter().filter_map(|t| t.diff_total(&t.pflow)).fold(0.0, f64::max);
-        let sst_norm: Vec<f64> = traces
-            .iter()
-            .map(|t| t.pflow.total.unwrap().as_secs_f64() / t.measured_total.as_secs_f64())
-            .collect();
-        let mfact_norm: Vec<f64> = traces
-            .iter()
-            .map(|t| t.mfact.total.unwrap().as_secs_f64() / t.measured_total.as_secs_f64())
-            .collect();
-        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let norm = |total: Option<masim_trace::Time>, t: &TraceStudy| -> Option<f64> {
+            Some(total?.as_secs_f64() / t.measured_total.as_secs_f64())
+        };
+        let sst_norm: Vec<f64> = traces.iter().filter_map(|t| norm(t.pflow.total, t)).collect();
+        let mfact_norm: Vec<f64> = traces.iter().filter_map(|t| norm(t.mfact.total, t)).collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         sst_norm_all.extend_from_slice(&sst_norm);
         mfact_norm_all.extend_from_slice(&mfact_norm);
         let _ = writeln!(
@@ -331,6 +374,12 @@ fn per_app_report(study: &Study, nas: bool) -> String {
             max_total * 100.0,
             mean(&sst_norm),
             mean(&mfact_norm)
+        );
+    }
+    if incomplete > 0 {
+        let _ = writeln!(
+            out,
+            "  ^ incomplete: {incomplete} trace(s) excluded (MFACT or packet-flow failed)"
         );
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
@@ -569,6 +618,7 @@ pub fn study_csv(study: &Study) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::study::ToolFailure;
     use crate::testutil::study;
 
     fn small_study() -> &'static Study {
@@ -665,5 +715,53 @@ mod tests {
         for name in ["R", "PoSYN", "CRComm", "CL{ncs}", "NoCALL"] {
             assert!(t.contains(name), "missing {name}");
         }
+    }
+
+    #[test]
+    fn table1_censuses_out_of_range_ranks() {
+        // One hand-built entry outside every Table I bucket must not
+        // abort the report (the old lookup `.expect("rank in some
+        // bucket")` did) — it lands in a census line instead.
+        let mut s = small_study().clone();
+        s.traces[0].entry.cfg.ranks = 1_000_000;
+        let t = table1(&s);
+        assert!(t.contains("outside every Table I bucket"), "{t}");
+        // The Total rows still account for every trace.
+        let total_line = format!("{:>10}  {:>4}", "Total", s.traces.len());
+        assert_eq!(t.matches(total_line.trim()).count(), 2, "{t}");
+    }
+
+    #[test]
+    fn mixed_failure_study_renders_every_report() {
+        // Regression for the report.rs unwrap panics: a trace where
+        // packet-flow completed but MFACT failed (first-class since the
+        // fault-containment work) must render everywhere and be
+        // censused, never unwrapped.
+        let mut s = small_study().clone();
+        assert!(s.traces[0].pflow.completed() && s.traces[1].mfact.completed());
+        let cause = ToolFailure::Deadlock { finished: 1, total: 8 };
+        let wall = s.traces[0].mfact.wall;
+        s.traces[0].mfact = ToolRun::failed(cause.clone(), wall);
+        // The converse shape on a different trace: MFACT fine, packet-flow dead.
+        let wall = s.traces[1].pflow.wall;
+        s.traces[1].pflow = ToolRun::failed(cause, wall);
+        for text in [
+            table1(&s),
+            fig1(&s),
+            fig2(&s),
+            fig3(&s),
+            fig4(&s),
+            fig5(&s),
+            class_census(&s),
+            study_csv(&s),
+            table2_text(&s.traces),
+        ] {
+            assert!(!text.is_empty());
+            assert!(!text.contains("NaN"), "{text}");
+        }
+        // The per-app reports census the two excluded traces.
+        let per_app = format!("{}{}", fig3(&s), fig4(&s));
+        assert!(per_app.contains("incomplete"), "{per_app}");
+        assert!(table2_text(&s.traces).contains("incomplete"));
     }
 }

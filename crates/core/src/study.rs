@@ -29,13 +29,9 @@ use masim_workloads::{build_corpus, CorpusEntry};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::time::Duration;
-
-/// Wrap a result slot in a mutex for the parallel runner.
-fn parking_slot(slot: &mut Option<TraceStudy>) -> Mutex<&mut Option<TraceStudy>> {
-    Mutex::new(slot)
-}
 
 /// Why a tool failed on a trace — the study's cross-tool failure
 /// taxonomy. Simulator errors ([`SimError`]), modeler errors
@@ -362,6 +358,23 @@ pub struct ObservedTrace {
 /// per-tool sidecar.
 pub const TOOL_WALL_SPAN: &str = "core.study.tool_wall";
 
+/// Gauge: how many worker threads the parallel study runner actually
+/// spawned (after clamping to the number of pending entries).
+pub const PARALLEL_WORKERS_GAUGE: &str = "core.study.parallel.workers";
+
+/// Counter: dynamic-scheduling events in the parallel runner — a worker
+/// claimed an entry that did not follow its previously claimed one
+/// (another worker took the intervening work off the shared cursor).
+pub const PARALLEL_STEALS_COUNTER: &str = "core.study.parallel.steals";
+
+/// Gauge: high-water mark of the writer's re-sequencing buffer — how
+/// many out-of-order results were parked waiting for the next entry in
+/// corpus order.
+pub const PARALLEL_BACKLOG_GAUGE: &str = "core.study.parallel.writer_backlog_max";
+
+/// Span: wall clock of one whole parallel study run (workers + writer).
+pub const PARALLEL_WALL_SPAN: &str = "core.study.parallel.wall";
+
 /// Run one tool set over one corpus entry.
 pub fn run_one(entry: &CorpusEntry, cfg: &StudyConfig) -> TraceStudy {
     run_one_observed(entry, cfg).study
@@ -530,6 +543,127 @@ pub fn run_one_observed(entry: &CorpusEntry, cfg: &StudyConfig) -> ObservedTrace
     }
 }
 
+/// The all-tools-failed [`ObservedTrace`] recorded when a parallel
+/// worker panicked outside every per-tool containment boundary (a bug
+/// in the study glue itself): the same shape [`TraceStudy::poisoned`]
+/// gives the plain runner, with the uniform five-sidecar layout.
+fn poisoned_observed(entry: &CorpusEntry, cause: ToolFailure) -> ObservedTrace {
+    stalled_trace(entry, MetricSet::new(), None, cause)
+}
+
+/// Work-stealing parallel executor at the heart of every parallel study
+/// path ([`Study::run_parallel`], [`Study::run_filtered_observed_parallel`],
+/// [`Study::run_resumable_parallel`], and the Table II runner).
+///
+/// `todo` lists the corpus indices to execute, in the order results must
+/// be *emitted*. Up to `threads` scoped workers (clamped to
+/// `todo.len()`) claim positions off one atomic cursor and funnel each
+/// [`ObservedTrace`] through an mpsc channel to the calling thread,
+/// which re-sequences out-of-order arrivals in a bounded buffer and
+/// invokes `emit(index, observed)` strictly in `todo` order — so journal
+/// lines and sidecar files land in the exact order the sequential
+/// runner would produce them, at any thread count.
+///
+/// Telemetry lands on `study_ms` (never on the per-tool sidecars, which
+/// must stay bit-identical to a sequential run):
+/// [`PARALLEL_WORKERS_GAUGE`], [`PARALLEL_STEALS_COUNTER`],
+/// [`PARALLEL_BACKLOG_GAUGE`], [`PARALLEL_WALL_SPAN`], plus per-worker
+/// `core.study.parallel.{claimed,worker}/wNN` counters and spans.
+/// Progress aggregates across workers through one rate-limited reporter.
+///
+/// Workers are panic-isolated exactly like [`Study::run_parallel`]'s
+/// original contract: a panic escaping the per-tool boundaries records a
+/// poisoned result for that entry and the rest of the corpus still runs.
+/// An `emit` error (e.g. a failed journal append) halts the cursor so
+/// workers wind down early, and is returned after they drain.
+pub(crate) fn run_entries_parallel<E>(
+    cfg: &StudyConfig,
+    entries: &[CorpusEntry],
+    todo: &[usize],
+    threads: usize,
+    study_ms: &MetricSet,
+    progress_label: &str,
+    mut emit: impl FnMut(usize, ObservedTrace) -> Result<(), E>,
+) -> Result<(), E> {
+    let n = todo.len();
+    let workers = threads.clamp(1, n.max(1));
+    study_ms.gauge_max(PARALLEL_WORKERS_GAUGE, workers as u64);
+    let wall = study_ms.span(PARALLEL_WALL_SPAN);
+    let progress = Progress::with_workers(progress_label, n as u64, workers);
+    let cursor = AtomicUsize::new(0);
+    let steals = study_ms.counter(PARALLEL_STEALS_COUNTER);
+    let mut emit_err: Option<E> = None;
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, ObservedTrace)>();
+        for w in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let steals = steals.clone();
+            let progress = &progress;
+            let study_ms = study_ms.clone();
+            scope.spawn(move || {
+                let t0 = std::time::Instant::now();
+                let mut claimed = 0u64;
+                let mut last: Option<usize> = None;
+                loop {
+                    let pos = cursor.fetch_add(1, Ordering::Relaxed);
+                    if pos >= n {
+                        break;
+                    }
+                    if last.is_some_and(|l| pos != l + 1) {
+                        steals.inc();
+                    }
+                    last = Some(pos);
+                    claimed += 1;
+                    let entry = &entries[todo[pos]];
+                    let observed =
+                        match catch_unwind(AssertUnwindSafe(|| run_one_observed(entry, cfg))) {
+                            Ok(o) => o,
+                            Err(p) => poisoned_observed(entry, ToolFailure::from_panic(p.as_ref())),
+                        };
+                    progress.tick(1);
+                    if tx.send((pos, observed)).is_err() {
+                        break; // writer gone: nothing left to report to
+                    }
+                }
+                study_ms.add(&format!("core.study.parallel.claimed/w{w:02}"), claimed);
+                study_ms.record_span(
+                    &format!("core.study.parallel.worker/w{w:02}"),
+                    t0.elapsed().as_nanos() as u64,
+                );
+            });
+        }
+        drop(tx);
+        // Single writer: park out-of-order arrivals, emit in `todo`
+        // order so journals and sidecars are sequenced exactly like a
+        // sequential run.
+        let mut backlog: BTreeMap<usize, ObservedTrace> = BTreeMap::new();
+        let mut backlog_max = 0usize;
+        let mut next = 0usize;
+        for (pos, observed) in rx {
+            backlog.insert(pos, observed);
+            backlog_max = backlog_max.max(backlog.len());
+            while emit_err.is_none() {
+                let Some(o) = backlog.remove(&next) else { break };
+                if let Err(e) = emit(todo[next], o) {
+                    emit_err = Some(e);
+                    // Stop handing out new work; in-flight entries drain.
+                    cursor.fetch_max(n, Ordering::Relaxed);
+                    break;
+                }
+                next += 1;
+            }
+        }
+        study_ms.gauge_max(PARALLEL_BACKLOG_GAUGE, backlog_max as u64);
+    });
+    progress.finish();
+    let _ = wall.stop();
+    match emit_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
 impl Study {
     /// Run the full 235-trace study.
     pub fn run(cfg: StudyConfig) -> Study {
@@ -577,48 +711,42 @@ impl Study {
     /// embarrassingly parallel). Results are returned in corpus order
     /// and are identical to the sequential run's — note, though, that
     /// per-tool *wall-clock* measurements degrade under co-scheduling,
-    /// so timing studies (Figure 1 / Table II) should use the
-    /// sequential runner.
+    /// so timing studies (Figure 1 / Table II) should use `--threads 1`.
     ///
     /// Workers are panic-isolated: if a worker panics outside the
     /// per-tool containment (a bug in the study glue itself), that
-    /// entry's slot records a [`TraceStudy::poisoned`] result with the
-    /// panic message and the remaining entries still run — one bad
-    /// trace cannot take down the pool or poison a slot mutex for good.
+    /// entry records a poisoned result with the panic message and the
+    /// remaining entries still run — one bad trace cannot take down the
+    /// pool. The worker count is clamped to the corpus size.
     pub fn run_parallel(cfg: StudyConfig, threads: usize) -> Study {
+        let (study, _sidecars) =
+            Study::run_filtered_observed_parallel(cfg, |_| true, threads, &MetricSet::new());
+        study
+    }
+
+    /// Parallel variant of [`Study::run_filtered_observed`]: per-trace
+    /// work spreads over up to `threads` work-stealing workers, while
+    /// per-tool sidecars stay bit-identical to a sequential run and are
+    /// returned in corpus order. Runner telemetry
+    /// (`core.study.parallel.*`) lands on `study_ms`.
+    pub fn run_filtered_observed_parallel(
+        cfg: StudyConfig,
+        keep: impl Fn(usize) -> bool,
+        threads: usize,
+        study_ms: &MetricSet,
+    ) -> (Study, Vec<(usize, Vec<RunMetrics>)>) {
         let entries = build_corpus(cfg.seed);
-        let threads = threads.max(1);
-        let n = entries.len();
-        let mut slots: Vec<Option<TraceStudy>> = (0..n).map(|_| None).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slot_refs: Vec<_> = slots.iter_mut().map(parking_slot).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let next = &next;
-                let entries = &entries;
-                let cfg = &cfg;
-                let slot_refs = &slot_refs;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= entries.len() {
-                        break;
-                    }
-                    let result = catch_unwind(AssertUnwindSafe(|| run_one(&entries[i], cfg)))
-                        .unwrap_or_else(|payload| {
-                            TraceStudy::poisoned(
-                                &entries[i],
-                                ToolFailure::from_panic(payload.as_ref()),
-                            )
-                        });
-                    // A mutex poisoned by a previous panic still holds a
-                    // writable slot; recover it rather than cascading.
-                    **slot_refs[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
-                });
-            }
-        });
-        drop(slot_refs);
-        let traces = slots.into_iter().map(|s| s.expect("every slot filled")).collect();
-        Study { traces, config: cfg }
+        let kept: Vec<usize> = (0..entries.len()).filter(|&i| keep(i)).collect();
+        let mut traces = Vec::with_capacity(kept.len());
+        let mut sidecars = Vec::with_capacity(kept.len());
+        let res: Result<(), std::convert::Infallible> =
+            run_entries_parallel(&cfg, &entries, &kept, threads, study_ms, "study", |i, o| {
+                traces.push(o.study);
+                sidecars.push((i, o.sidecars));
+                Ok(())
+            });
+        let Ok(()) = res;
+        (Study { traces, config: cfg }, sidecars)
     }
 
     /// Completion counts per tool: (mfact, packet, flow, packet-flow).
@@ -725,44 +853,62 @@ mod tests {
 
     #[test]
     fn parallel_run_matches_sequential() {
-        // Two cheap corpus entries, 2 threads: results must be identical
-        // (modulo wall-clock) and in corpus order.
+        // Two cheap corpus entries through the real work-stealing
+        // engine: results must be identical (modulo wall-clock) and in
+        // corpus order.
         let cfg = StudyConfig::default();
-        let seq = Study::run_filtered(cfg.clone(), |i| i == 3 || i == 40);
-        let entries_kept: Vec<usize> = vec![3, 40];
-        let par = {
-            // Spot-check determinism of run_one across threads using the
-            // same worker structure run_parallel uses.
-            use std::sync::atomic::{AtomicUsize, Ordering};
-            let entries = masim_workloads::build_corpus(cfg.seed);
-            let picked: Vec<_> = entries_kept.iter().map(|&i| entries[i].clone()).collect();
-            let next = AtomicUsize::new(0);
-            let mut out: Vec<Option<TraceStudy>> = vec![None, None];
-            let slots: Vec<_> = out.iter_mut().map(std::sync::Mutex::new).collect();
-            std::thread::scope(|scope| {
-                for _ in 0..2 {
-                    let next = &next;
-                    let picked = &picked;
-                    let cfg = &cfg;
-                    let slots = &slots;
-                    scope.spawn(move || loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= picked.len() {
-                            break;
-                        }
-                        let r = run_one(&picked[i], cfg);
-                        **slots[i].lock().unwrap() = Some(r);
-                    });
-                }
-            });
-            drop(slots);
-            out.into_iter().map(|s| s.unwrap()).collect::<Vec<_>>()
-        };
-        for (a, b) in seq.traces.iter().zip(&par) {
+        let keep = |i: usize| i == 3 || i == 40;
+        let seq = Study::run_filtered(cfg.clone(), keep);
+        let ms = MetricSet::new();
+        let (par, sidecars) = Study::run_filtered_observed_parallel(cfg, keep, 2, &ms);
+        assert_eq!(seq.traces.len(), par.traces.len());
+        assert_eq!(sidecars.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![3, 40]);
+        for (a, b) in seq.traces.iter().zip(&par.traces) {
             assert_eq!(a.mfact.total, b.mfact.total);
             assert_eq!(a.pflow.total, b.pflow.total);
             assert_eq!(a.measured_total, b.measured_total);
         }
+        let snap = ms.snapshot();
+        assert_eq!(snap.gauges.get(PARALLEL_WORKERS_GAUGE), Some(&2), "{:?}", snap.gauges);
+    }
+
+    #[test]
+    fn parallel_worker_count_clamps_to_todo_len() {
+        // threads=64 over a 2-entry corpus: at most 2 workers spawn and
+        // every slot is still filled exactly once.
+        let cfg = StudyConfig::default();
+        let ms = MetricSet::new();
+        let (par, sidecars) =
+            Study::run_filtered_observed_parallel(cfg, |i| i == 3 || i == 40, 64, &ms);
+        assert_eq!(par.traces.len(), 2);
+        assert_eq!(sidecars.len(), 2);
+        let snap = ms.snapshot();
+        assert_eq!(snap.gauges.get(PARALLEL_WORKERS_GAUGE), Some(&2), "{:?}", snap.gauges);
+        let claim_counters: Vec<(&String, &u64)> = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("core.study.parallel.claimed/"))
+            .collect();
+        assert!(claim_counters.len() <= 2, "more workers than entries: {claim_counters:?}");
+        let claimed: u64 = claim_counters.iter().map(|(_, v)| **v).sum();
+        assert_eq!(claimed, 2, "every slot claimed exactly once: {claim_counters:?}");
+    }
+
+    #[test]
+    fn parallel_emit_error_halts_dispatch() {
+        // An emit failure stops the writer from handing out more work
+        // and surfaces as the engine's error, not a panic or a hang.
+        let cfg = StudyConfig::default();
+        let entries = masim_workloads::build_corpus(cfg.seed);
+        let todo = [3usize, 40];
+        let ms = MetricSet::new();
+        let mut emitted = 0usize;
+        let res = run_entries_parallel(&cfg, &entries, &todo, 2, &ms, "emit-error", |_, _| {
+            emitted += 1;
+            Err("journal append failed")
+        });
+        assert_eq!(res, Err("journal append failed"));
+        assert_eq!(emitted, 1, "dispatch halts after the first emit failure");
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub struct Progress {
     min_interval: Duration,
     last_print: Mutex<Option<Instant>>,
     enabled: bool,
+    workers: usize,
 }
 
 impl Progress {
@@ -31,7 +32,17 @@ impl Progress {
             min_interval: Duration::from_millis(500),
             last_print: Mutex::new(None),
             enabled: true,
+            workers: 1,
         }
+    }
+
+    /// A reporter aggregating ticks from `workers` concurrent workers;
+    /// printed lines carry a `[Nw]` tag so parallel runs are
+    /// distinguishable from sequential ones in captured logs.
+    pub fn with_workers(label: &str, total: u64, workers: usize) -> Self {
+        let mut p = Self::new(label, total);
+        p.workers = workers.max(1);
+        p
     }
 
     /// A reporter that counts but never prints (tests, quiet mode).
@@ -39,6 +50,11 @@ impl Progress {
         let mut p = Self::new(label, total);
         p.enabled = false;
         p
+    }
+
+    /// Number of concurrent workers this reporter aggregates over.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     pub fn done(&self) -> u64 {
@@ -79,11 +95,12 @@ impl Progress {
         } else {
             String::new()
         };
+        let tag = if self.workers > 1 { format!(" [{}w]", self.workers) } else { String::new() };
         let mut err = std::io::stderr().lock();
         let _ = writeln!(
             err,
-            "{}: {}/{} ({:.1}%) {:.1}/s{}",
-            self.label, done, self.total, pct, rate, eta
+            "{}{}: {}/{} ({:.1}%) {:.1}/s{}",
+            self.label, tag, done, self.total, pct, rate, eta
         );
     }
 }
@@ -100,5 +117,17 @@ mod tests {
         }
         assert_eq!(p.done(), 10);
         p.finish();
+    }
+
+    #[test]
+    fn with_workers_records_count() {
+        let mut p = Progress::with_workers("test", 4, 3);
+        p.enabled = false;
+        assert_eq!(p.workers(), 3);
+        p.tick(2);
+        p.tick(2);
+        assert_eq!(p.done(), 4);
+        // Zero workers is clamped to one so the tag logic stays total.
+        assert_eq!(Progress::with_workers("t", 1, 0).workers(), 1);
     }
 }

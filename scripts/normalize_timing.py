@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Zero out host wall-clock fields so two runs can be diffed byte-for-byte.
+
+The study's determinism contract (DESIGN.md, "Parallel study runner")
+says every sidecar, journal line, and report is bit-identical at any
+thread count *except* host wall-clock measurements, which differ between
+any two runs — sequential or parallel. CI therefore normalizes those
+fields before diffing a `--threads 1` run against a `--threads 4` run:
+
+* JSON/JSONL: `"sum_ns"`, `"min_ns"`, `"max_ns"`, `"wall_ns"`,
+  `"elapsed_ns"` values become 0.
+* CSV sidecars: the span rows' timing columns (sum/min/max ns) become 0.
+* Report text (Table II, fig1): decimal numbers become `#.#` — wall
+  seconds are the only floating-point output that varies run to run,
+  but normalizing all of them keeps this script free of per-report
+  column knowledge. Integer fields (counts, censuses) stay exact.
+
+Usage: normalize_timing.py FILE...   (rewrites each file in place)
+"""
+
+import re
+import sys
+
+NS_FIELDS = re.compile(r'"(sum_ns|min_ns|max_ns|wall_ns|elapsed_ns)":\s*\d+')
+FLOATS = re.compile(r"\d+\.\d+")
+# masim CSV sidecar span rows: span,name,,count,sum_ns,min_ns,max_ns
+CSV_SPAN = re.compile(r"^(span,[^,]*,,\d+),\d+,\d+,\d+$", re.M)
+
+
+def normalize(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    if path.endswith((".json", ".jsonl")):
+        text = NS_FIELDS.sub(lambda m: f'"{m.group(1)}":0', text)
+    elif path.endswith(".csv"):
+        text = CSV_SPAN.sub(r"\1,0,0,0", text)
+    else:
+        text = FLOATS.sub("#.#", text)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in sys.argv[1:]:
+        normalize(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -337,3 +337,56 @@ fn panics_become_typed_failures() {
     let r = contained::<()>(|| panic!("injected tool crash"));
     assert_eq!(r, Err(ToolFailure::Panicked { message: "injected tool crash".into() }));
 }
+
+/// Chaos-built mixed-failure study: MFACT fails on one trace while
+/// packet-flow completes (and vice versa on another) — exactly the
+/// shape the old report.rs unwraps panicked on. Every report must
+/// render and census the incomplete traces.
+#[test]
+fn chaos_mixed_failure_study_renders_all_reports() {
+    use masim_core::{report, Study, StudyConfig, ToolRun};
+
+    let mut study = Study::run_filtered(StudyConfig::default(), |i| i == 30 || i == 40);
+    assert!(study.traces.iter().all(|t| t.mfact.completed() && t.pflow.completed()));
+
+    // Derive a *real* typed MFACT failure from the chaos injectors: a
+    // RecvRecvDeadlock-corrupted trace deadlocks the replay behind the
+    // containment boundary.
+    let healthy = generate(&GenConfig::test_default(App::Cg, 8));
+    let bad = corrupt_trace(&healthy, TraceFault::RecvRecvDeadlock, &mut Rng::seed_from_u64(3));
+    let chaos_failure = contained(|| {
+        try_replay(&bad, &[ModelConfig::base(Machine::cielito().net)])
+            .map(|_| ())
+            .map_err(ToolFailure::from_replay)
+    })
+    .expect_err("deadlock fault must fail the replay");
+    assert!(matches!(chaos_failure, ToolFailure::Deadlock { .. }), "{chaos_failure:?}");
+
+    // Install it as trace 0's MFACT outcome (packet-flow still fine) and
+    // as trace 1's packet-flow outcome (MFACT still fine).
+    let wall = study.traces[0].mfact.wall;
+    study.traces[0].mfact = ToolRun::failed(chaos_failure.clone(), wall);
+    let wall = study.traces[1].pflow.wall;
+    study.traces[1].pflow = ToolRun::failed(chaos_failure, wall);
+
+    for text in [
+        report::table1(&study),
+        report::fig1(&study),
+        report::fig2(&study),
+        report::fig3(&study),
+        report::fig4(&study),
+        report::fig5(&study),
+        report::class_census(&study),
+        report::study_csv(&study),
+        report::table2_text(&study.traces),
+    ] {
+        assert!(!text.is_empty());
+        assert!(!text.contains("NaN"), "{text}");
+    }
+    // Censuses: fig1 reports the deadlock cause, the per-app reports and
+    // Table II annotate the exclusions.
+    assert!(report::fig1(&study).contains("deadlock"));
+    let per_app = format!("{}{}", report::fig3(&study), report::fig4(&study));
+    assert!(per_app.contains("incomplete"), "{per_app}");
+    assert!(report::table2_text(&study.traces).contains("incomplete"));
+}

@@ -1,0 +1,183 @@
+//! The parallel study runner's determinism contract: at any thread
+//! count, per-trace predictions, per-tool sidecars, and the checkpoint
+//! journal are bit-identical to the sequential runner's — the only
+//! fields allowed to differ are host wall-clock measurements (span
+//! nanoseconds, `wall_ns`), which are nondeterministic between *any*
+//! two runs, sequential or not.
+
+use masim_core::{
+    Checkpoint, ResumableRun, Study, StudyConfig, TraceStudy, PARALLEL_WORKERS_GAUGE,
+};
+use masim_obs::{MetricSet, RunMetrics, Snapshot};
+use masim_workloads::build_corpus;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A unique, clean scratch directory per test (std-only; no tempdir
+/// crate).
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "masim-par-{}-{}-{tag}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Everything deterministic about a trace result must match; tool
+/// wall-clock is the one field measured live and excluded.
+fn assert_same_predictions(a: &TraceStudy, b: &TraceStudy) {
+    assert_eq!(a.entry.cfg.app, b.entry.cfg.app);
+    assert_eq!(a.entry.cfg.ranks, b.entry.cfg.ranks);
+    assert_eq!(a.measured_total, b.measured_total);
+    assert_eq!(a.measured_comm, b.measured_comm);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.features, b.features);
+    assert_eq!(a.classification.class, b.classification.class);
+    for (x, y) in
+        [(&a.mfact, &b.mfact), (&a.packet, &b.packet), (&a.flow, &b.flow), (&a.pflow, &b.pflow)]
+    {
+        assert_eq!(x.total, y.total);
+        assert_eq!(x.comm, y.comm);
+        assert_eq!(x.failure, y.failure);
+    }
+}
+
+/// Sidecar equality modulo timing: labels, counters, and gauges are
+/// exact; spans may differ only in recorded nanoseconds, never in which
+/// spans exist or how often they fired.
+fn assert_same_sidecars(a: &[RunMetrics], b: &[RunMetrics]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.labels(), y.labels());
+        let (sx, sy) = (x.set().snapshot(), y.set().snapshot());
+        assert_eq!(sx.counters, sy.counters, "tool {:?}", x.labels().get("tool"));
+        assert_eq!(sx.gauges, sy.gauges, "tool {:?}", x.labels().get("tool"));
+        let span_shape = |s: &Snapshot| {
+            s.spans.iter().map(|(name, st)| (name.clone(), st.count)).collect::<Vec<_>>()
+        };
+        assert_eq!(span_shape(&sx), span_shape(&sy), "tool {:?}", x.labels().get("tool"));
+    }
+}
+
+/// Zero out the journal's host wall-clock fields (`"wall_ns":N` and the
+/// deadline failure's `"elapsed_ns":N`) so two runs can be compared
+/// byte-for-byte on everything deterministic.
+fn normalize_journal(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(hit) = ["\"wall_ns\":", "\"elapsed_ns\":"]
+        .iter()
+        .filter_map(|k| rest.find(k).map(|p| (p, k.len())))
+        .min()
+    {
+        let (pos, keylen) = hit;
+        let end = pos + keylen;
+        out.push_str(&rest[..end]);
+        out.push('0');
+        rest = rest[end..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// `--threads 4` equivalent of the observed study path produces the
+/// same traces and sidecars as the sequential runner, in the same
+/// order.
+#[test]
+fn parallel_observed_bitwise_matches_sequential() {
+    let keep = |i: usize| i % 47 == 3; // 5 of the 235 corpus entries
+    let (seq, seq_sc) = Study::run_filtered_observed(StudyConfig::default(), keep);
+    let ms = MetricSet::new();
+    let (par, par_sc) = Study::run_filtered_observed_parallel(StudyConfig::default(), keep, 4, &ms);
+
+    assert_eq!(seq.traces.len(), par.traces.len());
+    for (a, b) in seq.traces.iter().zip(&par.traces) {
+        assert_same_predictions(a, b);
+    }
+    // Sidecars arrive keyed by the same corpus indices, in the same
+    // order, with identical non-timing content.
+    let idx = |sc: &[(usize, Vec<RunMetrics>)]| sc.iter().map(|(i, _)| *i).collect::<Vec<_>>();
+    assert_eq!(idx(&seq_sc), idx(&par_sc));
+    for ((_, a), (_, b)) in seq_sc.iter().zip(&par_sc) {
+        assert_same_sidecars(a, b);
+    }
+    // Runner telemetry landed on the study metric set, not the sidecars.
+    let snap = ms.snapshot();
+    assert_eq!(snap.gauges.get(PARALLEL_WORKERS_GAUGE), Some(&4), "{:?}", snap.gauges);
+    assert!(seq_sc.iter().flat_map(|(_, runs)| runs).all(|rm| !rm
+        .set()
+        .snapshot()
+        .gauges
+        .contains_key(PARALLEL_WORKERS_GAUGE)));
+}
+
+/// Parallel interrupt + resume writes a checkpoint journal identical
+/// (modulo wall-clock fields) to the sequential runner's, and the
+/// resumed studies agree on every prediction.
+#[test]
+fn parallel_interrupt_resume_matches_sequential_journal() {
+    let cfg = StudyConfig::default();
+    let entries = build_corpus(cfg.seed);
+    let indices: Vec<usize> = (0..entries.len()).filter(|i| i % 59 == 2).collect(); // 4 entries
+    assert!(indices.len() >= 3, "need enough entries to interrupt mid-run");
+
+    let run = |dir: &PathBuf, threads: usize| -> Study {
+        let ms = MetricSet::new();
+        let mut ck = Checkpoint::create(dir, &cfg, entries.len()).unwrap();
+        let resumable = |ck: &mut Checkpoint, abort| {
+            if threads > 1 {
+                Study::run_resumable_parallel(
+                    cfg.clone(),
+                    &entries,
+                    &indices,
+                    ck,
+                    abort,
+                    threads,
+                    &ms,
+                )
+            } else {
+                Study::run_resumable(cfg.clone(), &entries, &indices, ck, abort)
+            }
+        };
+        // Interrupt after 2 fresh entries...
+        match resumable(&mut ck, Some(2)).unwrap() {
+            ResumableRun::Interrupted { completed, total, new_sidecars } => {
+                assert_eq!((completed, total), (2, indices.len()));
+                assert_eq!(new_sidecars.len(), 2);
+            }
+            ResumableRun::Complete { .. } => panic!("abort_after=2 must interrupt"),
+        }
+        drop(ck);
+        // ...then resume to completion; only the remainder re-runs.
+        let mut ck = Checkpoint::resume(dir, &cfg, &entries).unwrap();
+        match resumable(&mut ck, None).unwrap() {
+            ResumableRun::Complete { study, new_sidecars } => {
+                assert_eq!(new_sidecars.len(), indices.len() - 2);
+                study
+            }
+            ResumableRun::Interrupted { .. } => panic!("resume must complete"),
+        }
+    };
+
+    let seq_dir = scratch("seq");
+    let par_dir = scratch("par");
+    let seq = run(&seq_dir, 1);
+    let par = run(&par_dir, 4);
+
+    for (a, b) in seq.traces.iter().zip(&par.traces) {
+        assert_same_predictions(a, b);
+    }
+    let journal =
+        |dir: &PathBuf| std::fs::read_to_string(dir.join(masim_core::CHECKPOINT_FILE)).unwrap();
+    assert_eq!(
+        normalize_journal(&journal(&seq_dir)),
+        normalize_journal(&journal(&par_dir)),
+        "journals must be identical outside wall-clock fields"
+    );
+    let _ = std::fs::remove_dir_all(&seq_dir);
+    let _ = std::fs::remove_dir_all(&par_dir);
+}
