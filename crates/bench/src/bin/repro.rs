@@ -50,7 +50,7 @@ use masim_core::{
 };
 use masim_obs::json::Value;
 use masim_obs::run::parse_json;
-use masim_obs::{MetricSet, RunMetrics, SpanStats};
+use masim_obs::{HistData, MetricSet, RunMetrics, SpanStats};
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
@@ -139,6 +139,11 @@ struct Options {
     /// and sidecars are bit-identical at any value; host wall-clock
     /// columns (Figure 1, Table II) are only meaningful at 1.
     threads: usize,
+    /// `--trace <dir>`: install the process-global timeline tracer and
+    /// write `<dir>/trace.json` (Chrome Trace Event Format, loadable in
+    /// Perfetto) plus `<dir>/trace.folded` (flamegraph folded stacks)
+    /// when the run completes.
+    trace: Option<PathBuf>,
 }
 
 /// Exit code for a deliberate `--fail-after` interruption, so scripts
@@ -159,6 +164,7 @@ fn parse_args() -> Result<Options, String> {
         fail_after: None,
         profile: false,
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -174,6 +180,10 @@ fn parse_args() -> Result<Options, String> {
             "--metrics" => {
                 let dir = it.next().ok_or("--metrics requires a directory argument")?;
                 opts.metrics = Some(PathBuf::from(dir));
+            }
+            "--trace" => {
+                let dir = it.next().ok_or("--trace requires a directory argument")?;
+                opts.trace = Some(PathBuf::from(dir));
             }
             "--checkpoint" => {
                 let dir = it.next().ok_or("--checkpoint requires a directory argument")?;
@@ -244,6 +254,12 @@ fn run() -> Result<(), String> {
     if let Some(dir) = &metrics_dir {
         fs::create_dir_all(dir)
             .map_err(|e| format!("create metrics dir {}: {e}", dir.display()))?;
+    }
+    if let Some(dir) = &opts.trace {
+        fs::create_dir_all(dir).map_err(|e| format!("create trace dir {}: {e}", dir.display()))?;
+        // Install before any work runs so every layer's trace_span!/
+        // trace_instant! call sites see the global log.
+        masim_obs::tracelog::install(masim_obs::tracelog::DEFAULT_LANE_CAPACITY);
     }
     if opts.summarize && opts.reports.is_empty() {
         let dir = metrics_dir.unwrap_or_else(|| PathBuf::from("reports/metrics"));
@@ -418,6 +434,35 @@ fn run() -> Result<(), String> {
     } else if opts.summarize {
         fold_sidecars(Path::new("reports/metrics"))?;
     }
+    if let Some(dir) = &opts.trace {
+        write_trace(dir)?;
+    }
+    Ok(())
+}
+
+/// `--trace`: export the installed timeline log as Chrome Trace Event
+/// JSON (Perfetto-loadable; one track per study worker) and folded
+/// flamegraph stacks.
+fn write_trace(dir: &Path) -> Result<(), String> {
+    let Some(tl) = masim_obs::tracelog::current() else {
+        // Tracing compiled out (obs built without its default feature):
+        // the flag is accepted but there is nothing to export.
+        eprintln!("trace: instrumentation compiled out; no timeline captured");
+        return Ok(());
+    };
+    let json_path = dir.join("trace.json");
+    fs::write(&json_path, tl.to_chrome_json())
+        .map_err(|e| format!("write {}: {e}", json_path.display()))?;
+    let folded_path = dir.join("trace.folded");
+    fs::write(&folded_path, tl.to_folded())
+        .map_err(|e| format!("write {}: {e}", folded_path.display()))?;
+    eprintln!(
+        "wrote {} ({} event(s), {} dropped) and {}",
+        json_path.display(),
+        tl.len(),
+        tl.dropped(),
+        folded_path.display()
+    );
     Ok(())
 }
 
@@ -597,6 +642,10 @@ fn fold_sidecars(dir: &Path) -> Result<(), String> {
     // tool -> (workers, steals, writer backlog max): parallel-runner
     // telemetry from the `study_runner` sidecar (tool = "runner").
     let mut par_gauges: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+    // tool -> hist name -> bucket-merged histogram, for the `dist`
+    // section (simulation histograms are only present when the run was
+    // traced; the fold carries whatever it finds).
+    let mut hist_acc: BTreeMap<String, BTreeMap<String, HistData>> = BTreeMap::new();
     let rd = fs::read_dir(dir).map_err(|e| format!("read metrics dir {}: {e}", dir.display()))?;
     for ent in rd {
         let path = ent.map_err(|e| format!("list {}: {e}", dir.display()))?.path();
@@ -632,6 +681,11 @@ fn fold_sidecars(dir: &Path) -> Result<(), String> {
         *w = (*w).max(gauge(PARALLEL_WORKERS_GAUGE));
         *st = (*st).max(counter(PARALLEL_STEALS_COUNTER));
         *bl = (*bl).max(gauge(PARALLEL_BACKLOG_GAUGE));
+        for (name, h) in &data.snapshot.hists {
+            if matches!(name.as_str(), "sim.engine.dt_ps" | "sim.msg.bytes") {
+                hist_acc.entry(tool.clone()).or_default().entry(name.clone()).or_default().merge(h);
+            }
+        }
         by_tool.entry(tool).or_default().push((wall_ns, events));
     }
     if by_tool.is_empty() {
@@ -679,6 +733,21 @@ fn fold_sidecars(dir: &Path) -> Result<(), String> {
             fields.push(("steals".into(), Value::UInt(steals)));
             fields.push(("writer_backlog_max".into(), Value::UInt(backlog)));
         }
+        // Distribution summaries. Tool wall percentiles are exact
+        // (computed from the per-run walls, already sorted); the
+        // simulation-side histograms summarize via their log2 buckets
+        // and appear only when the runs recorded them (traced runs).
+        // The gate reads only the standard keys, so `dist` is
+        // tolerated-but-reported there.
+        let mut dist = vec![("tool_wall".into(), dist_exact_secs(&walls))];
+        if let Some(hists) = hist_acc.get(&tool) {
+            for (key, name) in [("sim_dt_ps", "sim.engine.dt_ps"), ("msg_bytes", "sim.msg.bytes")] {
+                if let Some(h) = hists.get(name).filter(|h| h.count() > 0) {
+                    dist.push((key.into(), dist_hist(h)));
+                }
+            }
+        }
+        fields.push(("dist".into(), Value::Obj(dist)));
         obj.push((tool, Value::Obj(fields)));
     }
     let json = Value::Obj(obj).to_json();
@@ -686,6 +755,35 @@ fn fold_sidecars(dir: &Path) -> Result<(), String> {
     println!("{json}");
     eprintln!("wrote {BENCH_OBS}");
     Ok(())
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn pct_exact(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Exact wall-clock percentiles (seconds) from per-run walls in ns.
+fn dist_exact_secs(sorted_ns: &[u64]) -> Value {
+    Value::Obj(vec![
+        ("p50".into(), Value::Num(pct_exact(sorted_ns, 0.50) as f64 / 1e9)),
+        ("p90".into(), Value::Num(pct_exact(sorted_ns, 0.90) as f64 / 1e9)),
+        ("p99".into(), Value::Num(pct_exact(sorted_ns, 0.99) as f64 / 1e9)),
+        ("count".into(), Value::UInt(sorted_ns.len() as u64)),
+    ])
+}
+
+/// Log2-bucket percentile summary of a merged sidecar histogram.
+fn dist_hist(h: &HistData) -> Value {
+    Value::Obj(vec![
+        ("p50".into(), Value::UInt(h.p50())),
+        ("p90".into(), Value::UInt(h.p90())),
+        ("p99".into(), Value::UInt(h.p99())),
+        ("count".into(), Value::UInt(h.count())),
+    ])
 }
 
 /// `bench-gate`: compare the freshly folded `BENCH_obs.json` against
@@ -794,6 +892,17 @@ fn gate_compare(base: &Value, obs: &Value, tolerance: f64) -> Result<String, Str
                 "counts" // timing below the noise floor; counts checked
             }
         ));
+        // Tail latency is tolerated but reported: p99 swings on shared
+        // runners are too noisy to gate on, yet worth surfacing next to
+        // the gated medians.
+        if let Some(p99) = o
+            .get("dist")
+            .and_then(|d| d.get("tool_wall"))
+            .and_then(|t| t.get("p99"))
+            .and_then(Value::as_f64)
+        {
+            lines.push(format!("{tool:<14}   tool_wall p99 {p99:.4}s (reported, not gated)"));
+        }
     }
     for (tool, _) in obs_tools {
         if base.get(tool).is_none() {
@@ -910,6 +1019,42 @@ mod gate_tests {
         // floor.
         let err = gate_compare(&b("packet"), &o("packet"), 50.0).unwrap_err();
         assert!(err.contains("budget 15%"), "{err}");
+    }
+
+    #[test]
+    fn dist_section_is_tolerated_and_p99_reported() {
+        // A fold carrying the new `dist` section still gates cleanly
+        // against a baseline without one, and the tail latency shows up
+        // as an informational line.
+        let b = doc(&[("packet", tool(0.5, 4e6, 1000, 3))]);
+        let mut with_dist = tool(0.5, 4e6, 1000, 3);
+        if let Value::Obj(fields) = &mut with_dist {
+            fields.push((
+                "dist".into(),
+                Value::Obj(vec![(
+                    "tool_wall".into(),
+                    Value::Obj(vec![
+                        ("p50".into(), Value::Num(0.5)),
+                        ("p90".into(), Value::Num(0.6)),
+                        ("p99".into(), Value::Num(0.9)),
+                        ("count".into(), Value::UInt(3)),
+                    ]),
+                )]),
+            ));
+        }
+        let o = doc(&[("packet", with_dist)]);
+        let report = gate_compare(&b, &o, 25.0).expect("dist must not trip the gate");
+        assert!(report.contains("p99 0.9000s"), "{report}");
+        assert!(report.contains("not gated"), "{report}");
+    }
+
+    #[test]
+    fn exact_percentiles_are_nearest_rank() {
+        let walls: Vec<u64> = (1..=100).collect();
+        assert_eq!(pct_exact(&walls, 0.50), 50);
+        assert_eq!(pct_exact(&walls, 0.99), 99);
+        assert_eq!(pct_exact(&walls, 1.0), 100);
+        assert_eq!(pct_exact(&[], 0.5), 0);
     }
 
     #[test]

@@ -454,10 +454,13 @@ fn stalled_trace(
 /// records a typed failure on the affected runs instead of unwinding.
 pub fn run_one_observed(entry: &CorpusEntry, cfg: &StudyConfig) -> ObservedTrace {
     let gen_ms = MetricSet::new();
-    let trace: Trace = match contained(|| Ok(entry.generate_observed(&gen_ms))) {
-        Ok(t) => t,
-        // No trace at all: nothing downstream can run.
-        Err(cause) => return stalled_trace(entry, gen_ms, None, cause),
+    let trace: Trace = {
+        let _ts = masim_obs::trace_span!("study.generate");
+        match contained(|| Ok(entry.generate_observed(&gen_ms))) {
+            Ok(t) => t,
+            // No trace at all: nothing downstream can run.
+            Err(cause) => return stalled_trace(entry, gen_ms, None, cause),
+        }
     };
     let machine = match Machine::by_name(&entry.cfg.machine) {
         Ok(m) => m,
@@ -477,9 +480,12 @@ pub fn run_one_observed(entry: &CorpusEntry, cfg: &StudyConfig) -> ObservedTrace
         ModelConfig::base(machine.net.scaled(0.125, 1.0)),
         ModelConfig::base(machine.net.scaled(1.0, 8.0)),
     ];
-    let mres = contained(|| {
-        try_replay_observed(&trace, &configs, &mfact_ms).map_err(ToolFailure::from_replay)
-    });
+    let mres = {
+        let _ts = masim_obs::trace_span!("study.tool/mfact");
+        contained(|| {
+            try_replay_observed(&trace, &configs, &mfact_ms).map_err(ToolFailure::from_replay)
+        })
+    };
     let mfact_wall = span.stop();
     let (mfact, classification) = match mres {
         Ok(res) => {
@@ -498,10 +504,20 @@ pub fn run_one_observed(entry: &CorpusEntry, cfg: &StudyConfig) -> ObservedTrace
         let ms = MetricSet::new();
         let limits = SimLimits { max_work: budget, deadline: cfg.sim_deadline };
         let span = ms.span(TOOL_WALL_SPAN);
-        let res = contained(|| {
-            let scfg = SimConfig::new(machine.clone(), model, &trace);
-            simulate_limited_observed(&trace, &scfg, limits, &ms).map_err(ToolFailure::from_sim)
-        });
+        let res = {
+            // Static names keep the timeline span free of per-run
+            // allocation; the set matches the CI trace validator's
+            // expected study phases.
+            let _ts = masim_obs::trace_span!(match model.name() {
+                "packet" => "study.tool/packet",
+                "flow" => "study.tool/flow",
+                _ => "study.tool/packet-flow",
+            });
+            contained(|| {
+                let scfg = SimConfig::new(machine.clone(), model, &trace);
+                simulate_limited_observed(&trace, &scfg, limits, &ms).map_err(ToolFailure::from_sim)
+            })
+        };
         let wall = span.stop();
         let run = match res {
             Ok(r) => ToolRun::ok(r.total, r.comm_time, wall),
@@ -602,6 +618,11 @@ pub(crate) fn run_entries_parallel<E>(
             let progress = &progress;
             let study_ms = study_ms.clone();
             scope.spawn(move || {
+                // Give this worker its own timeline track (worker 0 stays
+                // reserved for the coordinating thread).
+                if let Some(tl) = masim_obs::tracelog::current() {
+                    tl.set_worker(w as u16 + 1);
+                }
                 let t0 = std::time::Instant::now();
                 let mut claimed = 0u64;
                 let mut last: Option<usize> = None;
@@ -643,6 +664,7 @@ pub(crate) fn run_entries_parallel<E>(
         for (pos, observed) in rx {
             backlog.insert(pos, observed);
             backlog_max = backlog_max.max(backlog.len());
+            masim_obs::trace_instant!("study.writer.backlog", backlog.len() as u64);
             while emit_err.is_none() {
                 let Some(o) = backlog.remove(&next) else { break };
                 if let Err(e) = emit(todo[next], o) {

@@ -109,6 +109,19 @@ impl<S: Handler> Engine<S> {
         self.max_pending
     }
 
+    /// Ladder-queue drain-window slides so far (tier-2 activity; see
+    /// [`crate::queue`]).
+    #[inline]
+    pub fn queue_window_advances(&self) -> u64 {
+        self.queue.window_advances()
+    }
+
+    /// Ladder-queue overflow→ring migrations so far (tier-3 activity).
+    #[inline]
+    pub fn queue_overflow_migrations(&self) -> u64 {
+        self.queue.overflow_migrations()
+    }
+
     /// The clock-overflow error, if a `schedule_in` overflowed. Once
     /// set, [`Engine::step`] refuses to run further events; the
     /// embedding simulator decides how to surface the failure.
@@ -117,12 +130,15 @@ impl<S: Handler> Engine<S> {
         self.error
     }
 
-    /// Copy the engine's counters into `ms` under `des.engine.*`.
+    /// Copy the engine's counters into `ms` under `des.engine.*` /
+    /// `des.queue.*`.
     pub fn export_metrics(&self, ms: &MetricSet) {
         ms.add("des.engine.scheduled", self.scheduled());
         ms.add("des.engine.processed", self.processed);
         ms.add("des.engine.cancelled", self.cancelled_total);
         ms.gauge_max("des.engine.pending_hwm", self.max_pending as u64);
+        ms.add("des.queue.window_advances", self.queue.window_advances());
+        ms.add("des.queue.overflow_migrations", self.queue.overflow_migrations());
     }
 
     /// Schedule `event` at absolute time `at`.

@@ -104,6 +104,13 @@ pub struct LadderQueue<T> {
     /// Monotone per-queue sequence counter (one per push).
     seq: u64,
     len: usize,
+    /// Times the drain window slid forward (tier-2 activity). Plain
+    /// integer telemetry, same contract as the engine's counters: the
+    /// hot paths never touch an atomic, totals export after the run.
+    window_advances: u64,
+    /// Entries that migrated overflow-heap → ring/current as the window
+    /// slid (tier-3 → tier-2 traffic).
+    overflow_migrations: u64,
 }
 
 impl<T> Default for LadderQueue<T> {
@@ -132,6 +139,8 @@ impl<T> LadderQueue<T> {
             overflow: BinaryHeap::new(),
             seq: 0,
             len: 0,
+            window_advances: 0,
+            overflow_migrations: 0,
         }
     }
 
@@ -151,6 +160,20 @@ impl<T> LadderQueue<T> {
     #[inline]
     pub fn pushes(&self) -> u64 {
         self.seq
+    }
+
+    /// Times the drain window slid forward (a tier-2 bucket became the
+    /// active drain lane or the window jumped to the overflow head).
+    #[inline]
+    pub fn window_advances(&self) -> u64 {
+        self.window_advances
+    }
+
+    /// Entries migrated out of the overflow heap into the ring or the
+    /// active window as the horizon slid forward.
+    #[inline]
+    pub fn overflow_migrations(&self) -> u64 {
+        self.overflow_migrations
     }
 
     /// Insert `payload` at `at`. Returns the entry's sequence number.
@@ -256,6 +279,7 @@ impl<T> LadderQueue<T> {
     /// entries, migrating overflow entries that enter the ring horizon.
     /// Precondition: `imm` and `current` are empty, `len > 0`.
     fn advance_window(&mut self) {
+        self.window_advances += 1;
         loop {
             if self.ring_len == 0 {
                 // Ring dry: jump the window straight to the overflow head.
@@ -289,6 +313,7 @@ impl<T> LadderQueue<T> {
                 break;
             }
             let OverflowEntry(e) = self.overflow.pop().expect("peeked");
+            self.overflow_migrations += 1;
             if b <= self.cur_bucket {
                 self.current.push(e);
             } else {
@@ -390,6 +415,21 @@ mod tests {
         q.push(Time::from_ns(5), 1);
         let order: Vec<u32> = drain(&mut q).into_iter().map(|(_, _, p)| p).collect();
         assert_eq!(order, vec![1, 9]);
+    }
+
+    #[test]
+    fn tier_migration_counters_track() {
+        let mut q = LadderQueue::new();
+        assert_eq!(q.window_advances(), 0);
+        assert_eq!(q.overflow_migrations(), 0);
+        // One near event, two past the ring horizon.
+        let far = Time::from_ps(BUCKET_WIDTH_PS * (NUM_BUCKETS + 50));
+        q.push(Time::from_ns(100), 1);
+        q.push(far, 2);
+        q.push(far + Time::from_ps(1), 3);
+        drain(&mut q);
+        assert!(q.window_advances() >= 2, "draining slid the window");
+        assert_eq!(q.overflow_migrations(), 2, "both far events migrated");
     }
 
     #[test]

@@ -448,20 +448,16 @@ pub fn try_replay_observed(
     ms.add("mfact.replay.events", trace.num_events() as u64);
     ms.add("mfact.replay.configs", configs.len() as u64);
     if let Some(base) = results.first() {
+        // Per-rank final logical clock under the baseline configuration,
+        // in nanoseconds. This used to be a family of per-bucket counter
+        // names; the typed histogram carries the same log₂ buckets plus
+        // exact sum/min/max and percentile queries.
+        let h = ms.hist("mfact.replay.clock_advance_ns");
         for &t in &base.per_rank {
-            ms.add(&clock_advance_bucket(t), 1);
+            h.record(t.as_ps() / Time::PS_PER_NS);
         }
     }
     Ok(results)
-}
-
-/// Histogram bucket name for a final per-rank logical clock: buckets are
-/// powers of two in nanoseconds (`b00` = under 1 ns, `b63` ≈ 292 years),
-/// so a sweep's counter names form a stable, mergeable histogram.
-fn clock_advance_bucket(t: Time) -> String {
-    let ns = t.as_ps() / Time::PS_PER_NS;
-    let exp = if ns == 0 { 0 } else { 64 - ns.leading_zeros() };
-    format!("mfact.replay.clock_advance_log2ns.b{exp:02}")
 }
 
 /// Deliver a send's availability vector: hand it to the oldest waiting
@@ -677,29 +673,29 @@ mod tests {
         let snap = ms.snapshot();
         assert_eq!(snap.counters["mfact.replay.events"], t.num_events() as u64);
         assert_eq!(snap.counters["mfact.replay.configs"], cfgs.len() as u64);
-        // One histogram entry per rank of the baseline config.
-        let hist: u64 = snap
-            .counters
-            .iter()
-            .filter(|(k, _)| k.starts_with("mfact.replay.clock_advance_log2ns."))
-            .map(|(_, v)| v)
-            .sum();
-        assert_eq!(hist, t.num_ranks() as u64);
+        // One histogram observation per rank of the baseline config.
+        let h = &snap.hists["mfact.replay.clock_advance_ns"];
+        assert_eq!(h.count(), t.num_ranks() as u64);
+        // Both ranks finish at 13.5us (see hockney_happened_before).
+        assert_eq!(h.min, 13_500);
+        assert_eq!(h.max, 13_500);
         assert_eq!(snap.spans["mfact.replay.replay"].count, 1);
     }
 
     #[test]
-    fn clock_advance_buckets_are_log2() {
-        assert_eq!(clock_advance_bucket(Time::ZERO), "mfact.replay.clock_advance_log2ns.b00");
-        assert_eq!(clock_advance_bucket(Time::from_ns(1)), "mfact.replay.clock_advance_log2ns.b01");
-        assert_eq!(
-            clock_advance_bucket(Time::from_ns(1024)),
-            "mfact.replay.clock_advance_log2ns.b11"
-        );
-        assert_eq!(
-            clock_advance_bucket(Time::from_ns(1025)),
-            "mfact.replay.clock_advance_log2ns.b11"
-        );
+    fn clock_advance_histogram_buckets_are_log2() {
+        use masim_obs::hist::bucket_of;
+        let ms = MetricSet::new();
+        let h = ms.hist("mfact.replay.clock_advance_ns");
+        for ns in [0u64, 1, 1024, 1025] {
+            h.record(ns);
+        }
+        let d = ms.snapshot().hists["mfact.replay.clock_advance_ns"].clone();
+        assert_eq!(d.buckets[bucket_of(0)], 1);
+        assert_eq!(d.buckets[bucket_of(1)], 1);
+        // 1024 and 1025 share bucket 11 (values in [2^10, 2^11)).
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(d.buckets[11], 2);
     }
 
     #[test]

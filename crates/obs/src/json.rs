@@ -147,9 +147,15 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Deepest container nesting [`parse`] accepts. Recursion is bounded by
+/// the input, so a hostile document (`"[[[[…"`) must fail with a typed
+/// [`ParseError`] well before the thread stack does.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse a complete JSON document (trailing whitespace allowed).
+/// Containers nested deeper than [`MAX_DEPTH`] are rejected.
 pub fn parse(text: &str) -> Result<Value, ParseError> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -162,6 +168,7 @@ pub fn parse(text: &str) -> Result<Value, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -210,12 +217,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Value, ParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(fields));
         }
         loop {
@@ -231,6 +248,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(fields));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -240,10 +258,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Value, ParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(items));
         }
         loop {
@@ -254,6 +274,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -391,5 +412,56 @@ mod tests {
         };
         assert_eq!(arr[0].as_u64(), Some(1));
         assert_eq!(arr[1].as_f64(), Some(2.5));
+    }
+
+    /// Satellite: nesting beyond [`MAX_DEPTH`] is a typed error, not a
+    /// stack overflow — even for pathological megabyte-deep inputs.
+    #[test]
+    fn depth_limit_is_typed_error() {
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok(), "exactly MAX_DEPTH must parse");
+
+        let over = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let err = parse(&over).unwrap_err();
+        assert!(err.message.contains("nesting"), "got: {err}");
+
+        // A megabyte of unclosed brackets must fail fast, not recurse.
+        for deep in ["[".repeat(1 << 20), "{\"k\":".repeat(1 << 17)] {
+            let err = parse(&deep).unwrap_err();
+            assert!(err.message.contains("nesting"), "got: {err}");
+        }
+    }
+
+    /// Satellite: seeded malformed-input fuzz — 200 deterministic
+    /// mutations of structural soup must never panic or overflow; they
+    /// may parse or fail, but always return.
+    #[test]
+    fn fuzz_malformed_inputs_return_typed_results() {
+        const ALPHABET: &[u8] = b"{}[]\",:0123456789.eE+-truefalsn \\u\n\r\t";
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut parsed = 0u32;
+        for i in 0..200 {
+            let len = 1 + (next() % 160) as usize;
+            let input: String = (0..len)
+                .map(|_| ALPHABET[(next() % ALPHABET.len() as u64) as usize] as char)
+                .collect();
+            match parse(&input) {
+                Ok(_) => parsed += 1,
+                Err(e) => {
+                    assert!(e.offset <= input.len(), "iteration {i}: offset out of range");
+                    assert!(!e.message.is_empty(), "iteration {i}: empty error message");
+                }
+            }
+        }
+        // The stream is deterministic, so this pins that the loop really
+        // exercises both outcomes.
+        assert!(parsed < 200, "all inputs parsed — alphabet no longer malformed?");
     }
 }

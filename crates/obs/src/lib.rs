@@ -5,8 +5,13 @@
 //!
 //! * always-on [`Counter`]/[`Gauge`] handles behind a [`MetricSet`]
 //!   registry (plain `AtomicU64`s — an increment is one relaxed RMW);
+//! * lock-free log2-bucketed [`Histogram`]s (p50/p90/p99/max) in the
+//!   same registry;
 //! * wall-clock [`span::SpanGuard`] timers recording
 //!   count/sum/min/max per deterministic span name;
+//! * a bounded ring-buffer [`TraceLog`] of timeline records behind
+//!   `trace_span!`/`trace_instant!`, exported to Chrome Trace Event
+//!   Format (Perfetto) and folded stacks (flamegraphs);
 //! * a [`RunMetrics`] sink serialized to JSON and CSV sidecars under
 //!   `reports/metrics/` (hand-rolled writer and parser, no serde);
 //! * a rate-limited [`Progress`] reporter for long corpus runs.
@@ -22,16 +27,20 @@
 //! nothing. The gating lives in *this* crate's method bodies — not in the
 //! macro expansion — so callers never need the feature themselves.
 
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod progress;
 pub mod run;
 pub mod span;
+pub mod tracelog;
 
+pub use hist::{HistData, Histogram};
 pub use metrics::{Counter, Gauge, MetricSet, Snapshot};
 pub use progress::Progress;
 pub use run::RunMetrics;
 pub use span::{SpanGuard, SpanStats};
+pub use tracelog::{TraceEvent, TraceKind, TraceLog, TraceSpan};
 
 /// Bump a named counter on a [`MetricSet`].
 ///
@@ -56,5 +65,33 @@ macro_rules! count {
 macro_rules! span {
     ($ms:expr, $name:expr) => {
         $ms.span($name)
+    };
+}
+
+/// Open a timeline span on the process-global [`TraceLog`] (see
+/// [`tracelog::install`]). Evaluates to an `Option` guard — bind it
+/// (`let _t = obs::trace_span!("phase");`) so it closes at scope exit.
+/// Costs one `OnceLock` load when no log is installed; compiles to
+/// `None` with the `enabled` feature off.
+#[macro_export]
+macro_rules! trace_span {
+    ($name:expr) => {
+        $crate::tracelog::current().map(|tl| tl.span($name))
+    };
+}
+
+/// Record a point-in-time marker — or, with a value, a counter sample —
+/// on the process-global [`TraceLog`]. No-op when no log is installed.
+#[macro_export]
+macro_rules! trace_instant {
+    ($name:expr) => {
+        if let Some(tl) = $crate::tracelog::current() {
+            tl.instant($name);
+        }
+    };
+    ($name:expr, $v:expr) => {
+        if let Some(tl) = $crate::tracelog::current() {
+            tl.counter($name, $v as u64);
+        }
     };
 }

@@ -1,14 +1,15 @@
-//! Counter/gauge registry.
+//! Counter/gauge/histogram registry.
 //!
 //! A [`MetricSet`] is a cheaply clonable handle (`Arc` inside) to a named
-//! registry of atomics. Hot paths pre-register a [`Counter`] or [`Gauge`]
-//! once and then touch only the atomic; cold paths can use
-//! [`MetricSet::add`] / [`MetricSet::gauge_max`] by name.
+//! registry of atomics. Hot paths pre-register a [`Counter`], [`Gauge`],
+//! or [`Histogram`] once and then touch only the atomics; cold paths can
+//! use [`MetricSet::add`] / [`MetricSet::gauge_max`] by name.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::hist::{HistCells, HistData, Histogram};
 use crate::span::{SpanGuard, SpanStats};
 
 /// Monotonic counter handle. Clone freely; all clones share the cell.
@@ -59,6 +60,7 @@ struct Inner {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     spans: Mutex<BTreeMap<String, SpanStats>>,
+    hists: Mutex<BTreeMap<String, Arc<HistCells>>>,
 }
 
 /// Shared registry of counters, gauges, and span statistics.
@@ -73,6 +75,7 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, u64>,
     pub spans: BTreeMap<String, SpanStats>,
+    pub hists: BTreeMap<String, HistData>,
 }
 
 impl MetricSet {
@@ -92,6 +95,37 @@ impl MetricSet {
         let mut map = self.inner.gauges.lock().expect("obs gauges poisoned");
         let cell = map.entry(name.to_string()).or_default().clone();
         Gauge(cell)
+    }
+
+    /// Fetch (registering on first use) the log2-bucketed histogram
+    /// `name`. With instrumentation compiled out, returns a detached
+    /// handle — records land nowhere.
+    pub fn hist(&self, name: &str) -> Histogram {
+        #[cfg(feature = "enabled")]
+        {
+            let mut map = self.inner.hists.lock().expect("obs hists poisoned");
+            let cell = map.entry(name.to_string()).or_default().clone();
+            Histogram(cell)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = name;
+            Histogram::detached()
+        }
+    }
+
+    /// Record one observation into histogram `name`; registry lookup per
+    /// call, so prefer a pre-registered [`Histogram`] in tight loops.
+    #[inline]
+    pub fn hist_record(&self, name: &str, v: u64) {
+        #[cfg(feature = "enabled")]
+        {
+            self.hist(name).record(v);
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (name, v);
+        }
     }
 
     /// Add `n` to counter `name`; registry lookup per call, so prefer a
@@ -183,11 +217,20 @@ impl MetricSet {
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
             .collect();
         let spans = self.inner.spans.lock().expect("obs spans poisoned").clone();
-        Snapshot { counters, gauges, spans }
+        let hists = self
+            .inner
+            .hists
+            .lock()
+            .expect("obs hists poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Histogram(v.clone()).data()))
+            .collect();
+        Snapshot { counters, gauges, spans, hists }
     }
 
-    /// Fold every metric of `other` into `self` (counters/gauges summed /
-    /// maxed, span stats merged). Used to aggregate per-worker sets.
+    /// Fold every metric of `other` into `self` (counters summed, gauges
+    /// maxed, span stats merged, histogram buckets summed). Used to
+    /// aggregate per-worker sets.
     pub fn absorb(&self, other: &Snapshot) {
         for (k, v) in &other.counters {
             self.add(k, *v);
@@ -200,6 +243,24 @@ impl MetricSet {
             let mut map = self.inner.spans.lock().expect("obs spans poisoned");
             for (k, s) in &other.spans {
                 map.entry(k.clone()).or_default().merge(s);
+            }
+        }
+        for (k, h) in &other.hists {
+            let handle = self.hist(k);
+            #[cfg(feature = "enabled")]
+            {
+                // Bucket-sum through the atomic cells so concurrent
+                // absorbs compose.
+                for (b, n) in h.buckets.iter().enumerate() {
+                    if *n > 0 {
+                        handle.add_bucket(b, *n);
+                    }
+                }
+                handle.fold_exact(h.sum, h.min, h.max);
+            }
+            #[cfg(not(feature = "enabled"))]
+            {
+                let _ = (k, h, handle);
             }
         }
     }
@@ -235,19 +296,42 @@ mod tests {
         assert_eq!(ms.snapshot().gauges["q.depth"], 9);
     }
 
+    /// Satellite: absorb's merge semantics pinned — counters add, gauges
+    /// max, spans merge, histogram buckets sum.
     #[cfg(feature = "enabled")] // asserts recorded state
     #[test]
     fn absorb_sums_counters() {
         let a = MetricSet::new();
         let b = MetricSet::new();
         a.add("n", 2);
+        a.gauge_max("g", 9);
+        a.hist_record("h", 3);
         b.add("n", 3);
         b.gauge_max("g", 7);
         b.record_span("s", 100);
+        b.hist_record("h", 3);
+        b.hist_record("h", 1000);
         a.absorb(&b.snapshot());
         let snap = a.snapshot();
-        assert_eq!(snap.counters["n"], 5);
-        assert_eq!(snap.gauges["g"], 7);
+        assert_eq!(snap.counters["n"], 5, "counters add");
+        assert_eq!(snap.gauges["g"], 9, "gauges keep the max");
         assert_eq!(snap.spans["s"].count, 1);
+        let h = &snap.hists["h"];
+        assert_eq!(h.count(), 3, "histogram buckets sum");
+        assert_eq!(h.buckets[crate::hist::bucket_of(3)], 2);
+        assert_eq!(h.sum, 1006);
+        assert_eq!(h.min, 3);
+        assert_eq!(h.max, 1000);
+    }
+
+    #[cfg(feature = "enabled")] // asserts recorded state
+    #[test]
+    fn hist_shared_across_handles() {
+        let ms = MetricSet::new();
+        let a = ms.hist("d");
+        let b = ms.hist("d");
+        a.record(4);
+        b.record(9);
+        assert_eq!(ms.snapshot().hists["d"].count(), 2);
     }
 }

@@ -6,7 +6,7 @@
 //! concurrently.
 
 use std::io::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -19,6 +19,12 @@ pub struct Progress {
     last_print: Mutex<Option<Instant>>,
     enabled: bool,
     workers: usize,
+    // True once the 100% line went out — `tick` reaching `total` and a
+    // later `finish()` must not both print it.
+    final_reported: AtomicBool,
+    // Lines emitted (counted even when printing is disabled, so tests
+    // can assert the dedup without capturing stderr).
+    lines: AtomicU64,
 }
 
 impl Progress {
@@ -33,6 +39,8 @@ impl Progress {
             last_print: Mutex::new(None),
             enabled: true,
             workers: 1,
+            final_reported: AtomicBool::new(false),
+            lines: AtomicU64::new(0),
         }
     }
 
@@ -61,13 +69,17 @@ impl Progress {
         self.done.load(Ordering::Relaxed)
     }
 
+    /// Lines reported so far (counted even in silent mode).
+    pub fn lines(&self) -> u64 {
+        self.lines.load(Ordering::Relaxed)
+    }
+
     /// Record `n` completed units; prints a line if the rate limiter
-    /// allows.
+    /// allows. The tick that reaches `total` always prints — and marks
+    /// the final line as reported, so a following [`Progress::finish`]
+    /// does not repeat it.
     pub fn tick(&self, n: u64) {
         let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
-        if !self.enabled {
-            return;
-        }
         let now = Instant::now();
         {
             let mut last = self.last_print.lock().expect("progress lock poisoned");
@@ -76,17 +88,26 @@ impl Progress {
                 _ => *last = Some(now),
             }
         }
+        if done >= self.total && self.final_reported.swap(true, Ordering::Relaxed) {
+            return;
+        }
         self.print_line(done);
     }
 
-    /// Print the final line unconditionally.
+    /// Print the final line — unless the last [`Progress::tick`] (or an
+    /// earlier `finish`) already reported 100%. Idempotent.
     pub fn finish(&self) {
-        if self.enabled {
-            self.print_line(self.done());
+        if self.final_reported.swap(true, Ordering::Relaxed) {
+            return;
         }
+        self.print_line(self.done());
     }
 
     fn print_line(&self, done: u64) {
+        self.lines.fetch_add(1, Ordering::Relaxed);
+        if !self.enabled {
+            return;
+        }
         let elapsed = self.started.elapsed().as_secs_f64();
         let rate = if elapsed > 0.0 { done as f64 / elapsed } else { 0.0 };
         let pct = if self.total > 0 { 100.0 * done as f64 / self.total as f64 } else { 0.0 };
@@ -117,6 +138,31 @@ mod tests {
         }
         assert_eq!(p.done(), 10);
         p.finish();
+    }
+
+    /// Satellite: the tick that reaches `total` reports the 100% line;
+    /// `finish()` must not repeat it (and repeated `finish()` is a
+    /// no-op).
+    #[test]
+    fn finish_is_idempotent_with_final_tick() {
+        let p = Progress::silent("test", 3);
+        p.tick(3); // reaches total → reports the final line
+        let after_tick = p.lines();
+        assert_eq!(after_tick, 1);
+        p.finish();
+        p.finish();
+        assert_eq!(p.lines(), after_tick, "finish() repeated the 100% line");
+    }
+
+    #[test]
+    fn finish_reports_when_no_final_tick_printed() {
+        let p = Progress::silent("test", 5);
+        p.tick(1); // first tick reports (rate limiter starts empty)
+        assert_eq!(p.lines(), 1);
+        p.finish();
+        assert_eq!(p.lines(), 2, "finish() must report when 100% was never shown");
+        p.finish();
+        assert_eq!(p.lines(), 2);
     }
 
     #[test]

@@ -9,15 +9,25 @@
 //! {"labels":{"tool":"mfact"},
 //!  "counters":{"des.engine.processed":12345},
 //!  "gauges":{"des.engine.pending_hwm":17},
+//!  "hists":{"sim.msg.bytes":
+//!           {"count":4,"sum":96,"min":8,"max":64,
+//!            "p50":16,"p90":64,"p99":64,"buckets":{"b03":1,"b04":2,"b06":1}}},
 //!  "spans":{"core.study.run_one/mfact":
 //!           {"count":1,"sum_ns":52000,"min_ns":52000,"max_ns":52000}}}
 //! ```
+//!
+//! Histogram `sum`/`min`/`max` fields deliberately avoid the `_ns`
+//! suffix: `scripts/normalize_timing.py` zeroes `_ns` fields before
+//! determinism diffs, and every histogram a sidecar carries is
+//! simulation-deterministic (message bytes, simulated-time deltas) —
+//! host wall-clock distributions live only in `BENCH_obs.json`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
+use crate::hist::HistData;
 use crate::json::{self, ParseError, Value};
 use crate::metrics::{MetricSet, Snapshot};
 use crate::span::SpanStats;
@@ -61,6 +71,10 @@ impl RunMetrics {
 
     /// CSV with one row per metric:
     /// `kind,name,value,count,sum_ns,min_ns,max_ns`.
+    ///
+    /// Histograms take two row shapes: a `hist` summary row (count, sum,
+    /// min, max in the span columns) plus one `histb` row per non-empty
+    /// bucket (`value` = bucket index, `count` = bucket population).
     pub fn to_csv(&self) -> String {
         let snap = self.set.snapshot();
         let mut out = String::from("kind,name,value,count,sum_ns,min_ns,max_ns\n");
@@ -72,6 +86,13 @@ impl RunMetrics {
         }
         for (k, v) in &snap.gauges {
             let _ = writeln!(out, "gauge,{},{},,,,", csv_field(k), v);
+        }
+        for (k, h) in &snap.hists {
+            let _ =
+                writeln!(out, "hist,{},,{},{},{},{}", csv_field(k), h.count(), h.sum, h.min, h.max);
+            for (b, n) in h.buckets.iter().enumerate().filter(|(_, n)| **n > 0) {
+                let _ = writeln!(out, "histb,{},{},{},,,", csv_field(k), b, n);
+            }
         }
         for (k, s) in &snap.spans {
             let _ = writeln!(
@@ -96,8 +117,11 @@ impl RunMetrics {
     }
 }
 
+// A field is quoted when it contains a separator, a quote, or either
+// newline byte — '\r' matters because the reader tolerates (and strips)
+// bare CRs between fields, so an unquoted CR would not round-trip.
 fn csv_field(s: &str) -> String {
-    if s.contains([',', '"', '\n']) {
+    if s.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
@@ -112,6 +136,7 @@ pub fn snapshot_to_json(labels: &BTreeMap<String, String>, snap: &Snapshot) -> S
         Value::Obj(snap.counters.iter().map(|(k, v)| (k.clone(), Value::UInt(*v))).collect());
     let gauges =
         Value::Obj(snap.gauges.iter().map(|(k, v)| (k.clone(), Value::UInt(*v))).collect());
+    let hists = Value::Obj(snap.hists.iter().map(|(k, h)| (k.clone(), hist_to_value(h))).collect());
     let spans = Value::Obj(
         snap.spans
             .iter()
@@ -132,9 +157,32 @@ pub fn snapshot_to_json(labels: &BTreeMap<String, String>, snap: &Snapshot) -> S
         ("labels".into(), labels),
         ("counters".into(), counters),
         ("gauges".into(), gauges),
+        ("hists".into(), hists),
         ("spans".into(), spans),
     ])
     .to_json()
+}
+
+/// Histogram as JSON: exact cells, derived percentiles (for readers that
+/// don't want to fold buckets), and the non-empty buckets keyed `bNN`.
+fn hist_to_value(h: &HistData) -> Value {
+    let buckets = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| **n > 0)
+        .map(|(b, n)| (format!("b{b:02}"), Value::UInt(*n)))
+        .collect();
+    Value::Obj(vec![
+        ("count".into(), Value::UInt(h.count())),
+        ("sum".into(), Value::UInt(h.sum)),
+        ("min".into(), Value::UInt(h.min)),
+        ("max".into(), Value::UInt(h.max)),
+        ("p50".into(), Value::UInt(h.p50())),
+        ("p90".into(), Value::UInt(h.p90())),
+        ("p99".into(), Value::UInt(h.p99())),
+        ("buckets".into(), Value::Obj(buckets)),
+    ])
 }
 
 /// Labels + snapshot parsed back out of a sidecar.
@@ -167,6 +215,32 @@ pub fn parse_json(text: &str) -> Result<RunMetricsData, ParseError> {
             }
         }
     }
+    if let Some(fields) = doc.get("hists").and_then(Value::as_obj) {
+        for (k, v) in fields {
+            let field = |name: &str| {
+                v.get(name)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| bad(&format!("hist missing {name}")))
+            };
+            let mut h = HistData {
+                sum: field("sum")?,
+                min: field("min")?,
+                max: field("max")?,
+                ..HistData::default()
+            };
+            if let Some(buckets) = v.get("buckets").and_then(Value::as_obj) {
+                for (bk, bn) in buckets {
+                    let idx: usize = bk
+                        .strip_prefix('b')
+                        .and_then(|s| s.parse().ok())
+                        .filter(|i| *i < crate::hist::NUM_BUCKETS)
+                        .ok_or_else(|| bad("bad hist bucket key"))?;
+                    h.buckets[idx] = bn.as_u64().ok_or_else(|| bad("hist bucket not a u64"))?;
+                }
+            }
+            data.snapshot.hists.insert(k.clone(), h);
+        }
+    }
     if let Some(fields) = doc.get("spans").and_then(Value::as_obj) {
         for (k, v) in fields {
             let field = |name: &str| {
@@ -186,6 +260,104 @@ pub fn parse_json(text: &str) -> Result<RunMetricsData, ParseError> {
         }
     }
     Ok(data)
+}
+
+/// Parse a sidecar produced by [`RunMetrics::to_csv`] back into labels
+/// and a snapshot (quoted fields, embedded separators/newlines, and the
+/// two-row histogram shape all round-trip).
+pub fn parse_csv(text: &str) -> Result<RunMetricsData, ParseError> {
+    let bad = |message: String| ParseError { offset: 0, message };
+    let mut data = RunMetricsData::default();
+    let uint =
+        |s: &str, what: &str| s.parse::<u64>().map_err(|_| bad(format!("{what} not a u64: {s:?}")));
+    for (i, row) in csv_rows(text).into_iter().enumerate() {
+        if i == 0 {
+            continue; // header
+        }
+        if row.len() != 7 {
+            return Err(bad(format!("row {i} has {} fields, expected 7", row.len())));
+        }
+        let (kind, name, value) = (row[0].as_str(), row[1].clone(), row[2].as_str());
+        match kind {
+            "label" => {
+                data.labels.insert(name, value.to_string());
+            }
+            "counter" => {
+                data.snapshot.counters.insert(name, uint(value, "counter value")?);
+            }
+            "gauge" => {
+                data.snapshot.gauges.insert(name, uint(value, "gauge value")?);
+            }
+            "span" => {
+                data.snapshot.spans.insert(
+                    name,
+                    SpanStats {
+                        count: uint(&row[3], "span count")?,
+                        sum_ns: uint(&row[4], "span sum")?,
+                        min_ns: uint(&row[5], "span min")?,
+                        max_ns: uint(&row[6], "span max")?,
+                    },
+                );
+            }
+            "hist" => {
+                let h = data.snapshot.hists.entry(name).or_default();
+                h.sum = uint(&row[4], "hist sum")?;
+                h.min = uint(&row[5], "hist min")?;
+                h.max = uint(&row[6], "hist max")?;
+            }
+            "histb" => {
+                let idx = uint(value, "hist bucket index")? as usize;
+                if idx >= crate::hist::NUM_BUCKETS {
+                    return Err(bad(format!("hist bucket index {idx} out of range")));
+                }
+                data.snapshot.hists.entry(name).or_default().buckets[idx] =
+                    uint(&row[3], "hist bucket count")?;
+            }
+            other => return Err(bad(format!("unknown row kind {other:?}"))),
+        }
+    }
+    Ok(data)
+}
+
+/// Minimal CSV reader: comma-separated, `"`-quoted fields with doubled
+/// quotes, quoted fields may span lines. Bare CRs between fields are
+/// stripped (CRLF tolerance), which is why the writer quotes them.
+fn csv_rows(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    field.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => row.push(std::mem::take(&mut field)),
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\r' => {}
+                c => field.push(c),
+            }
+        }
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
 }
 
 #[cfg(test)]
@@ -225,5 +397,55 @@ mod tests {
     fn parse_rejects_malformed() {
         assert!(parse_json("{\"counters\":{\"x\":\"nope\"}}").is_err());
         assert!(parse_json("not json").is_err());
+    }
+
+    #[cfg(feature = "enabled")] // asserts recorded state
+    #[test]
+    fn hist_json_round_trip() {
+        let rm = RunMetrics::new().label("tool", "packet");
+        let h = rm.set().hist("sim.msg.bytes");
+        for v in [8u64, 16, 16, 64] {
+            h.record(v);
+        }
+        let data = parse_json(&rm.to_json()).unwrap();
+        assert_eq!(data.snapshot, rm.set().snapshot());
+        let h = &data.snapshot.hists["sim.msg.bytes"];
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max, 64);
+    }
+
+    /// Satellite: labels and metric names containing separators, quotes,
+    /// CRs, and newlines survive a CSV write → parse round trip.
+    #[cfg(feature = "enabled")] // asserts recorded state
+    #[test]
+    fn csv_round_trip_with_hostile_fields() {
+        let rm = RunMetrics::new()
+            .label("app", "name,with,commas")
+            .label("quote", "she said \"hi\"")
+            .label("multi", "line one\nline two")
+            .label("cr", "carriage\rreturn")
+            .label("plain", "ok");
+        rm.set().add("weird,counter", 7);
+        rm.set().record_span("span \"q\"", 42);
+        rm.set().hist_record("dist,name", 9);
+        rm.set().hist_record("dist,name", 300);
+
+        let data = parse_csv(&rm.to_csv()).unwrap();
+        assert_eq!(&data.labels, rm.labels());
+        let snap = rm.set().snapshot();
+        assert_eq!(data.snapshot.counters, snap.counters);
+        assert_eq!(data.snapshot.spans["span \"q\""], snap.spans["span \"q\""]);
+        let h = &data.snapshot.hists["dist,name"];
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum, 309);
+        assert_eq!(h.min, 9);
+        assert_eq!(h.max, 300);
+    }
+
+    #[test]
+    fn parse_csv_rejects_malformed() {
+        assert!(parse_csv("kind,name,value,count,sum_ns,min_ns,max_ns\nbogus,a,b,,,,").is_err());
+        assert!(parse_csv("kind,name,value,count,sum_ns,min_ns,max_ns\ncounter,x,NaN,,,,").is_err());
+        assert!(parse_csv("kind,name,value,count,sum_ns,min_ns,max_ns\nlabel,only,three").is_err());
     }
 }

@@ -738,28 +738,41 @@ fn sim_core(
     for r in 0..n {
         eng.schedule_at(Time::ZERO, SimEvent::Advance(Rank(r)));
     }
-    let max_work = limits.max_work;
     // Wall clock is only consulted when a deadline is armed, so the
     // budget-only path stays free of syscalls.
     let started = limits.deadline.map(|_| Instant::now());
     let mut check = 0u32;
-    while eng.step(&mut st) {
-        check += 1;
-        // Limit checks every 1024 events (work counters are monotone).
-        if check == 1024 {
-            check = 0;
-            let consumed = eng.processed().saturating_add(st.net.work_units());
-            if consumed > max_work {
-                if let Some(ms) = obs {
-                    ms.add("sim.budget.consumed", consumed);
+    if let (Some(ms), Some(tl)) = (obs, masim_obs::tracelog::current()) {
+        // Detail drain: identical control flow to the plain loop below,
+        // plus a simulated-time-per-event histogram and periodic queue
+        // telemetry into the installed trace log. Selected up front so
+        // the default path stays free of per-event instrumentation.
+        let dt_hist = ms.hist("sim.engine.dt_ps");
+        let _drain = tl.span("des.engine.drain");
+        let mut last_ps = 0u64;
+        while eng.step(&mut st) {
+            let now_ps = eng.now().as_ps();
+            dt_hist.record(now_ps.saturating_sub(last_ps));
+            last_ps = now_ps;
+            check += 1;
+            if check == 1024 {
+                check = 0;
+                tl.counter("des.queue.depth", eng.pending() as u64);
+                tl.counter("des.queue.migrations", eng.queue_overflow_migrations());
+                let consumed = eng.processed().saturating_add(st.net.work_units());
+                if let Err(err) = check_limits(consumed, &limits, started, obs) {
+                    return Err(observe_fail(obs, span, err));
                 }
-                let err = SimError::BudgetExhausted { consumed, budget: max_work };
-                return Err(observe_fail(obs, span, err));
             }
-            if let (Some(deadline), Some(started)) = (limits.deadline, started) {
-                let elapsed = started.elapsed();
-                if elapsed > deadline {
-                    let err = SimError::DeadlineExceeded { elapsed, deadline };
+        }
+    } else {
+        while eng.step(&mut st) {
+            check += 1;
+            // Limit checks every 1024 events (work counters are monotone).
+            if check == 1024 {
+                check = 0;
+                let consumed = eng.processed().saturating_add(st.net.work_units());
+                if let Err(err) = check_limits(consumed, &limits, started, obs) {
                     return Err(observe_fail(obs, span, err));
                 }
             }
@@ -810,6 +823,14 @@ fn sim_core(
         if st.lower_ns > 0 {
             ms.record_span("sim.runner.lower", st.lower_ns);
         }
+        // Message-size distribution, filled once from the slab after the
+        // run — O(messages) here, nothing on the injection path.
+        if !st.msgs.is_empty() {
+            let mh = ms.hist("sim.msg.bytes");
+            for i in 0..st.msgs.len() {
+                mh.record(st.msgs.get(i as u32).bytes);
+            }
+        }
         eng.export_metrics(ms);
         st.net.export_metrics(ms);
     }
@@ -823,6 +844,29 @@ fn sim_core(
         work_units: st.net.work_units(),
         max_link_bytes: st.net.link_bytes().iter().copied().max().unwrap_or(0),
     })
+}
+
+/// The 1024-event-cadence limit check shared by both drain loops:
+/// deterministic work budget first, then the optional wall deadline.
+fn check_limits(
+    consumed: u64,
+    limits: &SimLimits,
+    started: Option<Instant>,
+    obs: Option<&MetricSet>,
+) -> Result<(), SimError> {
+    if consumed > limits.max_work {
+        if let Some(ms) = obs {
+            ms.add("sim.budget.consumed", consumed);
+        }
+        return Err(SimError::BudgetExhausted { consumed, budget: limits.max_work });
+    }
+    if let (Some(deadline), Some(started)) = (limits.deadline, started) {
+        let elapsed = started.elapsed();
+        if elapsed > deadline {
+            return Err(SimError::DeadlineExceeded { elapsed, deadline });
+        }
+    }
+    Ok(())
 }
 
 /// Close out telemetry on a failing run: stop the wall span and bump the

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validate a `repro --trace` Chrome Trace Event JSON export.
+
+CI runs this on the tiny-corpus trace smoke. Checks, per the tracing
+contract (DESIGN.md, "Timeline tracing & distributions"):
+
+* the file parses and has a `traceEvents` array;
+* every "B" (span begin) on a tid is closed by a matching "E" — depth
+  never goes negative and ends at zero (the exporter synthesizes B/E
+  pairs from complete span records, so imbalance means a broken
+  exporter, not a truncated run);
+* timestamps are non-decreasing per tid (the exporter sorts a stable
+  global order);
+* at least `--min-tracks` distinct span-carrying tids exist (one per
+  study worker);
+* at least `--min-phases` of the known study phase names appear.
+
+Usage: validate_trace.py TRACE.json [--min-tracks N] [--min-phases N]
+Exits nonzero (with a message per violation) on failure.
+"""
+
+import json
+import sys
+
+STUDY_PHASES = [
+    "study.generate",
+    "study.tool/mfact",
+    "study.tool/packet",
+    "study.tool/flow",
+    "study.tool/packet-flow",
+]
+
+
+def validate(path: str, min_tracks: int, min_phases: int) -> list[str]:
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return [f"{path}: no traceEvents array (or it is empty)"]
+
+    depth = {}  # tid -> open span depth
+    last_ts = {}  # tid -> last seen timestamp
+    span_tids = set()
+    names = set()
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        tid = ev.get("tid")
+        if ph == "M":  # metadata (thread names) carries no timestamp
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"event {i}: missing/non-numeric ts ({ev!r})")
+            continue
+        if tid in last_ts and ts < last_ts[tid]:
+            errors.append(
+                f"event {i}: ts {ts} decreases on tid {tid} (last {last_ts[tid]})"
+            )
+        last_ts[tid] = ts
+        if ph == "B":
+            depth[tid] = depth.get(tid, 0) + 1
+            span_tids.add(tid)
+            names.add(ev.get("name"))
+        elif ph == "E":
+            depth[tid] = depth.get(tid, 0) - 1
+            if depth[tid] < 0:
+                errors.append(f"event {i}: E without matching B on tid {tid}")
+        else:
+            names.add(ev.get("name"))
+
+    for tid, d in sorted(depth.items()):
+        if d != 0:
+            errors.append(f"tid {tid}: {d} span(s) left open at end of trace")
+    if len(span_tids) < min_tracks:
+        errors.append(
+            f"only {len(span_tids)} span-carrying track(s), expected >= {min_tracks}"
+        )
+    phases = [p for p in STUDY_PHASES if p in names]
+    if len(phases) < min_phases:
+        errors.append(
+            f"only {len(phases)} study phase(s) {phases}, expected >= {min_phases} "
+            f"of {STUDY_PHASES}"
+        )
+    return errors
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 2
+    path = args[0]
+    min_tracks, min_phases = 1, 4
+    rest = args[1:]
+    while rest:
+        flag = rest.pop(0)
+        if flag == "--min-tracks":
+            min_tracks = int(rest.pop(0))
+        elif flag == "--min-phases":
+            min_phases = int(rest.pop(0))
+        else:
+            print(f"unknown argument {flag!r}", file=sys.stderr)
+            return 2
+    errors = validate(path, min_tracks, min_phases)
+    if errors:
+        for e in errors:
+            print(f"validate_trace: {e}", file=sys.stderr)
+        return 1
+    print(f"validate_trace: {path} ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
