@@ -5,6 +5,9 @@
 //! cargo run --release -p masim-bench --bin repro -- fig2 fig5
 //! cargo run --release -p masim-bench --bin repro -- all --metrics reports/metrics
 //! cargo run --release -p masim-bench --bin repro -- bench-summary
+//! cargo run --release -p masim-bench --bin repro -- serve --socket repro.sock &
+//! cargo run --release -p masim-bench --bin repro -- submit table2 --tiny --socket repro.sock --out out
+//! cargo run --release -p masim-bench --bin repro -- ctl shutdown --socket repro.sock
 //! ```
 //!
 //! Reports are printed and written under `reports/`. The full study
@@ -45,8 +48,8 @@
 
 use masim_core::report;
 use masim_core::{
-    Checkpoint, Dataset, Enhanced, ResumableRun, Study, StudyConfig, PARALLEL_BACKLOG_GAUGE,
-    PARALLEL_STEALS_COUNTER, PARALLEL_WORKERS_GAUGE, TOOL_WALL_SPAN,
+    Dataset, Enhanced, Session, SessionOutcome, SessionSpec, Study, StudyConfig, StudyKind,
+    PARALLEL_BACKLOG_GAUGE, PARALLEL_STEALS_COUNTER, PARALLEL_WORKERS_GAUGE, TOOL_WALL_SPAN,
 };
 use masim_obs::json::Value;
 use masim_obs::run::parse_json;
@@ -249,6 +252,15 @@ fn need<'a, T>(opt: &'a Option<T>, what: &str, report: &str) -> Result<&'a T, St
 }
 
 fn run() -> Result<(), String> {
+    // Daemon-mode subcommands are dispatched before the report parser,
+    // which treats unknown positionals as report names.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return serve_cmd(&argv[1..]),
+        Some("submit") => return submit_cmd(&argv[1..]),
+        Some("ctl") => return ctl_cmd(&argv[1..]),
+        _ => {}
+    }
     let opts = parse_args()?;
     let metrics_dir = opts.metrics.clone();
     if let Some(dir) = &metrics_dir {
@@ -299,18 +311,18 @@ fn run() -> Result<(), String> {
         );
         let t0 = Instant::now();
         let s = if let Some(ckdir) = &opts.checkpoint {
-            let cfg = StudyConfig::default();
-            let entries = masim_workloads::build_corpus(cfg.seed);
+            let spec = SessionSpec {
+                kind: StudyKind::Corpus { indices: None },
+                seed: StudyConfig::default().seed,
+            };
             let (s, n) = run_with_checkpoint(
-                cfg,
-                &entries,
+                spec,
                 ckdir,
                 opts.resume,
                 opts.fail_after,
                 opts.threads,
                 &study_ms,
                 metrics_dir.as_deref(),
-                |i| format!("trace{i:03}"),
             )?;
             sidecar_count += n;
             s
@@ -360,16 +372,15 @@ fn run() -> Result<(), String> {
                 let entries =
                     if opts.tiny { tiny_table2_entries(7) } else { report::table2_entries(7) };
                 if let Some(ckdir) = &opts.checkpoint {
+                    let spec = SessionSpec { kind: StudyKind::Table2 { tiny: opts.tiny }, seed: 7 };
                     let (s, n) = run_with_checkpoint(
-                        report::table2_config(7),
-                        &entries,
+                        spec,
                         ckdir,
                         opts.resume,
                         opts.fail_after,
                         opts.threads,
                         &study_ms,
                         metrics_dir.as_deref(),
-                        |i| format!("table2_{}", report::table2_stem(&entries[i])),
                     )?;
                     sidecar_count += n;
                     report::table2_text(&s.traces)
@@ -437,6 +448,180 @@ fn run() -> Result<(), String> {
     if let Some(dir) = &opts.trace {
         write_trace(dir)?;
     }
+    Ok(())
+}
+
+/// `repro serve`: run the study-as-a-service daemon until a `shutdown`
+/// request arrives. `--socket <path>` and/or `--tcp <addr>` choose the
+/// transports; `--cache-dir <dir>` mirrors the content-addressed result
+/// cache to disk so identical resubmissions replay without running a
+/// single simulator; `--trace <dir>` exports the daemon's timeline on
+/// exit, exactly like the one-shot CLI.
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let mut socket: Option<PathBuf> = None;
+    let mut tcp: Option<String> = None;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                socket = Some(PathBuf::from(it.next().ok_or("serve: --socket requires a path")?));
+            }
+            "--tcp" => tcp = Some(it.next().ok_or("serve: --tcp requires an address")?.clone()),
+            "--threads" => {
+                let n = it.next().ok_or("serve: --threads requires a count")?;
+                threads = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("serve: --threads '{n}' is not a positive count"))?;
+            }
+            "--cache-dir" => {
+                cache_dir =
+                    Some(PathBuf::from(it.next().ok_or("serve: --cache-dir requires a path")?));
+            }
+            "--trace" => {
+                trace = Some(PathBuf::from(it.next().ok_or("serve: --trace requires a path")?));
+            }
+            other => return Err(format!("serve: unknown argument '{other}'")),
+        }
+    }
+    let mut binds = Vec::new();
+    if let Some(p) = &socket {
+        binds.push(masim_serve::Bind::Unix(p.clone()));
+    }
+    if let Some(a) = &tcp {
+        binds.push(masim_serve::Bind::Tcp(a.clone()));
+    }
+    if binds.is_empty() {
+        return Err("serve: need --socket <path> and/or --tcp <addr>".into());
+    }
+    if let Some(dir) = &trace {
+        fs::create_dir_all(dir).map_err(|e| format!("create trace dir {}: {e}", dir.display()))?;
+        masim_obs::tracelog::install(masim_obs::tracelog::DEFAULT_LANE_CAPACITY);
+    }
+    let server = masim_serve::Server::new(masim_serve::ServerOptions { threads, cache_dir });
+    let descr: Vec<String> = binds
+        .iter()
+        .map(|b| match b {
+            masim_serve::Bind::Unix(p) => format!("unix:{}", p.display()),
+            masim_serve::Bind::Tcp(a) => format!("tcp:{a}"),
+        })
+        .collect();
+    eprintln!("serve: listening on {} ({threads} thread(s))", descr.join(", "));
+    server.serve(&binds).map_err(|e| format!("serve: {e}"))?;
+    eprintln!("serve: shut down");
+    if let Some(dir) = &trace {
+        write_trace(dir)?;
+    }
+    Ok(())
+}
+
+/// `repro submit`: drive one study through a running daemon and
+/// materialize the streamed response under `--out <dir>` in the same
+/// layout the one-shot CLI writes (report at the top, sidecars under
+/// `metrics/`), plus a `response.json` summary for scripts.
+fn submit_cmd(args: &[String]) -> Result<(), String> {
+    let mut target: Option<masim_serve::Target> = None;
+    let mut out = PathBuf::from("serve_out");
+    let mut study: Option<String> = None;
+    let mut tiny = false;
+    let mut seed = 7u64;
+    let mut indices: Option<Vec<usize>> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                target = Some(masim_serve::Target::Unix(PathBuf::from(
+                    it.next().ok_or("submit: --socket requires a path")?,
+                )));
+            }
+            "--tcp" => {
+                target = Some(masim_serve::Target::Tcp(
+                    it.next().ok_or("submit: --tcp requires an address")?.clone(),
+                ));
+            }
+            "--out" => out = PathBuf::from(it.next().ok_or("submit: --out requires a path")?),
+            "--tiny" => tiny = true,
+            "--quiet" => quiet = true,
+            "--seed" => {
+                let n = it.next().ok_or("submit: --seed requires a number")?;
+                seed = n.parse().map_err(|_| format!("submit: --seed '{n}' is not a number"))?;
+            }
+            "--indices" => {
+                let list = it.next().ok_or("submit: --indices requires a,b,c")?;
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|t| t.trim().parse::<usize>()).collect();
+                indices =
+                    Some(parsed.map_err(|_| format!("submit: --indices '{list}' is not a,b,c"))?);
+            }
+            name if !name.starts_with('-') && study.is_none() => study = Some(name.to_string()),
+            other => return Err(format!("submit: unknown argument '{other}'")),
+        }
+    }
+    let target = target.ok_or("submit: need --socket <path> or --tcp <addr>")?;
+    let kind = match study.as_deref() {
+        Some("table2") => StudyKind::Table2 { tiny },
+        Some("study") => StudyKind::Corpus { indices },
+        Some(other) => return Err(format!("submit: unknown study '{other}' (table2|study)")),
+        None => return Err("submit: need a study name (table2|study)".into()),
+    };
+    fs::create_dir_all(&out).map_err(|e| format!("create out dir {}: {e}", out.display()))?;
+    let summary = masim_serve::submit(&target, SessionSpec { kind, seed }, &out, quiet)
+        .map_err(|e| format!("submit: {e}"))?;
+    eprintln!(
+        "submit: session {} cache {} ran {}/{} in {:.3}s; wrote {}",
+        summary.session,
+        summary.cache,
+        summary.ran,
+        summary.total,
+        summary.wall_ns as f64 / 1e9,
+        out.join(&summary.report_name).display()
+    );
+    Ok(())
+}
+
+/// `repro ctl <status|shutdown|cancel <id>>`: one control request to a
+/// running daemon; the response frame is printed as JSON on stdout.
+fn ctl_cmd(args: &[String]) -> Result<(), String> {
+    let mut target: Option<masim_serve::Target> = None;
+    let mut verb: Option<String> = None;
+    let mut session: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                target = Some(masim_serve::Target::Unix(PathBuf::from(
+                    it.next().ok_or("ctl: --socket requires a path")?,
+                )));
+            }
+            "--tcp" => {
+                target = Some(masim_serve::Target::Tcp(
+                    it.next().ok_or("ctl: --tcp requires an address")?.clone(),
+                ));
+            }
+            name if !name.starts_with('-') && verb.is_none() => verb = Some(name.to_string()),
+            name if !name.starts_with('-') && session.is_none() => {
+                session = Some(name.to_string());
+            }
+            other => return Err(format!("ctl: unknown argument '{other}'")),
+        }
+    }
+    let target = target.ok_or("ctl: need --socket <path> or --tcp <addr>")?;
+    let resp = match verb.as_deref() {
+        Some("status") => masim_serve::client::status(&target),
+        Some("shutdown") => masim_serve::client::shutdown(&target),
+        Some("cancel") => {
+            let id = session.ok_or("ctl: cancel needs a session id")?;
+            masim_serve::client::cancel(&target, &id)
+        }
+        _ => return Err("ctl: need a verb (status|shutdown|cancel <id>)".into()),
+    }
+    .map_err(|e| format!("ctl: {e}"))?;
+    println!("{}", resp.to_json());
     Ok(())
 }
 
@@ -543,64 +728,55 @@ fn write_profile(dir: &Path, report: &SpanStats) -> Result<(), String> {
     Ok(())
 }
 
-/// Drive `entries` through the journaled, resumable study runner.
-/// Sidecars are written only for entries that ran *in this invocation*
-/// (recovered entries wrote theirs before the interruption, so a
-/// resumed `--metrics` directory ends up with exactly one sidecar set
-/// per entry). On a deliberate `--fail-after` interruption, prints
-/// resume guidance and exits with [`EXIT_INTERRUPTED`].
-#[allow(clippy::too_many_arguments)] // CLI plumbing: every knob is a distinct flag
+/// Drive a journaled, resumable session. Sidecars are written only for
+/// entries that ran *in this invocation* (recovered entries wrote
+/// theirs before the interruption, so a resumed `--metrics` directory
+/// ends up with exactly one sidecar set per entry). On a deliberate
+/// `--fail-after` interruption, prints resume guidance and exits with
+/// [`EXIT_INTERRUPTED`]. This is the same [`Session`] object the
+/// `repro serve` daemon runs; the CLI just points its trace callback at
+/// sidecar files instead of socket frames.
 fn run_with_checkpoint(
-    cfg: StudyConfig,
-    entries: &[masim_workloads::CorpusEntry],
+    spec: SessionSpec,
     ckdir: &Path,
     resume: bool,
     fail_after: Option<usize>,
     threads: usize,
     study_ms: &MetricSet,
     metrics_dir: Option<&Path>,
-    stem_of: impl Fn(usize) -> String,
 ) -> Result<(Study, usize), String> {
-    let mut ckpt = if resume {
-        Checkpoint::resume(ckdir, &cfg, entries)
-    } else {
-        Checkpoint::create(ckdir, &cfg, entries.len())
-    }
-    .map_err(|e| e.to_string())?;
-    let recovered = ckpt.completed().len();
+    let mut session = Session::with_checkpoint(spec, ckdir, resume).map_err(|e| e.to_string())?;
+    let recovered = session.done();
     if recovered > 0 {
-        eprintln!(
-            "checkpoint: recovered {recovered} completed trace(s) from {}",
-            ckpt.path().display()
-        );
+        let path = session
+            .checkpoint_path()
+            .map_or_else(|| ckdir.display().to_string(), |p| p.display().to_string());
+        eprintln!("checkpoint: recovered {recovered} completed trace(s) from {path}");
     }
-    let indices: Vec<usize> = (0..entries.len()).collect();
-    let outcome = if threads > 1 {
-        Study::run_resumable_parallel(
-            cfg, entries, &indices, &mut ckpt, fail_after, threads, study_ms,
-        )
-    } else {
-        Study::run_resumable(cfg, entries, &indices, &mut ckpt, fail_after)
-    }
-    .map_err(|e| e.to_string())?;
-    let write = |new_sidecars: &[(usize, Vec<RunMetrics>)]| -> Result<usize, String> {
-        let mut written = 0;
-        if let Some(dir) = metrics_dir {
-            for (i, runs) in new_sidecars {
-                written += write_sidecars(dir, &stem_of(*i), runs)?;
+    let label = format!("{}(resumable)", session.spec().label());
+    let mut written = 0usize;
+    let mut werr: Option<String> = None;
+    let outcome = session
+        .run(threads, fail_after, None, study_ms, &label, None, |_, stem, observed| {
+            if werr.is_some() {
+                return;
             }
-        }
-        Ok(written)
-    };
+            if let Some(dir) = metrics_dir {
+                match write_sidecars(dir, stem, &observed.sidecars) {
+                    Ok(n) => written += n,
+                    Err(e) => werr = Some(e),
+                }
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    if let Some(e) = werr {
+        return Err(e);
+    }
     match outcome {
-        ResumableRun::Complete { study, new_sidecars } => {
-            let written = write(&new_sidecars)?;
-            Ok((study, written))
-        }
-        ResumableRun::Interrupted { completed, total, new_sidecars } => {
-            write(&new_sidecars)?;
+        SessionOutcome::Complete => Ok((session.study(), written)),
+        SessionOutcome::Interrupted { done, total } => {
             eprintln!(
-                "checkpoint: deliberately interrupted after {completed}/{total} trace(s); \
+                "checkpoint: deliberately interrupted after {done}/{total} trace(s); \
                  rerun with --resume to finish"
             );
             std::process::exit(EXIT_INTERRUPTED);

@@ -290,6 +290,7 @@ impl Study {
             threads,
             study_ms,
             "study(resumable)",
+            None,
             |i, observed| -> Result<(), CheckpointError> {
                 ckpt.record(i, &observed.study)?;
                 new_sidecars.push((i, observed.sidecars));

@@ -8,17 +8,21 @@
 //!   timing ratios, completion accounting;
 //! * [`enhanced`] — the Section VI predictor: Table III candidates + CL,
 //!   step-wise logistic selection under Monte Carlo cross-validation;
-//! * [`report`] — one generator per table/figure in the paper.
+//! * [`report`] — one generator per table/figure in the paper;
+//! * [`session`] — studies as resumable, cancelable, fingerprinted
+//!   session objects (the library API behind `repro serve`).
 
 #![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod enhanced;
 pub mod report;
+pub mod session;
 pub mod study;
 
 pub use checkpoint::{Checkpoint, CheckpointError, ResumableRun, CHECKPOINT_FILE};
 pub use enhanced::{Dataset, Enhanced, ErrorRates, DIFF_THRESHOLD};
+pub use session::{Session, SessionError, SessionOutcome, SessionSpec, StudyKind};
 pub use study::{
     contained, fraction_within, run_one, run_one_observed, ObservedTrace, Study, StudyConfig,
     ToolFailure, ToolRun, TraceStudy, PARALLEL_BACKLOG_GAUGE, PARALLEL_STEALS_COUNTER,

@@ -281,6 +281,7 @@ pub fn table2_observed_threads(
         threads,
         study_ms,
         "table2",
+        None,
         |i, obs| {
             sidecars.push((table2_stem(&entries[i]), obs.sidecars));
             studies.push(obs.study);

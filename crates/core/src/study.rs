@@ -592,6 +592,7 @@ fn poisoned_observed(entry: &CorpusEntry, cause: ToolFailure) -> ObservedTrace {
 /// poisoned result for that entry and the rest of the corpus still runs.
 /// An `emit` error (e.g. a failed journal append) halts the cursor so
 /// workers wind down early, and is returned after they drain.
+#[allow(clippy::too_many_arguments)] // internal plumbing; callers go through Session::run
 pub(crate) fn run_entries_parallel<E>(
     cfg: &StudyConfig,
     entries: &[CorpusEntry],
@@ -599,13 +600,15 @@ pub(crate) fn run_entries_parallel<E>(
     threads: usize,
     study_ms: &MetricSet,
     progress_label: &str,
+    progress_prefix: Option<&str>,
     mut emit: impl FnMut(usize, ObservedTrace) -> Result<(), E>,
 ) -> Result<(), E> {
     let n = todo.len();
     let workers = threads.clamp(1, n.max(1));
     study_ms.gauge_max(PARALLEL_WORKERS_GAUGE, workers as u64);
     let wall = study_ms.span(PARALLEL_WALL_SPAN);
-    let progress = Progress::with_workers(progress_label, n as u64, workers);
+    let progress = Progress::with_workers(progress_label, n as u64, workers)
+        .with_prefix(progress_prefix.unwrap_or(""));
     let cursor = AtomicUsize::new(0);
     let steals = study_ms.counter(PARALLEL_STEALS_COUNTER);
     let mut emit_err: Option<E> = None;
@@ -761,12 +764,20 @@ impl Study {
         let kept: Vec<usize> = (0..entries.len()).filter(|&i| keep(i)).collect();
         let mut traces = Vec::with_capacity(kept.len());
         let mut sidecars = Vec::with_capacity(kept.len());
-        let res: Result<(), std::convert::Infallible> =
-            run_entries_parallel(&cfg, &entries, &kept, threads, study_ms, "study", |i, o| {
+        let res: Result<(), std::convert::Infallible> = run_entries_parallel(
+            &cfg,
+            &entries,
+            &kept,
+            threads,
+            study_ms,
+            "study",
+            None,
+            |i, o| {
                 traces.push(o.study);
                 sidecars.push((i, o.sidecars));
                 Ok(())
-            });
+            },
+        );
         let Ok(()) = res;
         (Study { traces, config: cfg }, sidecars)
     }
@@ -925,10 +936,11 @@ mod tests {
         let todo = [3usize, 40];
         let ms = MetricSet::new();
         let mut emitted = 0usize;
-        let res = run_entries_parallel(&cfg, &entries, &todo, 2, &ms, "emit-error", |_, _| {
-            emitted += 1;
-            Err("journal append failed")
-        });
+        let res =
+            run_entries_parallel(&cfg, &entries, &todo, 2, &ms, "emit-error", None, |_, _| {
+                emitted += 1;
+                Err("journal append failed")
+            });
         assert_eq!(res, Err("journal append failed"));
         assert_eq!(emitted, 1, "dispatch halts after the first emit failure");
     }

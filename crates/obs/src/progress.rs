@@ -4,6 +4,13 @@
 //! most once per interval, so a 235-trace sweep shows life without
 //! flooding the terminal. Thread-safe: workers call [`Progress::tick`]
 //! concurrently.
+//!
+//! The rate limiter is **per reporter instance**, not global: every
+//! concurrent study session constructs its own `Progress`, so one
+//! chatty session cannot starve another's lines. When several sessions
+//! interleave on the same stderr (the `repro serve` daemon), give each
+//! one a short id via [`Progress::with_prefix`] so its lines read
+//! `[ab12cd] label: ...` and stay attributable.
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -12,6 +19,9 @@ use std::time::{Duration, Instant};
 
 pub struct Progress {
     label: String,
+    /// Short session/run id printed as `[prefix] ` before the label;
+    /// empty = no prefix (single-session CLI runs).
+    prefix: String,
     total: u64,
     done: AtomicU64,
     started: Instant,
@@ -32,6 +42,7 @@ impl Progress {
     pub fn new(label: &str, total: u64) -> Self {
         Progress {
             label: label.to_string(),
+            prefix: String::new(),
             total,
             done: AtomicU64::new(0),
             started: Instant::now(),
@@ -58,6 +69,21 @@ impl Progress {
         let mut p = Self::new(label, total);
         p.enabled = false;
         p
+    }
+
+    /// Tag every printed line with a short session id (`[id] label: ...`)
+    /// so concurrently running sessions stay distinguishable on a shared
+    /// stderr. Rate limiting is already per instance — i.e. per session —
+    /// so tagged reporters never contend for one global limiter.
+    #[must_use]
+    pub fn with_prefix(mut self, prefix: &str) -> Self {
+        self.prefix = prefix.to_string();
+        self
+    }
+
+    /// The session-id prefix, if one was set.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
     }
 
     /// Number of concurrent workers this reporter aggregates over.
@@ -117,10 +143,12 @@ impl Progress {
             String::new()
         };
         let tag = if self.workers > 1 { format!(" [{}w]", self.workers) } else { String::new() };
+        let pre =
+            if self.prefix.is_empty() { String::new() } else { format!("[{}] ", self.prefix) };
         let mut err = std::io::stderr().lock();
         let _ = writeln!(
             err,
-            "{}{}: {}/{} ({:.1}%) {:.1}/s{}",
+            "{pre}{}{}: {}/{} ({:.1}%) {:.1}/s{}",
             self.label, tag, done, self.total, pct, rate, eta
         );
     }
@@ -175,5 +203,23 @@ mod tests {
         assert_eq!(p.done(), 4);
         // Zero workers is clamped to one so the tag logic stays total.
         assert_eq!(Progress::with_workers("t", 1, 0).workers(), 1);
+    }
+
+    /// Satellite: session-id prefixes keep concurrent sessions apart,
+    /// and each prefixed reporter keeps its own (per-session) rate
+    /// limiter — ticking one never suppresses another's lines.
+    #[test]
+    fn prefixed_reporters_rate_limit_independently() {
+        let a = Progress::silent("study", 100).with_prefix("aa0001");
+        let b = Progress::silent("study", 100).with_prefix("bb0002");
+        assert_eq!(a.prefix(), "aa0001");
+        assert_eq!(b.prefix(), "bb0002");
+        a.tick(1); // first tick on a fresh limiter always reports
+        assert_eq!(a.lines(), 1);
+        a.tick(1); // within a's 500 ms window: suppressed
+        assert_eq!(a.lines(), 1);
+        // b's limiter is untouched by a's traffic.
+        b.tick(1);
+        assert_eq!(b.lines(), 1);
     }
 }

@@ -1,0 +1,214 @@
+//! Socket client for the `repro serve` daemon.
+//!
+//! [`submit`] drives one study over the wire and materializes the
+//! response frames as the same on-disk layout the one-shot CLI writes:
+//! `out/<report>`, `out/metrics/<name>.{json,csv}`, plus an
+//! `out/response.json` summary (session id, cache disposition, entries
+//! executed, server wall time) for scripted callers — the CI
+//! cache-effectiveness check reads exactly that file.
+
+use crate::protocol::{read_frame, write_frame, Request, ServeError};
+use masim_core::session::SessionSpec;
+use masim_obs::json::Value;
+use masim_obs::Progress;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Where the daemon lives, from the client's point of view.
+#[derive(Clone, Debug)]
+pub enum Target {
+    /// A unix-domain socket path.
+    Unix(PathBuf),
+    /// A TCP address, e.g. `127.0.0.1:7077`.
+    Tcp(String),
+}
+
+/// A connected stream to the daemon (unix or TCP, same protocol).
+pub enum Conn {
+    /// Unix-domain transport.
+    Unix(std::os::unix::net::UnixStream),
+    /// TCP transport.
+    Tcp(std::net::TcpStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Connect to the daemon.
+pub fn connect(target: &Target) -> std::io::Result<Conn> {
+    match target {
+        Target::Unix(path) => std::os::unix::net::UnixStream::connect(path).map(Conn::Unix),
+        Target::Tcp(addr) => std::net::TcpStream::connect(addr).map(Conn::Tcp),
+    }
+}
+
+/// What a completed [`submit`] reported.
+#[derive(Clone, Debug)]
+pub struct SubmitSummary {
+    /// Server-assigned session id.
+    pub session: String,
+    /// `"hit"` or `"miss"` — how the result cache answered.
+    pub cache: String,
+    /// Entries the server actually executed (0 on a cache hit).
+    pub ran: u64,
+    /// Server-side wall time for the whole request, nanoseconds.
+    pub wall_ns: u64,
+    /// Entries in the study.
+    pub total: u64,
+    /// Report file name the server used (`table2.txt` / `study.csv`).
+    pub report_name: String,
+}
+
+impl SubmitSummary {
+    /// The `response.json` body scripted callers consume.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("session".into(), Value::Str(self.session.clone())),
+            ("cache".into(), Value::Str(self.cache.clone())),
+            ("ran".into(), Value::UInt(self.ran)),
+            ("wall_ns".into(), Value::UInt(self.wall_ns)),
+            ("total".into(), Value::UInt(self.total)),
+            ("report_name".into(), Value::Str(self.report_name.clone())),
+        ])
+    }
+}
+
+fn remote(reason: String) -> ServeError {
+    ServeError::Remote { kind: "protocol".to_string(), message: reason }
+}
+
+fn str_field(v: &Value, field: &str) -> Result<String, ServeError> {
+    v.get(field)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| remote(format!("frame missing string '{field}'")))
+}
+
+fn u64_field(v: &Value, field: &str) -> Result<u64, ServeError> {
+    v.get(field)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| remote(format!("frame missing u64 '{field}'")))
+}
+
+/// Submit `spec` and write the streamed response under `out_dir`
+/// (report at the top, sidecars in `metrics/`, summary in
+/// `response.json`). `quiet` suppresses the client-side progress bar.
+pub fn submit(
+    target: &Target,
+    spec: SessionSpec,
+    out_dir: &Path,
+    quiet: bool,
+) -> Result<SubmitSummary, ServeError> {
+    let mut conn = connect(target)?;
+    write_frame(&mut conn, &Request::Submit(spec).to_value())?;
+
+    let metrics_dir = out_dir.join("metrics");
+    std::fs::create_dir_all(&metrics_dir)?;
+
+    let mut session = String::new();
+    let mut cache = String::new();
+    let mut total = 0u64;
+    let mut report_name = String::new();
+    let mut progress: Option<Progress> = None;
+    loop {
+        let v = read_frame(&mut conn)?;
+        match v.get("frame").and_then(Value::as_str) {
+            Some("accepted") => {
+                session = str_field(&v, "session")?;
+                cache = str_field(&v, "cache")?;
+                total = u64_field(&v, "total")?;
+                if !quiet {
+                    progress = Some(Progress::new("submit", total).with_prefix(&session));
+                }
+            }
+            Some("progress") => {
+                if let Some(p) = &progress {
+                    p.tick(1);
+                }
+            }
+            Some("sidecar") => {
+                let name = str_field(&v, "name")?;
+                std::fs::write(metrics_dir.join(format!("{name}.json")), str_field(&v, "json")?)?;
+                std::fs::write(metrics_dir.join(format!("{name}.csv")), str_field(&v, "csv")?)?;
+            }
+            Some("report") => {
+                report_name = str_field(&v, "name")?;
+                std::fs::write(out_dir.join(&report_name), str_field(&v, "text")?)?;
+            }
+            Some("done") => {
+                if let Some(p) = &progress {
+                    p.finish();
+                }
+                let summary = SubmitSummary {
+                    session,
+                    cache: str_field(&v, "cache")?,
+                    ran: u64_field(&v, "ran")?,
+                    wall_ns: u64_field(&v, "wall_ns")?,
+                    total,
+                    report_name,
+                };
+                std::fs::write(out_dir.join("response.json"), summary.to_value().to_json())?;
+                // Echoed cache state must agree with `accepted`.
+                debug_assert_eq!(summary.cache, cache);
+                return Ok(summary);
+            }
+            Some("canceled") => {
+                let done = u64_field(&v, "done")?;
+                return Err(remote(format!("session {session} canceled after {done}/{total}")));
+            }
+            Some("error") => {
+                return Err(ServeError::Remote {
+                    kind: str_field(&v, "kind")?,
+                    message: str_field(&v, "message")?,
+                });
+            }
+            other => {
+                return Err(remote(format!("unexpected frame {other:?}")));
+            }
+        }
+    }
+}
+
+/// One-request helper: send `req`, return the single response frame.
+fn roundtrip(target: &Target, req: &Request) -> Result<Value, ServeError> {
+    let mut conn = connect(target)?;
+    write_frame(&mut conn, &req.to_value())?;
+    read_frame(&mut conn)
+}
+
+/// Fetch the daemon's `status` frame (sessions, cache, counters).
+pub fn status(target: &Target) -> Result<Value, ServeError> {
+    roundtrip(target, &Request::Status)
+}
+
+/// Cancel a running session by id; returns the server's response frame.
+pub fn cancel(target: &Target, session: &str) -> Result<Value, ServeError> {
+    roundtrip(target, &Request::Cancel { session: session.to_string() })
+}
+
+/// Ask the daemon to exit; returns its acknowledgement frame.
+pub fn shutdown(target: &Target) -> Result<Value, ServeError> {
+    roundtrip(target, &Request::Shutdown)
+}
