@@ -56,6 +56,7 @@ fn mapping_sweep(h: &mut Harness) {
             model: ModelKind::PacketFlow { packet_bytes: 8192 },
             compute_scale: 1.0,
             eager_packets: false,
+            sim_threads: 1,
         };
         h.bench(&format!("ablation/mapping/{name}"), DEFAULT_SAMPLES, || {
             black_box(simulate(&trace, &cfg));

@@ -3,7 +3,7 @@
 //! behind Table IV.
 
 use masim_bench::harness::{Harness, DEFAULT_SAMPLES};
-use masim_des::{Engine, Handler, LogicalProcess, WindowedPdes};
+use masim_des::{Engine, Handler, LogicalProcess, Outbox, WindowedPdes};
 use masim_stats::{fit, monte_carlo_cv};
 use masim_trace::{io, Time};
 use masim_workloads::{generate, App, GenConfig};
@@ -60,11 +60,10 @@ struct RingLp {
 
 impl LogicalProcess for RingLp {
     type Event = u32;
-    fn handle(&mut self, _now: Time, v: u32) -> Vec<(Time, usize, u32)> {
-        if v >= self.hops {
-            return vec![];
+    fn handle(&mut self, _now: Time, v: u32, out: &mut Outbox<u32>) {
+        if v < self.hops {
+            out.send(Time::from_us(1), (self.index + 1) % self.n, v + 1);
         }
-        vec![(Time::from_us(1), (self.index + 1) % self.n, v + 1)]
     }
 }
 

@@ -42,9 +42,15 @@
 //! per-tool event counts must match exactly (the simulators are
 //! deterministic), while median wall-clock and events/s may regress by
 //! at most the tolerance (default 25%; the packet model's events/s is
-//! held to a tighter 15% floor that `--tolerance` cannot loosen).
+//! held to a tighter 15% floor, and the `packet-pdes` executor row to
+//! 5%, neither of which `--tolerance` can loosen).
 //! `--write-baseline` refreshes the committed baseline instead of
 //! comparing.
+//!
+//! `bench-pdes [--metrics <dir>] [--sim-threads <n|auto>]` runs the
+//! packet/CG(64) bench trace on both the sequential engine and the
+//! windowed PDES executor, checks the predictions are identical, and
+//! writes the `packet-pdes` sidecar the gate row folds from.
 
 use masim_core::report;
 use masim_core::{
@@ -89,6 +95,12 @@ const GATE_TOLERANCE_PCT: f64 = 25.0;
 /// the tiny corpus. Applied as `min` with `--tolerance`, so the
 /// override can loosen other tools without loosening this floor.
 const GATE_PACKET_TOLERANCE_PCT: f64 = 15.0;
+
+/// Budget for the `packet-pdes` row (the windowed-PDES executor timed
+/// at one worker on CI): the PDES machinery may cost at most 5% in
+/// events/s over its own baseline, so promoting the packet model onto
+/// the partitioned executor can never quietly tax the sequential case.
+const GATE_PDES_TOLERANCE_PCT: f64 = 5.0;
 
 /// Below this baseline median wall-clock, relative timing comparisons
 /// are timer noise (sub-100µs spans swing 2x run to run); such tools
@@ -147,6 +159,17 @@ struct Options {
     /// Perfetto) plus `<dir>/trace.folded` (flamegraph folded stacks)
     /// when the run completes.
     trace: Option<PathBuf>,
+    /// `--sim-threads <n|auto>`: intra-trace PDES workers per simulator
+    /// run. `1` (the default) is the sequential engine; `N > 1`
+    /// partitions the packet model onto N workers; `auto` (stored as 0)
+    /// picks the host parallelism for big traces and stays sequential
+    /// on tiny ones. Predictions and sidecars are bit-identical at any
+    /// value (CI diffs them); composes with the study-level `--threads`.
+    sim_threads: usize,
+    /// `bench-pdes` subcommand: time the packet/CG(64) bench entry on
+    /// the windowed-PDES executor and write a `packet-pdes` sidecar for
+    /// the bench gate.
+    bench_pdes: bool,
 }
 
 /// Exit code for a deliberate `--fail-after` interruption, so scripts
@@ -168,6 +191,8 @@ fn parse_args() -> Result<Options, String> {
         profile: false,
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         trace: None,
+        sim_threads: 1,
+        bench_pdes: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -200,10 +225,22 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|_| format!("--fail-after: '{n}' is not a count"))?,
                 );
             }
+            "--sim-threads" => {
+                let n = it.next().ok_or("--sim-threads requires a count or 'auto'")?;
+                opts.sim_threads = if n == "auto" {
+                    0
+                } else {
+                    n.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("--sim-threads: '{n}' is not a count or 'auto'"))?
+                };
+            }
             "--tiny" => opts.tiny = true,
             "--profile" => opts.profile = true,
             "bench-summary" => opts.summarize = true,
             "bench-gate" => opts.gate = true,
+            "bench-pdes" => opts.bench_pdes = true,
             "--write-baseline" => opts.write_baseline = true,
             "--tolerance" => {
                 let pct = it.next().ok_or("--tolerance requires a percentage argument")?;
@@ -226,7 +263,7 @@ fn parse_args() -> Result<Options, String> {
     if opts.profile && opts.metrics.is_none() {
         return Err("--profile requires --metrics <dir> (phases fold from the sidecars)".into());
     }
-    if opts.reports.is_empty() && !opts.summarize && !opts.gate {
+    if opts.reports.is_empty() && !opts.summarize && !opts.gate && !opts.bench_pdes {
         opts.reports = ALL.iter().map(|s| s.to_string()).collect();
     } else if opts.reports.iter().any(|a| a == "all") {
         opts.reports = ALL.iter().map(|s| s.to_string()).collect();
@@ -235,7 +272,7 @@ fn parse_args() -> Result<Options, String> {
         if !ALL.contains(&a.as_str()) && !EXTRA.contains(&a.as_str()) {
             return Err(format!(
                 "unknown report '{a}'; available: {ALL:?}, {EXTRA:?}, 'all', 'bench-summary', \
-                 or 'bench-gate'"
+                 'bench-gate', or 'bench-pdes'"
             ));
         }
     }
@@ -273,6 +310,9 @@ fn run() -> Result<(), String> {
         // trace_instant! call sites see the global log.
         masim_obs::tracelog::install(masim_obs::tracelog::DEFAULT_LANE_CAPACITY);
     }
+    if opts.bench_pdes {
+        return bench_pdes_cmd(metrics_dir.as_deref(), opts.sim_threads);
+    }
     if opts.summarize && opts.reports.is_empty() {
         let dir = metrics_dir.unwrap_or_else(|| PathBuf::from("reports/metrics"));
         return fold_sidecars(&dir);
@@ -303,6 +343,10 @@ fn run() -> Result<(), String> {
         );
     }
 
+    // Study config with the PDES knob applied; everything else stays at
+    // the defaults, so predictions match the committed baselines.
+    let study_cfg = StudyConfig { sim_threads: opts.sim_threads, ..StudyConfig::default() };
+
     let mut sidecar_count = 0usize;
     let study: Option<Study> = if needs_study {
         eprintln!(
@@ -321,6 +365,7 @@ fn run() -> Result<(), String> {
                 opts.resume,
                 opts.fail_after,
                 opts.threads,
+                opts.sim_threads,
                 &study_ms,
                 metrics_dir.as_deref(),
             )?;
@@ -329,22 +374,22 @@ fn run() -> Result<(), String> {
         } else if let Some(dir) = &metrics_dir {
             let (s, sidecars) = if opts.threads > 1 {
                 Study::run_filtered_observed_parallel(
-                    StudyConfig::default(),
+                    study_cfg.clone(),
                     |_| true,
                     opts.threads,
                     &study_ms,
                 )
             } else {
-                Study::run_filtered_observed(StudyConfig::default(), |_| true)
+                Study::run_filtered_observed(study_cfg.clone(), |_| true)
             };
             for (idx, runs) in &sidecars {
                 sidecar_count += write_sidecars(dir, &format!("trace{idx:03}"), runs)?;
             }
             s
         } else if opts.threads > 1 {
-            Study::run_parallel(StudyConfig::default(), opts.threads)
+            Study::run_parallel(study_cfg.clone(), opts.threads)
         } else {
-            Study::run(StudyConfig::default())
+            Study::run(study_cfg.clone())
         };
         eprintln!("study completed in {:?}", t0.elapsed());
         Some(s)
@@ -379,6 +424,7 @@ fn run() -> Result<(), String> {
                         opts.resume,
                         opts.fail_after,
                         opts.threads,
+                        opts.sim_threads,
                         &study_ms,
                         metrics_dir.as_deref(),
                     )?;
@@ -386,9 +432,15 @@ fn run() -> Result<(), String> {
                     report::table2_text(&s.traces)
                 } else {
                     let (text, sidecars) = if opts.threads > 1 {
-                        report::table2_observed_threads(&entries, 7, opts.threads, &study_ms)
+                        report::table2_observed_threads(
+                            &entries,
+                            7,
+                            opts.threads,
+                            opts.sim_threads,
+                            &study_ms,
+                        )
                     } else {
-                        report::table2_observed(&entries, 7)
+                        report::table2_observed(&entries, 7, opts.sim_threads)
                     };
                     if let Some(dir) = &metrics_dir {
                         for (stem, runs) in &sidecars {
@@ -451,6 +503,80 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+/// `bench-pdes`: time the packet/CG(64) bench entry on the windowed
+/// PDES executor and write a `packet-pdes` metric sidecar so the fold
+/// and `bench-gate` gain a PDES row. The sequential engine runs first
+/// as the correctness reference; the partitioned result must match it
+/// field for field (the determinism contract), and the measured
+/// speedup is printed. On CI's single-core runner this is invoked with
+/// `--sim-threads 1`, which runs the windowed executor inline on the
+/// calling thread — the honest overhead measurement the gate's 5%
+/// events/s budget binds; multi-core hosts pass `--sim-threads auto`
+/// to record the real speedup.
+fn bench_pdes_cmd(metrics_dir: Option<&Path>, sim_threads: usize) -> Result<(), String> {
+    use masim_sim::{
+        simulate_limited_observed, simulate_partitioned_observed, ModelKind, SimConfig, SimLimits,
+    };
+    // bench_entries()[1] is the CG(64) cielito entry: communication-
+    // heavy enough that the packet model dominates, the regime the
+    // intra-trace parallelism targets.
+    let entry = masim_bench::bench_entries().swap_remove(1);
+    let trace = masim_workloads::generate(&entry.cfg);
+    let machine = masim_topo::Machine::by_name(&entry.cfg.machine).map_err(|e| e.to_string())?;
+    let model = ModelKind::Packet { packet_bytes: masim_sim::DEFAULT_PACKET_BYTES };
+    let workers = masim_core::effective_sim_threads(sim_threads, trace.num_ranks()).max(1);
+
+    let seq_ms = MetricSet::new();
+    let seq_cfg = SimConfig::new(machine.clone(), model, &trace);
+    let t0 = Instant::now();
+    let seq = simulate_limited_observed(&trace, &seq_cfg, SimLimits::unlimited(), &seq_ms)
+        .map_err(|e| format!("bench-pdes: sequential reference failed: {e}"))?;
+    let seq_wall = t0.elapsed();
+
+    let ms = MetricSet::new();
+    let span = ms.span(TOOL_WALL_SPAN);
+    let mut cfg = SimConfig::new(machine, model, &trace);
+    cfg.sim_threads = workers;
+    let par = simulate_partitioned_observed(&trace, &cfg, SimLimits::unlimited(), &ms)
+        .map_err(|e| format!("bench-pdes: partitioned run failed: {e}"))?;
+    let par_wall = span.stop();
+
+    if (par.total, par.events, par.messages, par.work_units, &par.per_rank)
+        != (seq.total, seq.events, seq.messages, seq.work_units, &seq.per_rank)
+    {
+        return Err(format!(
+            "bench-pdes: partitioned result diverged from the sequential engine \
+             (events {} vs {}, total {} vs {})",
+            par.events, seq.events, par.total, seq.total
+        ));
+    }
+
+    let speedup = seq_wall.as_secs_f64() / par_wall.as_secs_f64().max(1e-12);
+    println!(
+        "bench-pdes: packet/{}({}) {} events, {} packets\n  sequential engine {:.3}s, \
+         windowed PDES ({} worker(s)) {:.3}s — {speedup:.2}x, predictions identical",
+        entry.cfg.app.name(),
+        entry.cfg.ranks,
+        par.events,
+        par.work_units,
+        seq_wall.as_secs_f64(),
+        workers,
+        par_wall.as_secs_f64(),
+    );
+    if let Some(dir) = metrics_dir {
+        let rm = RunMetrics::with_set(ms)
+            .label("tool", "packet-pdes")
+            .label("app", entry.cfg.app.name())
+            .label("machine", &entry.cfg.machine)
+            .label("ranks", &entry.cfg.ranks.to_string())
+            .label("seed", &entry.cfg.seed.to_string())
+            .label("sim_threads", &workers.to_string());
+        let n = write_sidecars(dir, "bench_cg64", &[rm])?;
+        eprintln!("wrote {n} packet-pdes sidecar(s) under {}", dir.display());
+    }
+    Ok(())
+}
+
 /// `repro serve`: run the study-as-a-service daemon until a `shutdown`
 /// request arrives. `--socket <path>` and/or `--tcp <addr>` choose the
 /// transports; `--cache-dir <dir>` mirrors the content-addressed result
@@ -461,6 +587,7 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     let mut socket: Option<PathBuf> = None;
     let mut tcp: Option<String> = None;
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut sim_threads = 1usize;
     let mut cache_dir: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
     let mut it = args.iter();
@@ -477,6 +604,16 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
                     .ok()
                     .filter(|&n| n > 0)
                     .ok_or_else(|| format!("serve: --threads '{n}' is not a positive count"))?;
+            }
+            "--sim-threads" => {
+                let n = it.next().ok_or("serve: --sim-threads requires a count or 'auto'")?;
+                sim_threads = if n == "auto" {
+                    0
+                } else {
+                    n.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("serve: --sim-threads '{n}' is not a count or 'auto'")
+                    })?
+                };
             }
             "--cache-dir" => {
                 cache_dir =
@@ -502,7 +639,8 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         fs::create_dir_all(dir).map_err(|e| format!("create trace dir {}: {e}", dir.display()))?;
         masim_obs::tracelog::install(masim_obs::tracelog::DEFAULT_LANE_CAPACITY);
     }
-    let server = masim_serve::Server::new(masim_serve::ServerOptions { threads, cache_dir });
+    let server =
+        masim_serve::Server::new(masim_serve::ServerOptions { threads, sim_threads, cache_dir });
     let descr: Vec<String> = binds
         .iter()
         .map(|b| match b {
@@ -736,16 +874,19 @@ fn write_profile(dir: &Path, report: &SpanStats) -> Result<(), String> {
 /// [`EXIT_INTERRUPTED`]. This is the same [`Session`] object the
 /// `repro serve` daemon runs; the CLI just points its trace callback at
 /// sidecar files instead of socket frames.
+#[allow(clippy::too_many_arguments)] // run-control knobs, each a distinct caller concern
 fn run_with_checkpoint(
     spec: SessionSpec,
     ckdir: &Path,
     resume: bool,
     fail_after: Option<usize>,
     threads: usize,
+    sim_threads: usize,
     study_ms: &MetricSet,
     metrics_dir: Option<&Path>,
 ) -> Result<(Study, usize), String> {
     let mut session = Session::with_checkpoint(spec, ckdir, resume).map_err(|e| e.to_string())?;
+    session.set_sim_threads(sim_threads);
     let recovered = session.done();
     if recovered > 0 {
         let path = session
@@ -995,8 +1136,10 @@ fn gate_compare(base: &Value, obs: &Value, tolerance: f64) -> Result<String, Str
     let slack = 1.0 + tolerance / 100.0;
     let mut lines = vec![
         format!(
-            "bench-gate: tolerance {tolerance}% (packet events/s {}%; event counts exact)",
-            tolerance.min(GATE_PACKET_TOLERANCE_PCT)
+            "bench-gate: tolerance {tolerance}% (packet events/s {}%, packet-pdes {}%; \
+             event counts exact)",
+            tolerance.min(GATE_PACKET_TOLERANCE_PCT),
+            tolerance.min(GATE_PDES_TOLERANCE_PCT)
         ),
         format!(
             "{:<14} {:>12} {:>12} {:>14} {:>8}",
@@ -1043,8 +1186,11 @@ fn gate_compare(base: &Value, obs: &Value, tolerance: f64) -> Result<String, Str
             let runs = b.get("runs").and_then(Value::as_u64).unwrap_or(1).max(1) as f64;
             ev / runs
         };
-        let eps_budget =
-            if tool == "packet" { tolerance.min(GATE_PACKET_TOLERANCE_PCT) } else { tolerance };
+        let eps_budget = match tool.as_str() {
+            "packet" => tolerance.min(GATE_PACKET_TOLERANCE_PCT),
+            "packet-pdes" => tolerance.min(GATE_PDES_TOLERANCE_PCT),
+            _ => tolerance,
+        };
         let eps_slack = 1.0 + eps_budget / 100.0;
         if measurable
             && be > 0.0

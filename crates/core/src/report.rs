@@ -185,7 +185,7 @@ pub fn table2_tiny_entries(seed: u64) -> Vec<CorpusEntry> {
 
 /// Table II: wall-clock seconds of each tool on the three named runs.
 pub fn table2(seed: u64) -> String {
-    table2_observed(&table2_entries(seed), seed).0
+    table2_observed(&table2_entries(seed), seed, 1).0
 }
 
 /// The per-entry study configuration Table II uses: unbudgeted, so
@@ -248,8 +248,10 @@ pub fn table2_text(studies: &[TraceStudy]) -> String {
 pub fn table2_observed(
     entries: &[CorpusEntry],
     seed: u64,
+    sim_threads: usize,
 ) -> (String, Vec<(String, Vec<RunMetrics>)>) {
-    let big = table2_config(seed);
+    let mut big = table2_config(seed);
+    big.sim_threads = sim_threads;
     let mut studies = Vec::new();
     let mut sidecars = Vec::new();
     for e in entries {
@@ -268,9 +270,11 @@ pub fn table2_observed_threads(
     entries: &[CorpusEntry],
     seed: u64,
     threads: usize,
+    sim_threads: usize,
     study_ms: &MetricSet,
 ) -> (String, Vec<(String, Vec<RunMetrics>)>) {
-    let big = table2_config(seed);
+    let mut big = table2_config(seed);
+    big.sim_threads = sim_threads;
     let todo: Vec<usize> = (0..entries.len()).collect();
     let mut studies: Vec<TraceStudy> = Vec::with_capacity(entries.len());
     let mut sidecars = Vec::with_capacity(entries.len());

@@ -37,6 +37,7 @@ pub(crate) mod hash;
 pub mod lower;
 pub mod msg;
 pub mod net;
+pub(crate) mod pdes_run;
 pub mod runner;
 pub mod util_report;
 
@@ -44,7 +45,7 @@ pub use error::SimError;
 pub use net::ModelKind;
 pub use runner::{
     link_bytes_of, simulate, simulate_budgeted, simulate_limited, simulate_limited_observed,
-    simulate_observed, SimConfig, SimLimits, SimResult,
+    simulate_observed, simulate_partitioned_observed, SimConfig, SimLimits, SimResult,
 };
 pub use util_report::UtilReport;
 

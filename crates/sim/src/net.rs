@@ -47,7 +47,7 @@
 
 use crate::hash::IntMap;
 use crate::msg::Message;
-use crate::runner::{SimEvent, SimState};
+use crate::runner::{SimCx, SimEvent, SimState};
 use masim_des::{Engine, EventId};
 use masim_obs::MetricSet;
 use masim_topo::{LinkId, Machine};
@@ -413,7 +413,7 @@ impl NetState {
 /// [`MsgSlab`](crate::msg::MsgSlab)); the model schedules
 /// [`SimEvent::Release`] (sender may reuse its buffer) and
 /// [`SimEvent::Deliver`] (payload at destination) events.
-pub fn inject(eng: &mut Engine<SimState>, st: &mut SimState, id: u32) {
+pub(crate) fn inject<C: SimCx>(cx: &mut C, st: &mut SimState, id: u32) {
     let msg = *st.msgs.get(id);
     let src_node = st.mapping.node_of(msg.src);
     let dst_node = st.mapping.node_of(msg.dst);
@@ -422,10 +422,10 @@ pub fn inject(eng: &mut Engine<SimState>, st: &mut SimState, id: u32) {
         // Intra-node: uncontended Hockney transfer, same cost model as
         // MFACT so the tools agree on local traffic.
         let ser = st.machine.net.bandwidth.transfer_time(msg.bytes);
-        let release = eng.now() + ser;
-        let deliver = eng.now() + st.machine.net.latency + ser;
-        eng.schedule_at(release, SimEvent::Release { src: msg.src, msg: id });
-        eng.schedule_at(
+        let release = cx.now() + ser;
+        let deliver = cx.now() + st.machine.net.latency + ser;
+        cx.sched_at(release, SimEvent::Release { src: msg.src, msg: id });
+        cx.sched_at(
             deliver,
             SimEvent::Deliver { dst: msg.dst, src: msg.src, tag: msg.tag, msg: id },
         );
@@ -443,12 +443,16 @@ pub fn inject(eng: &mut Engine<SimState>, st: &mut SimState, id: u32) {
         }
     };
     match &mut st.net {
-        NetState::Packet(p) => p.inject(eng, id, msg.bytes, route),
-        NetState::Flow(f) => f.inject(eng, id, msg.bytes, route, &st.routes),
+        NetState::Packet(p) => {
+            // The first hop is the sender's injection link, so lazy
+            // packet chaining always starts partition-local.
+            p.inject(cx, id, msg, route, st.links.injection(msg.src))
+        }
+        NetState::Flow(f) => f.inject(cx, id, msg.bytes, route, &st.routes),
         NetState::PFlow(p) => {
             // Split borrows: link table and route arena are read-only
             // during sampling.
-            p.inject(eng, id, msg, st.routes.resolve(route), &st.links)
+            p.inject(cx, id, msg, st.routes.resolve(route), &st.links)
         }
     }
 }
@@ -531,8 +535,35 @@ impl PacketNet {
         }
     }
 
-    fn inject(&mut self, eng: &mut Engine<SimState>, id: u32, bytes: u64, route: RouteRef) {
-        let n = n_packets(bytes, self.packet_bytes);
+    /// Reserve `link` for a `bytes`-sized packet arriving at `now`:
+    /// FIFO behind the link's previous occupant, serialization by
+    /// capacity class (memoized), byte/hop accounting. Returns the
+    /// departure time and the arrival time at the next hop.
+    fn reserve(&mut self, links: &LinkTable, now: Time, link: LinkId, bytes: u32) -> (Time, Time) {
+        if bytes as u64 != self.ser_bytes {
+            self.ser_bytes = bytes as u64;
+            self.ser_fabric = links.ser_class(true, bytes as u64);
+            self.ser_edge = links.ser_class(false, bytes as u64);
+        }
+        let ser = if links.is_fabric(link) { self.ser_fabric } else { self.ser_edge };
+        debug_assert_eq!(ser, links.ser(link, bytes as u64));
+        let start = now.max(self.free_at[link.idx()]);
+        let depart = start + ser;
+        self.free_at[link.idx()] = depart;
+        self.link_bytes[link.idx()] += bytes as u64;
+        self.hops += 1;
+        (depart, depart + links.hop_lat())
+    }
+
+    fn inject<C: SimCx>(
+        &mut self,
+        cx: &mut C,
+        id: u32,
+        msg: Message,
+        route: RouteRef,
+        first_link: LinkId,
+    ) {
+        let n = n_packets(msg.bytes, self.packet_bytes);
         assert!(n <= u32::MAX as u64, "message splits into more than u32::MAX packets");
         self.packets += n;
         if self.eager {
@@ -540,69 +571,133 @@ impl PacketNet {
             // packets present at the NIC now; the injection link's FIFO
             // serializes them.
             for i in 0..n {
-                let pkt = self.packet(id, bytes, route, i);
-                eng.schedule_at(eng.now(), SimEvent::PacketHop(pkt));
+                let pkt = self.packet(id, msg.bytes, route, i);
+                cx.sched_hop(cx.now(), pkt, first_link, &msg);
             }
         } else {
             // Lazy injection: only the head packet is scheduled; each
             // packet schedules its successor at its own injection-link
             // departure (see `packet_hop`). Identical reservation math,
             // peak queue occupancy O(in-flight messages).
-            let pkt = self.packet(id, bytes, route, 0);
-            eng.schedule_at(eng.now(), SimEvent::PacketHop(pkt));
+            let pkt = self.packet(id, msg.bytes, route, 0);
+            cx.sched_hop(cx.now(), pkt, first_link, &msg);
         }
     }
 }
 
 /// One packet crossing one link: reserve it, then either hop onward or
 /// deliver.
-pub(crate) fn packet_hop(eng: &mut Engine<SimState>, st: &mut SimState, mut pkt: Packet) {
-    let (link, route_len) = {
+pub(crate) fn packet_hop<C: SimCx>(cx: &mut C, st: &mut SimState, mut pkt: Packet) {
+    let (link, next_link) = {
         let route = st.routes.resolve(pkt.route);
-        (route[pkt.hop as usize], route.len())
+        let h = pkt.hop as usize;
+        (route[h], route.get(h + 1).copied())
     };
-    let hop_lat = st.links.hop_lat();
     let m = *st.msgs.get(pkt.msg);
     let NetState::Packet(net) = &mut st.net else {
         unreachable!("packet event in non-packet model")
     };
-    if pkt.bytes as u64 != net.ser_bytes {
-        net.ser_bytes = pkt.bytes as u64;
-        net.ser_fabric = st.links.ser_class(true, pkt.bytes as u64);
-        net.ser_edge = st.links.ser_class(false, pkt.bytes as u64);
-    }
-    let ser = if st.links.is_fabric(link) { net.ser_fabric } else { net.ser_edge };
-    debug_assert_eq!(ser, st.links.ser(link, pkt.bytes as u64));
-    let start = eng.now().max(net.free_at[link.idx()]);
-    let depart = start + ser;
-    net.free_at[link.idx()] = depart;
-    net.link_bytes[link.idx()] += pkt.bytes as u64;
-    net.hops += 1;
-    let arrive_next = depart + hop_lat;
+    let (depart, arrive_next) = net.reserve(&st.links, cx.now(), link, pkt.bytes);
 
     if pkt.hop == 0 {
         if pkt.is_last {
             // Sender may reuse its buffer once the last packet clears
             // the NIC.
-            eng.schedule_at(depart, SimEvent::Release { src: m.src, msg: pkt.msg });
+            cx.sched_at(depart, SimEvent::Release { src: m.src, msg: pkt.msg });
         } else if !net.eager {
             // Chain the successor: it could not have begun serializing
             // before this packet departs the injection link anyway.
             let next = net.packet(pkt.msg, m.bytes, pkt.route, pkt.seq as u64 + 1);
-            eng.schedule_at(depart, SimEvent::PacketHop(next));
+            cx.sched_hop(depart, next, link, &m);
         }
     }
 
     pkt.hop += 1;
-    if pkt.hop as usize == route_len {
-        if pkt.is_last {
-            eng.schedule_at(
-                arrive_next,
-                SimEvent::Deliver { dst: m.dst, src: m.src, tag: m.tag, msg: pkt.msg },
-            );
+    match next_link {
+        Some(nl) => cx.sched_hop(arrive_next, pkt, nl, &m),
+        None => {
+            if pkt.is_last {
+                cx.sched_at(
+                    arrive_next,
+                    SimEvent::Deliver { dst: m.dst, src: m.src, tag: m.tag, msg: pkt.msg },
+                );
+            }
         }
-    } else {
-        eng.schedule_at(arrive_next, SimEvent::PacketHop(pkt));
+    }
+}
+
+/// A packet that crossed a partition boundary, re-keyed by the fields
+/// that stay valid outside its home logical process: message ids index
+/// the sender's LP-private [`MsgSlab`](crate::msg::MsgSlab) and
+/// [`RouteRef`]s its private [`RouteArena`], so neither crosses. Routing
+/// is deterministic per rank pair, so `(src, dst)` re-derives the same
+/// link sequence in the destination LP's arena; byte size and last-ness
+/// travel with the packet. Once foreign, a packet stays foreign for the
+/// rest of its route.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ForeignPacket {
+    pub(crate) src: Rank,
+    pub(crate) dst: Rank,
+    pub(crate) tag: u32,
+    pub(crate) hop: u16,
+    pub(crate) bytes: u32,
+    pub(crate) is_last: bool,
+}
+
+impl Packet {
+    /// Demote this packet to its partition-independent form (`m` must be
+    /// the packet's message, resolved in its home LP).
+    pub(crate) fn to_foreign(self, m: &Message) -> ForeignPacket {
+        ForeignPacket {
+            src: m.src,
+            dst: m.dst,
+            tag: m.tag,
+            hop: self.hop,
+            bytes: self.bytes,
+            is_last: self.is_last,
+        }
+    }
+}
+
+/// [`packet_hop`] for a packet visiting from another partition: resolve
+/// the route locally (intern on first contact), reserve the link, and
+/// forward or deliver. Hop 0 — injection, release scheduling, successor
+/// chaining — always runs in the packet's home LP, so only the
+/// mid-route and delivery logic exists here.
+pub(crate) fn foreign_hop<C: SimCx>(cx: &mut C, st: &mut SimState, mut fp: ForeignPacket) {
+    debug_assert!(fp.hop >= 1, "a packet's injection hop is always partition-local");
+    let route = match st.routes.get(fp.src, fp.dst) {
+        Some(r) => r,
+        None => {
+            let src_node = st.mapping.node_of(fp.src);
+            let dst_node = st.mapping.node_of(fp.dst);
+            let links = st.links.route_vec(&st.machine, fp.src, fp.dst, src_node, dst_node);
+            st.routes.intern(fp.src, fp.dst, &links)
+        }
+    };
+    let (link, next_link) = {
+        let route = st.routes.resolve(route);
+        let h = fp.hop as usize;
+        (route[h], route.get(h + 1).copied())
+    };
+    let NetState::Packet(net) = &mut st.net else {
+        unreachable!("packet event in non-packet model")
+    };
+    let (_, arrive_next) = net.reserve(&st.links, cx.now(), link, fp.bytes);
+    fp.hop += 1;
+    match next_link {
+        Some(nl) => cx.sched_foreign(arrive_next, fp, nl),
+        None => {
+            if fp.is_last {
+                // The destination's matching logic ignores the message
+                // id (delivery is keyed by (src, tag)); the sentinel
+                // marks "no local slab entry".
+                cx.sched_at(
+                    arrive_next,
+                    SimEvent::Deliver { dst: fp.dst, src: fp.src, tag: fp.tag, msg: u32::MAX },
+                );
+            }
+        }
     }
 }
 
@@ -661,9 +756,9 @@ pub struct FlowNet {
 }
 
 impl FlowNet {
-    fn inject(
+    fn inject<C: SimCx>(
         &mut self,
-        eng: &mut Engine<SimState>,
+        cx: &mut C,
         id: u32,
         bytes: u64,
         route: RouteRef,
@@ -677,7 +772,7 @@ impl FlowNet {
             route,
             remaining: bytes as f64,
             rate: 0.0,
-            last_update: eng.now(),
+            last_update: cx.now(),
             completion: None,
             tail_latency: Time::ZERO, // patched in the resolve, which has the link table
         };
@@ -692,7 +787,7 @@ impl FlowNet {
             }
         }
         self.live += 1;
-        self.schedule_resolve(eng);
+        self.schedule_resolve(cx);
     }
 
     /// Queue one re-solve at the next quantum boundary, batching all
@@ -701,13 +796,13 @@ impl FlowNet {
     /// round, say) into a single ripple re-solve instead of P of them —
     /// this is why the flow model is cheaper than per-packet simulation,
     /// as the paper's Figure 1 measures.
-    fn schedule_resolve(&mut self, eng: &mut Engine<SimState>) {
+    fn schedule_resolve<C: SimCx>(&mut self, cx: &mut C) {
         if self.resolve_pending {
             return;
         }
         self.resolve_pending = true;
-        let at = Time::from_ps((eng.now().as_ps() / FLOW_QUANTUM_PS + 1) * FLOW_QUANTUM_PS);
-        eng.schedule_at(at, SimEvent::FlowResolve);
+        let at = Time::from_ps((cx.now().as_ps() / FLOW_QUANTUM_PS + 1) * FLOW_QUANTUM_PS);
+        cx.sched_at(at, SimEvent::FlowResolve);
     }
 }
 
@@ -902,9 +997,9 @@ pub struct PFlowNet {
 }
 
 impl PFlowNet {
-    fn inject(
+    fn inject<C: SimCx>(
         &mut self,
-        eng: &mut Engine<SimState>,
+        cx: &mut C,
         id: u32,
         msg: Message,
         route: &[LinkId],
@@ -913,8 +1008,8 @@ impl PFlowNet {
         let n = n_packets(msg.bytes, self.packet_bytes);
         self.packets += n;
         let hop_lat = links.hop_lat();
-        let mut release_at = eng.now();
-        let mut deliver_at = eng.now();
+        let mut release_at = cx.now();
+        let mut deliver_at = cx.now();
         for i in 0..n {
             let bytes = packet_size(msg.bytes, self.packet_bytes, i);
             // Walk the route, sampling each link's expected queueing
@@ -924,7 +1019,7 @@ impl PFlowNet {
             // sampled queueing wait plus hop latency, so back-to-back
             // packets pipeline instead of re-serializing per hop (the
             // packet model's documented overestimate).
-            let mut t = eng.now();
+            let mut t = cx.now();
             for (h, l) in route.iter().enumerate() {
                 let cap = links.cap(*l);
                 let q = &mut self.queues[l.idx()];
@@ -943,9 +1038,9 @@ impl PFlowNet {
             deliver_at = t;
         }
         let m = msg;
-        eng.schedule_at(release_at.max(eng.now()), SimEvent::Release { src: m.src, msg: id });
-        eng.schedule_at(
-            deliver_at.max(eng.now()),
+        cx.sched_at(release_at.max(cx.now()), SimEvent::Release { src: m.src, msg: id });
+        cx.sched_at(
+            deliver_at.max(cx.now()),
             SimEvent::Deliver { dst: m.dst, src: m.src, tag: m.tag, msg: id },
         );
     }

@@ -1,0 +1,326 @@
+//! Intra-trace parallel simulation: the packet model partitioned onto
+//! the conservative windowed executor ([`WindowedPdes`]).
+//!
+//! The machine's switches are split into contiguous blocks by the
+//! deterministic splitter ([`Partition`]); each block becomes one
+//! logical process owning its switches' fabric links, its nodes' ranks,
+//! and those ranks' NIC links, mailboxes, and replay state. With that
+//! ownership closure every plain replay event is LP-local — mailbox
+//! delivery, request completion, collective rounds, and a packet's
+//! injection-hop bookkeeping all happen where the rank lives — and the
+//! *only* cross-partition transition is a packet hopping onto a link
+//! another LP owns. Each such hop pays at least one full link latency,
+//! so the machine's hop latency is the conservative lookahead
+//! (Cielito's 2500 ns buys generously wide windows).
+//!
+//! Each LP carries a private [`SimState`]: its own event arena slice of
+//! link `free_at`/byte state, message slab, route arena, and collective
+//! cache. Message ids and [`RouteRef`](crate::net::RouteRef)s are
+//! LP-private, so a packet leaving home is demoted to a
+//! [`ForeignPacket`] keyed by `(src, dst, tag)` — routing is
+//! deterministic per rank pair, so the destination LP re-derives the
+//! identical link sequence in its own arena.
+//!
+//! Determinism: the partition count is a pure function of the topology
+//! (`min(switches, MAX_PARTS)`), never of the thread count, and the
+//! executor's barrier exchange sorts cross messages by (arrival, source
+//! LP) — so any `--sim-threads N > 1` produces one bit-identical
+//! execution, pinned against the sequential engine by
+//! `tests/pdes_equivalence.rs`.
+
+use crate::error::{SimError, DEADLOCK_RANK_SAMPLE};
+use crate::msg::Message;
+use crate::net::{foreign_hop, ForeignPacket, ModelKind, Packet};
+use crate::runner::{
+    dispatch, observe_fail, SimConfig, SimCx, SimEvent, SimLimits, SimResult, SimState,
+};
+use masim_des::{LogicalProcess, Outbox, PdesError, PdesLimits, WindowedPdes};
+use masim_obs::MetricSet;
+use masim_topo::{LinkId, Machine, Mapping, Partition};
+use masim_trace::{Rank, Time, Trace};
+use std::sync::Arc;
+
+/// Upper bound on logical processes. More partitions mean more barrier
+/// traffic and more foreign-packet re-interning for no extra overlap
+/// once every core has an LP; 8 covers the study hosts.
+const MAX_PARTS: u32 = 8;
+
+/// Whether this configuration runs on the partitioned executor.
+/// Requires: the caller asked for parallelism, the packet model (the
+/// flow models' rate re-solves are global state with no lookahead), the
+/// lazy injection path, and a positive hop latency to serve as
+/// conservative lookahead.
+pub(crate) fn wants_partitioned(cfg: &SimConfig) -> bool {
+    cfg.sim_threads > 1 && can_partition(cfg)
+}
+
+/// Whether the model itself is partitionable, independent of the
+/// requested worker count (`simulate_partitioned_observed` uses this to
+/// run the windowed executor inline at one worker for benchmarking).
+pub(crate) fn can_partition(cfg: &SimConfig) -> bool {
+    matches!(cfg.model, ModelKind::Packet { .. })
+        && !cfg.eager_packets
+        && cfg.machine.hop_latency() > Time::ZERO
+}
+
+/// Owner tables resolved once per run and shared read-only by every LP:
+/// rank → LP and link → LP, the latter covering fabric links (by
+/// transmitting switch) and both per-rank NIC links (with the rank).
+struct Ownership {
+    rank_owner: Vec<u32>,
+    link_owner: Vec<u32>,
+}
+
+fn ownership(machine: &Machine, mapping: &Mapping, part: &Partition) -> Ownership {
+    let topo = machine.topology.as_ref();
+    let topo_links = topo.num_links();
+    let ranks = mapping.ranks();
+    // Link ids follow the LinkTable layout: fabric links first, then
+    // one injection and one ejection link per rank.
+    let mut link_owner = Vec::with_capacity((topo_links + 2 * ranks) as usize);
+    for l in 0..topo_links {
+        link_owner.push(part.fabric_link_owner(topo, LinkId(l)));
+    }
+    for r in 0..ranks {
+        link_owner.push(part.rank_owner(Rank(r))); // injection
+    }
+    for r in 0..ranks {
+        link_owner.push(part.rank_owner(Rank(r))); // ejection
+    }
+    let rank_owner = (0..ranks).map(|r| part.rank_owner(Rank(r))).collect();
+    Ownership { rank_owner, link_owner }
+}
+
+/// The event vocabulary exchanged between partitions: ordinary replay
+/// events (always LP-local) and partition-crossing packets.
+#[derive(Clone, Copy)]
+enum LpEvent {
+    Sim(SimEvent),
+    Foreign(ForeignPacket),
+}
+
+/// One partition of the packet model: a full-shape [`SimState`] of
+/// which this LP touches only its owned slice, plus the shared owner
+/// tables.
+struct PacketLp<'a> {
+    lp: usize,
+    own: Arc<Ownership>,
+    st: SimState<'a>,
+}
+
+impl<'a> LogicalProcess for PacketLp<'a> {
+    type Event = LpEvent;
+
+    fn handle(&mut self, now: Time, event: LpEvent, out: &mut Outbox<LpEvent>) {
+        let mut cx = LpCx { now, lp: self.lp, own: &self.own, out };
+        match event {
+            LpEvent::Sim(ev) => dispatch(&mut cx, &mut self.st, ev),
+            LpEvent::Foreign(fp) => foreign_hop(&mut cx, &mut self.st, fp),
+        }
+    }
+
+    fn work_units(&self) -> u64 {
+        self.st.net.work_units()
+    }
+}
+
+/// The [`SimCx`] the replay logic sees inside one LP: local events
+/// re-enter the LP's own queue; packet hops are routed by the next
+/// link's owner.
+struct LpCx<'b> {
+    now: Time,
+    lp: usize,
+    own: &'b Ownership,
+    out: &'b mut Outbox<LpEvent>,
+}
+
+impl SimCx for LpCx<'_> {
+    #[inline]
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    #[inline]
+    fn sched_at(&mut self, at: Time, ev: SimEvent) {
+        // Plain replay events are LP-local by the ownership closure.
+        self.out.send_at(at, self.lp, LpEvent::Sim(ev));
+    }
+
+    #[inline]
+    fn sched_in(&mut self, delay: Time, ev: SimEvent) {
+        // The outbox latches clock overflow, mirroring the engine.
+        self.out.send(delay, self.lp, LpEvent::Sim(ev));
+    }
+
+    #[inline]
+    fn sched_hop(&mut self, at: Time, pkt: Packet, next_link: LinkId, m: &Message) {
+        let owner = self.own.link_owner[next_link.idx()] as usize;
+        if owner == self.lp {
+            self.out.send_at(at, self.lp, LpEvent::Sim(SimEvent::PacketHop(pkt)));
+        } else {
+            // Crossing: message id and route ref die at the border.
+            self.out.send_at(at, owner, LpEvent::Foreign(pkt.to_foreign(m)));
+        }
+    }
+
+    #[inline]
+    fn sched_foreign(&mut self, at: Time, fp: ForeignPacket, next_link: LinkId) {
+        let owner = self.own.link_owner[next_link.idx()] as usize;
+        self.out.send_at(at, owner, LpEvent::Foreign(fp));
+    }
+}
+
+/// The partitioned analogue of `sim_core`: same validation, limits, and
+/// telemetry contract, with the event loop replaced by the windowed
+/// executor and the result assembled from the rank-owning LPs.
+pub(crate) fn sim_partitioned(
+    trace: &Trace,
+    cfg: &SimConfig,
+    limits: SimLimits,
+    obs: Option<&MetricSet>,
+) -> Result<SimResult, SimError> {
+    let span = obs.map(|ms| ms.span("sim.runner.simulate"));
+    // The first state build performs the mapping/machine validation the
+    // partitioner relies on (it indexes node_of for every rank).
+    let first = match SimState::new(trace, cfg) {
+        Ok(st) => st,
+        Err(e) => return Err(observe_fail(obs, span, e)),
+    };
+    let machine = &cfg.machine;
+    let partition = Partition::new(machine.topology.as_ref(), &cfg.mapping, MAX_PARTS);
+    let lookahead =
+        partition.lookahead(machine).expect("wants_partitioned gates on a positive hop latency");
+    let own = Arc::new(ownership(machine, &cfg.mapping, &partition));
+    let parts = partition.parts() as usize;
+    let mut states = vec![first];
+    for _ in 1..parts {
+        states.push(SimState::new(trace, cfg).expect("config validated by the first build"));
+    }
+    let lps: Vec<PacketLp> = states
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut st)| {
+            st.set_profile_lower(obs.is_some());
+            PacketLp { lp: i, own: Arc::clone(&own), st }
+        })
+        .collect();
+
+    let mut pdes = WindowedPdes::new(lps, lookahead, cfg.sim_threads);
+    if let Some(ms) = obs {
+        pdes.observe_into(ms);
+    }
+    let n = trace.num_ranks();
+    for r in 0..n {
+        let lp = own.rank_owner[r as usize] as usize;
+        pdes.seed(Time::ZERO, lp, LpEvent::Sim(SimEvent::Advance(Rank(r))));
+    }
+    let run = pdes.run_limited(PdesLimits { max_work: limits.max_work, deadline: limits.deadline });
+    let processed = pdes.processed();
+    if let Some(ms) = obs {
+        pdes.export_metrics(ms);
+    }
+    let mut states: Vec<SimState> = pdes.into_lps().into_iter().map(|lp| lp.st).collect();
+
+    if let Err(e) = run {
+        let err = match e {
+            PdesError::Clock(overflow) => {
+                SimError::ClockOverflow { model: cfg.model.name(), overflow }
+            }
+            PdesError::Budget { consumed, budget } => {
+                if let Some(ms) = obs {
+                    ms.add("sim.budget.consumed", consumed);
+                }
+                SimError::BudgetExhausted { consumed, budget }
+            }
+            PdesError::Deadline { elapsed, deadline } => {
+                SimError::DeadlineExceeded { elapsed, deadline }
+            }
+        };
+        return Err(observe_fail(obs, span, err));
+    }
+    // A malformed-trace cause latched inside any LP outranks the
+    // deadlock its stalled rank would otherwise report as (same
+    // precedence as the sequential path; LP order is deterministic).
+    for st in &mut states {
+        if let Some(err) = st.take_error() {
+            return Err(observe_fail(obs, span, err));
+        }
+    }
+    // Each rank runs (and finishes) only on its owner LP, so the owner
+    // counts are disjoint and sum to the global completion count.
+    let done: usize = states.iter().map(|s| s.done_count()).sum();
+    if done != n as usize {
+        let waiting_ranks: Vec<u32> = (0..n)
+            .filter(|&r| !states[own.rank_owner[r as usize] as usize].rank_done(Rank(r)))
+            .take(DEADLOCK_RANK_SAMPLE)
+            .collect();
+        let err = SimError::Deadlock {
+            model: cfg.model.name(),
+            finished: done as u32,
+            total: n,
+            waiting_ranks,
+        };
+        return Err(observe_fail(obs, span, err));
+    }
+
+    let owner_of = |r: u32| &states[own.rank_owner[r as usize] as usize];
+    let per_rank: Vec<Time> = (0..n).map(|r| owner_of(r).finish_of(Rank(r))).collect();
+    let total = per_rank.iter().copied().max().unwrap_or(Time::ZERO);
+    let comm_time = (0..n).map(|r| owner_of(r).comm_of(Rank(r))).sum();
+    let messages: u64 = states.iter().map(|s| s.messages()).sum();
+    let work_units: u64 = states.iter().map(|s| s.net.work_units()).sum();
+    // Per-LP link byte vectors are disjoint (an LP reserves only links
+    // it owns), so the global per-link counters are the element-wise
+    // sum.
+    let mut link_bytes = vec![0u64; states[0].net.link_bytes().len()];
+    for s in &states {
+        for (acc, b) in link_bytes.iter_mut().zip(s.net.link_bytes()) {
+            *acc += b;
+        }
+    }
+    if let Some(ms) = obs {
+        if let Some(s) = span {
+            s.stop();
+        }
+        ms.add("sim.runner.messages", messages);
+        ms.add("sim.budget.consumed", processed.saturating_add(work_units));
+        ms.gauge_max("sim.route.arena_bytes", states.iter().map(|s| s.routes.bytes()).sum());
+        let lower: u64 = states.iter().map(|s| s.lower_ns()).sum();
+        if lower > 0 {
+            ms.record_span("sim.runner.lower", lower);
+        }
+        // Message-size distribution: the per-LP slabs partition the
+        // sequential slab by sender, so their union is the same
+        // multiset.
+        if states.iter().any(|s| !s.msgs.is_empty()) {
+            let mh = ms.hist("sim.msg.bytes");
+            for s in &states {
+                for i in 0..s.msgs.len() {
+                    mh.record(s.msgs.get(i as u32).bytes);
+                }
+            }
+        }
+        // Engine-equivalent counters under the sequential names, so
+        // downstream consumers (bench events, report tables) read one
+        // schema. Complete packet runs pop every push and cancel
+        // nothing, so scheduled == processed and cancelled == 0.
+        ms.add("des.engine.processed", processed);
+        ms.add("des.engine.scheduled", processed);
+        ms.add("des.engine.cancelled", 0);
+        for s in &states {
+            // add/gauge_max accumulate correctly over the disjoint
+            // per-LP link sets.
+            s.net.export_metrics(ms);
+        }
+    }
+    Ok(SimResult {
+        model: cfg.model,
+        total,
+        per_rank,
+        comm_time,
+        events: processed,
+        messages,
+        work_units,
+        max_link_bytes: link_bytes.iter().copied().max().unwrap_or(0),
+    })
+}

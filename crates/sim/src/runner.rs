@@ -6,12 +6,12 @@ use crate::hash::IntMap;
 use crate::lower::{coll_tag, lower, Schedule};
 use crate::msg::{Mailbox, Message, MsgSlab};
 use crate::net::{
-    flow_complete, inject, on_flow_resolve, packet_hop, LinkTable, ModelKind, NetState, Packet,
-    RouteArena,
+    flow_complete, inject, on_flow_resolve, packet_hop, ForeignPacket, LinkTable, ModelKind,
+    NetState, Packet, RouteArena,
 };
 use masim_des::{Engine, Handler};
 use masim_obs::MetricSet;
-use masim_topo::{Machine, Mapping};
+use masim_topo::{LinkId, Machine, Mapping};
 use masim_trace::{EventKind, Rank, Time, Trace};
 use std::time::{Duration, Instant};
 
@@ -33,6 +33,15 @@ pub struct SimConfig {
     /// bit-identical predictions.
     #[doc(hidden)]
     pub eager_packets: bool,
+    /// Worker threads for intra-trace parallel simulation. `1` (the
+    /// default) runs the sequential engine exactly as before; `N > 1`
+    /// partitions the packet model into logical processes on the
+    /// conservative windowed executor (`crates/des`'s `WindowedPdes`)
+    /// with up to `N` workers. The partition count is fixed by the
+    /// topology, not by this knob, so any `N > 1` produces bit-identical
+    /// predictions. Models other than `Packet` (and machines without a
+    /// positive hop latency) always run sequentially.
+    pub sim_threads: usize,
 }
 
 impl SimConfig {
@@ -40,7 +49,14 @@ impl SimConfig {
     /// at the trace's recorded ranks-per-node, unit compute scale.
     pub fn new(machine: Machine, model: ModelKind, trace: &Trace) -> SimConfig {
         let mapping = Mapping::block(trace.num_ranks(), trace.meta.ranks_per_node);
-        SimConfig { machine, mapping, model, compute_scale: 1.0, eager_packets: false }
+        SimConfig {
+            machine,
+            mapping,
+            model,
+            compute_scale: 1.0,
+            eager_packets: false,
+            sim_threads: 1,
+        }
     }
 }
 
@@ -240,16 +256,88 @@ impl<'a> Handler for SimState<'a> {
 
     fn handle(eng: &mut Engine<Self>, st: &mut Self, ev: SimEvent) {
         match ev {
-            SimEvent::Advance(r) => advance(eng, st, r),
-            SimEvent::ComputeDone(r) => {
-                st.procs[r.idx()].status = PStatus::Idle;
-                advance(eng, st, r);
-            }
-            SimEvent::Release { src, msg } => on_release(eng, st, src, msg),
-            SimEvent::Deliver { dst, src, tag, msg } => on_deliver(eng, st, dst, src, tag, msg),
-            SimEvent::PacketHop(pkt) => packet_hop(eng, st, pkt),
             SimEvent::FlowResolve => on_flow_resolve(eng, st),
             SimEvent::FlowComplete { slot, msg } => flow_complete(eng, st, slot, msg),
+            ev => dispatch(eng, st, ev),
+        }
+    }
+}
+
+/// Scheduling context the replay logic runs against: either the
+/// sequential [`Engine`] or one logical process of the partitioned
+/// executor ([`crate::pdes_run`]). The replay functions — `advance`,
+/// collective rounds, matching, the packet model — are generic over
+/// this trait, so both execution paths interpret trace events through
+/// the same monomorphized code; the partitioned path differs only in
+/// where follow-up events are routed.
+pub(crate) trait SimCx {
+    /// Current simulated time (the executing event's timestamp).
+    fn now(&self) -> Time;
+
+    /// Schedule a rank-addressed event at absolute time `at`. Every
+    /// plain `SimEvent` is local to the partition of the rank it names
+    /// (ranks own their NIC links, mailboxes, and process state); only
+    /// packet hops ever cross partitions, via [`SimCx::sched_hop`].
+    fn sched_at(&mut self, at: Time, ev: SimEvent);
+
+    /// Schedule after `delay` from now, latching a typed clock-overflow
+    /// error (instead of panicking) if `now + delay` wraps.
+    fn sched_in(&mut self, delay: Time, ev: SimEvent);
+
+    /// Schedule packet `pkt`'s traversal of `next_link` at `at`. The
+    /// partitioned context routes this to the link owner's LP, demoting
+    /// the packet to its partition-independent representation when it
+    /// leaves home; the sequential engine just enqueues the hop.
+    fn sched_hop(&mut self, at: Time, pkt: Packet, next_link: LinkId, m: &Message);
+
+    /// Forward an already-foreign packet to `next_link`'s owner.
+    /// Unreachable under sequential execution — a packet only becomes
+    /// foreign by crossing a partition boundary.
+    fn sched_foreign(&mut self, at: Time, fp: ForeignPacket, next_link: LinkId);
+}
+
+impl<'a> SimCx for Engine<SimState<'a>> {
+    #[inline]
+    fn now(&self) -> Time {
+        Engine::now(self)
+    }
+
+    #[inline]
+    fn sched_at(&mut self, at: Time, ev: SimEvent) {
+        self.schedule_at(at, ev);
+    }
+
+    #[inline]
+    fn sched_in(&mut self, delay: Time, ev: SimEvent) {
+        self.schedule_in(delay, ev);
+    }
+
+    #[inline]
+    fn sched_hop(&mut self, at: Time, pkt: Packet, _next_link: LinkId, _m: &Message) {
+        self.schedule_at(at, SimEvent::PacketHop(pkt));
+    }
+
+    fn sched_foreign(&mut self, _at: Time, _fp: ForeignPacket, _next_link: LinkId) {
+        unreachable!("foreign packets exist only under partitioned execution")
+    }
+}
+
+/// Interpret one replay event against a generic scheduling context.
+/// The flow models stay engine-only (their resolver cancels pending
+/// events, which the windowed executor does not support), so the
+/// partitioned path dispatches the packet-model vocabulary only.
+pub(crate) fn dispatch<'a, C: SimCx>(cx: &mut C, st: &mut SimState<'a>, ev: SimEvent) {
+    match ev {
+        SimEvent::Advance(r) => advance(cx, st, r),
+        SimEvent::ComputeDone(r) => {
+            st.procs[r.idx()].status = PStatus::Idle;
+            advance(cx, st, r);
+        }
+        SimEvent::Release { src, msg } => on_release(cx, st, src, msg),
+        SimEvent::Deliver { dst, src, tag, msg } => on_deliver(cx, st, dst, src, tag, msg),
+        SimEvent::PacketHop(pkt) => packet_hop(cx, st, pkt),
+        SimEvent::FlowResolve | SimEvent::FlowComplete { .. } => {
+            unreachable!("flow models run on the sequential engine only")
         }
     }
 }
@@ -306,7 +394,7 @@ fn token(rank: Rank, code: u32) -> u64 {
 }
 
 impl<'a> SimState<'a> {
-    fn new(trace: &'a Trace, cfg: &SimConfig) -> Result<SimState<'a>, SimError> {
+    pub(crate) fn new(trace: &'a Trace, cfg: &SimConfig) -> Result<SimState<'a>, SimError> {
         let n = trace.num_ranks() as usize;
         if cfg.mapping.ranks() != trace.num_ranks() {
             return Err(SimError::InvalidConfig {
@@ -351,9 +439,9 @@ impl<'a> SimState<'a> {
         })
     }
 
-    fn send_message(
+    fn send_message<C: SimCx>(
         &mut self,
-        eng: &mut Engine<SimState<'a>>,
+        cx: &mut C,
         src: Rank,
         dst: Rank,
         bytes: u64,
@@ -365,18 +453,56 @@ impl<'a> SimState<'a> {
         let id = self.msgs.push(Message { src, dst, bytes: bytes.max(1), tag });
         debug_assert_eq!(id as usize, self.releases.len());
         self.releases.push(Some(purpose));
-        inject(eng, self, id);
+        inject(cx, self, id);
         id
+    }
+
+    // Accessors for the partitioned runner (`crate::pdes_run`), which
+    // owns one `SimState` per logical process and assembles the final
+    // `SimResult` from the rank-owning slices.
+
+    pub(crate) fn set_profile_lower(&mut self, on: bool) {
+        self.profile_lower = on;
+    }
+
+    pub(crate) fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    pub(crate) fn done_count(&self) -> usize {
+        self.done
+    }
+
+    pub(crate) fn rank_done(&self, r: Rank) -> bool {
+        self.procs[r.idx()].status == PStatus::Done
+    }
+
+    pub(crate) fn finish_of(&self, r: Rank) -> Time {
+        self.procs[r.idx()].finish
+    }
+
+    /// Rank `r`'s communication time: finish minus scaled compute.
+    pub(crate) fn comm_of(&self, r: Rank) -> Time {
+        let p = &self.procs[r.idx()];
+        p.finish.saturating_sub(p.compute_total)
+    }
+
+    pub(crate) fn take_error(&mut self) -> Option<SimError> {
+        self.error.take()
+    }
+
+    pub(crate) fn lower_ns(&self) -> u64 {
+        self.lower_ns
     }
 }
 
 /// Advance rank `r` until it blocks or finishes.
-fn advance<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) {
+pub(crate) fn advance<'a, C: SimCx>(cx: &mut C, st: &mut SimState<'a>, r: Rank) {
     loop {
         debug_assert_eq!(st.procs[r.idx()].status, PStatus::Idle);
 
         // Inside a collective: run its rounds first.
-        if st.procs[r.idx()].coll.is_some() && enter_coll_rounds(eng, st, r) {
+        if st.procs[r.idx()].coll.is_some() && enter_coll_rounds(cx, st, r) {
             return; // blocked inside the collective
         }
         // Collective finished; fall through to trace events.
@@ -386,7 +512,7 @@ fn advance<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) {
         if cursor >= stream.len() {
             let p = &mut st.procs[r.idx()];
             p.status = PStatus::Done;
-            p.finish = eng.now();
+            p.finish = cx.now();
             st.done += 1;
             return;
         }
@@ -401,11 +527,11 @@ fn advance<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) {
                 // engine's typed clock overflow, not an accounting abort.
                 p.compute_total = p.compute_total.saturating_add(d);
                 p.status = PStatus::Computing;
-                eng.schedule_in(d, SimEvent::ComputeDone(r));
+                cx.sched_in(d, SimEvent::ComputeDone(r));
                 return;
             }
             EventKind::Send { peer, bytes, tag } => {
-                let id = st.send_message(eng, r, *peer, *bytes, *tag, RelPurpose::BlockingSend(r));
+                let id = st.send_message(cx, r, *peer, *bytes, *tag, RelPurpose::BlockingSend(r));
                 let p = &mut st.procs[r.idx()];
                 p.status = PStatus::BlockedSend;
                 p.blocked_send_msg = id;
@@ -413,7 +539,7 @@ fn advance<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) {
             }
             EventKind::Isend { peer, bytes, tag, req } => {
                 st.procs[r.idx()].reqs.insert(req.0, false);
-                st.send_message(eng, r, *peer, *bytes, *tag, RelPurpose::AppReq(r, req.0));
+                st.send_message(cx, r, *peer, *bytes, *tag, RelPurpose::AppReq(r, req.0));
             }
             EventKind::Recv { peer, tag, .. } => {
                 let tok = token(r, TOKEN_BLOCKING);
@@ -508,7 +634,7 @@ fn advance<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) {
 }
 
 /// Execute collective rounds until blocked (true) or done (false).
-fn enter_coll_rounds<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) -> bool {
+fn enter_coll_rounds<'a, C: SimCx>(cx: &mut C, st: &mut SimState<'a>, r: Rank) -> bool {
     loop {
         let (round_idx, ordinal, sched_idx) = {
             let p = &st.procs[r.idx()];
@@ -539,7 +665,7 @@ fn enter_coll_rounds<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, 
         }
         // Issue sends.
         for &(peer, bytes) in &sends {
-            st.send_message(eng, r, peer, bytes, tag, RelPurpose::CollRound(r));
+            st.send_message(cx, r, peer, bytes, tag, RelPurpose::CollRound(r));
             pending += 1;
         }
         st.scr_recvs = recvs;
@@ -556,50 +682,45 @@ fn enter_coll_rounds<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, 
 }
 
 /// A message reached its destination rank.
-pub(crate) fn on_deliver<'a>(
-    eng: &mut Engine<SimState<'a>>,
+pub(crate) fn on_deliver<'a, C: SimCx>(
+    cx: &mut C,
     st: &mut SimState<'a>,
     dst: Rank,
     src: Rank,
     tag: u32,
     _msg_id: u32,
 ) {
-    let Some(tok) = st.mailboxes[dst.idx()].deliver(src, tag, eng.now()) else {
+    let Some(tok) = st.mailboxes[dst.idx()].deliver(src, tag, cx.now()) else {
         return; // queued as unexpected
     };
-    recv_complete(eng, st, tok);
+    recv_complete(cx, st, tok);
 }
 
 /// A posted receive just matched.
-fn recv_complete<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, tok: u64) {
+fn recv_complete<'a, C: SimCx>(cx: &mut C, st: &mut SimState<'a>, tok: u64) {
     let r = Rank((tok >> 32) as u32);
     let code = (tok & 0xFFFF_FFFF) as u32;
     let p = &mut st.procs[r.idx()];
     if code == TOKEN_BLOCKING {
         debug_assert_eq!(p.status, PStatus::BlockedRecv);
         p.status = PStatus::Idle;
-        advance(eng, st, r);
+        advance(cx, st, r);
     } else if code == TOKEN_COLL {
         debug_assert!(p.round_pending > 0);
         p.round_pending -= 1;
         if p.round_pending == 0 && p.status == PStatus::CollRound {
             p.status = PStatus::Idle;
-            advance(eng, st, r);
+            advance(cx, st, r);
         }
     } else {
         // Application request completion.
         p.reqs.set_done(code);
-        try_finish_wait(eng, st, r);
+        try_finish_wait(cx, st, r);
     }
 }
 
 /// A sender may reuse its buffer (message fully injected / drained).
-pub(crate) fn on_release<'a>(
-    eng: &mut Engine<SimState<'a>>,
-    st: &mut SimState<'a>,
-    _src: Rank,
-    msg_id: u32,
-) {
+pub(crate) fn on_release<'a, C: SimCx>(cx: &mut C, st: &mut SimState<'a>, _src: Rank, msg_id: u32) {
     let Some(purpose) = st.releases.get_mut(msg_id as usize).and_then(Option::take) else {
         return;
     };
@@ -609,11 +730,11 @@ pub(crate) fn on_release<'a>(
             debug_assert_eq!(p.status, PStatus::BlockedSend);
             debug_assert_eq!(p.blocked_send_msg, msg_id);
             p.status = PStatus::Idle;
-            advance(eng, st, r);
+            advance(cx, st, r);
         }
         RelPurpose::AppReq(r, req) => {
             st.procs[r.idx()].reqs.set_done(req);
-            try_finish_wait(eng, st, r);
+            try_finish_wait(cx, st, r);
         }
         RelPurpose::CollRound(r) => {
             let p = &mut st.procs[r.idx()];
@@ -621,7 +742,7 @@ pub(crate) fn on_release<'a>(
             p.round_pending -= 1;
             if p.round_pending == 0 && p.status == PStatus::CollRound {
                 p.status = PStatus::Idle;
-                advance(eng, st, r);
+                advance(cx, st, r);
             }
         }
     }
@@ -629,7 +750,7 @@ pub(crate) fn on_release<'a>(
 
 /// If rank `r` is blocked in `Wait`/`WaitAll` and everything it waits on
 /// completed, resume it.
-fn try_finish_wait<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r: Rank) {
+fn try_finish_wait<'a, C: SimCx>(cx: &mut C, st: &mut SimState<'a>, r: Rank) {
     let p = &mut st.procs[r.idx()];
     if p.status != PStatus::Waiting {
         return;
@@ -642,7 +763,7 @@ fn try_finish_wait<'a>(eng: &mut Engine<SimState<'a>>, st: &mut SimState<'a>, r:
         }
         p.wait_set.clear();
         p.status = PStatus::Idle;
-        advance(eng, st, r);
+        advance(cx, st, r);
     }
 }
 
@@ -721,12 +842,35 @@ pub fn simulate_limited_observed(
     sim_core(trace, cfg, limits, Some(ms))
 }
 
+/// Force the partitioned (windowed-PDES) executor regardless of
+/// `cfg.sim_threads` — with `sim_threads = 1` this runs the windowed
+/// executor inline on the calling thread, which is how the bench gate
+/// measures the PDES machinery's overhead honestly on a single-core
+/// runner. Falls back to the sequential engine when the config cannot
+/// partition (non-packet model, eager injection, or zero hop latency),
+/// so results are always defined and bit-identical to [`simulate`].
+pub fn simulate_partitioned_observed(
+    trace: &Trace,
+    cfg: &SimConfig,
+    limits: SimLimits,
+    ms: &MetricSet,
+) -> Result<SimResult, SimError> {
+    if crate::pdes_run::can_partition(cfg) {
+        crate::pdes_run::sim_partitioned(trace, cfg, limits, Some(ms))
+    } else {
+        sim_core(trace, cfg, limits, Some(ms))
+    }
+}
+
 fn sim_core(
     trace: &Trace,
     cfg: &SimConfig,
     limits: SimLimits,
     obs: Option<&MetricSet>,
 ) -> Result<SimResult, SimError> {
+    if crate::pdes_run::wants_partitioned(cfg) {
+        return crate::pdes_run::sim_partitioned(trace, cfg, limits, obs);
+    }
     let span = obs.map(|ms| ms.span("sim.runner.simulate"));
     let mut eng: Engine<SimState<'_>> = Engine::new();
     let mut st = match SimState::new(trace, cfg) {
@@ -871,7 +1015,7 @@ fn check_limits(
 
 /// Close out telemetry on a failing run: stop the wall span and bump the
 /// per-cause failure counter. Returns the error unchanged.
-fn observe_fail(
+pub(crate) fn observe_fail(
     obs: Option<&MetricSet>,
     span: Option<masim_obs::SpanGuard>,
     err: SimError,

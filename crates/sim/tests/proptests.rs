@@ -96,6 +96,7 @@ fn simulation_respects_hockney_lower_bound() {
                 model,
                 compute_scale: 1.0,
                 eager_packets: false,
+                sim_threads: 1,
             };
             let r = simulate(&trace, &cfg);
             assert!(

@@ -287,6 +287,7 @@ fn all_apps_simulate_on_cielito() {
                 model,
                 compute_scale: 1.0,
                 eager_packets: false,
+                sim_threads: 1,
             };
             let r = simulate(&t, &cfg);
             assert!(r.total > Time::ZERO, "{app}/{}", model.name());
@@ -319,6 +320,7 @@ fn lazy_and_eager_packet_injection_are_bit_identical() {
             model: ModelKind::Packet { packet_bytes: 1024 },
             compute_scale: 1.0,
             eager_packets: false,
+            sim_threads: 1,
         };
         let eager = SimConfig { eager_packets: true, ..lazy.clone() };
         let a = simulate(&t, &lazy);

@@ -14,6 +14,7 @@ pub mod error;
 pub mod fattree;
 pub mod machine;
 pub mod mapping;
+pub mod partition;
 pub mod topology;
 pub mod torus;
 
@@ -22,5 +23,6 @@ pub use error::TopoError;
 pub use fattree::FatTree;
 pub use machine::{Machine, NetworkConfig};
 pub use mapping::Mapping;
+pub use partition::Partition;
 pub use topology::{check_route_shape, LinkId, LinkKind, SwitchId, Topology};
 pub use torus::Torus3d;

@@ -1,0 +1,300 @@
+//! Deterministic partitioning of a machine's switches, ranks, and
+//! fabric links into logical processes for conservative parallel
+//! simulation.
+//!
+//! The splitter groups switches into `P` contiguous blocks by switch id
+//! and derives everything else from switch ownership: a rank lives with
+//! its node's switch, a fabric link with the switch that transmits on
+//! it ([`Topology::link_switch`]). NIC (injection/ejection) links are
+//! per-rank state and follow the rank. With that ownership closure,
+//! the only partition-crossing transitions in the packet model are
+//! switch-to-switch hops, each of which pays at least one full link
+//! latency — so the minimum cross-partition latency, and therefore the
+//! conservative lookahead, is exactly the machine's per-hop latency
+//! ([`Partition::lookahead`]).
+//!
+//! The assignment is a pure function of `(topology, mapping, parts)`.
+//! It never depends on thread count, so a simulation partitioned into
+//! `P` logical processes produces the same event interleaving whether
+//! the LPs run on 1 worker or `P`.
+
+use crate::machine::Machine;
+use crate::mapping::Mapping;
+use crate::topology::{LinkId, SwitchId, Topology};
+use masim_trace::{Rank, Time};
+
+/// A deterministic assignment of switches and ranks to `parts` logical
+/// processes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Partition {
+    parts: u32,
+    switch_owner: Vec<u32>,
+    rank_owner: Vec<u32>,
+}
+
+impl Partition {
+    /// Split `topo`'s switches into at most `parts` contiguous blocks
+    /// (block sizes differ by at most one) and derive rank ownership
+    /// through `mapping`. `parts` is clamped to `[1, num_switches]`.
+    pub fn new(topo: &dyn Topology, mapping: &Mapping, parts: u32) -> Partition {
+        let switches = topo.num_switches().max(1);
+        let parts = parts.clamp(1, switches);
+        let base = switches / parts;
+        let extra = switches % parts;
+        let mut switch_owner = Vec::with_capacity(switches as usize);
+        for p in 0..parts {
+            let len = base + u32::from(p < extra);
+            switch_owner.extend(std::iter::repeat_n(p, len as usize));
+        }
+        debug_assert_eq!(switch_owner.len(), switches as usize);
+        let rank_owner = (0..mapping.ranks())
+            .map(|r| switch_owner[topo.node_switch(mapping.node_of(Rank(r))).idx()])
+            .collect();
+        Partition { parts, switch_owner, rank_owner }
+    }
+
+    /// Number of logical processes (≥ 1).
+    pub fn parts(&self) -> u32 {
+        self.parts
+    }
+
+    /// Number of ranks assigned.
+    pub fn ranks(&self) -> u32 {
+        self.rank_owner.len() as u32
+    }
+
+    /// Partition owning a switch's contention state.
+    #[inline]
+    pub fn switch_owner(&self, s: SwitchId) -> u32 {
+        self.switch_owner[s.idx()]
+    }
+
+    /// Partition owning a rank: its process state, mailbox, and NIC
+    /// (injection/ejection) links.
+    #[inline]
+    pub fn rank_owner(&self, r: Rank) -> u32 {
+        self.rank_owner[r.idx()]
+    }
+
+    /// Partition owning a *fabric* link's contention state: the
+    /// transmitting switch's partition when the topology exposes it,
+    /// otherwise a deterministic spread by link id.
+    #[inline]
+    pub fn fabric_link_owner(&self, topo: &dyn Topology, l: LinkId) -> u32 {
+        match topo.link_switch(l) {
+            Some(s) => self.switch_owner(s),
+            None => l.0 % self.parts,
+        }
+    }
+
+    /// Conservative lookahead for this partitioning of `machine`: the
+    /// minimum latency any event takes to cross from one partition into
+    /// another. Every cross-partition transition in the packet model is
+    /// a link traversal charged at least one per-hop latency, so the
+    /// bound is `machine.hop_latency()` regardless of which switches
+    /// ended up in which block. Returns `None` when the machine has no
+    /// positive hop latency (no conservative window exists — callers
+    /// must fall back to sequential execution).
+    pub fn lookahead(&self, machine: &Machine) -> Option<Time> {
+        let hop = machine.hop_latency();
+        (hop > Time::ZERO).then_some(hop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkKind;
+    use crate::{Dragonfly, FatTree, Torus3d};
+    use masim_trace::NodeId;
+
+    fn check_invariants(topo: &dyn Topology, mapping: &Mapping, parts_req: u32) {
+        let p = Partition::new(topo, mapping, parts_req);
+        assert!(p.parts() >= 1);
+        assert!(p.parts() <= topo.num_switches().max(1));
+        assert!(p.parts() <= parts_req.max(1));
+
+        // Every switch assigned exactly once, owners form contiguous
+        // non-decreasing blocks, every partition non-empty.
+        let mut seen = vec![0u32; p.parts() as usize];
+        let mut prev = 0u32;
+        for s in 0..topo.num_switches() {
+            let o = p.switch_owner(SwitchId(s));
+            assert!(o < p.parts(), "switch {s} owner {o} out of range");
+            assert!(o >= prev, "switch owners must be non-decreasing");
+            assert!(o <= prev + 1, "switch blocks must be contiguous");
+            seen[o as usize] += 1;
+            prev = o;
+        }
+        assert!(seen.iter().all(|&c| c > 0), "every partition owns a switch: {seen:?}");
+        let (min, max) = (seen.iter().min().unwrap(), seen.iter().max().unwrap());
+        assert!(max - min <= 1, "block sizes differ by more than one: {seen:?}");
+
+        // Every rank assigned exactly once, consistent with its switch.
+        assert_eq!(p.ranks(), mapping.ranks());
+        for r in 0..mapping.ranks() {
+            let expect = p.switch_owner(topo.node_switch(mapping.node_of(Rank(r))));
+            assert_eq!(p.rank_owner(Rank(r)), expect, "rank {r} not with its switch");
+        }
+
+        // Every link resolves to a valid owner; fabric links co-locate
+        // with their transmitting switch when the topology exposes it.
+        for l in 0..topo.num_links() {
+            let l = LinkId(l);
+            let o = p.fabric_link_owner(topo, l);
+            assert!(o < p.parts(), "link {l} owner {o} out of range");
+            if let Some(s) = topo.link_switch(l) {
+                assert_eq!(topo.link_kind(l), LinkKind::Fabric, "{l} has a switch but is edge");
+                assert!(s.0 < topo.num_switches(), "{l} transmit switch out of range");
+                assert_eq!(o, p.switch_owner(s));
+            }
+        }
+    }
+
+    fn mapping_for(topo: &dyn Topology) -> Mapping {
+        Mapping::block(topo.num_nodes(), 1)
+    }
+
+    #[test]
+    fn exactly_once_on_study_topologies() {
+        for topo in [
+            Box::new(Torus3d::new(4, 4, 2, 2)) as Box<dyn Topology>,
+            Box::new(Dragonfly::new(7, 24, 1, 1)),
+            Box::new(FatTree::new(8, 4, 4)),
+        ] {
+            for parts in [1, 2, 3, 4, 8, 64] {
+                check_invariants(topo.as_ref(), &mapping_for(topo.as_ref()), parts);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let topo = Torus3d::new(4, 4, 2, 2);
+        let m = Mapping::block(64, 2);
+        let a = Partition::new(&topo, &m, 8);
+        let b = Partition::new(&topo, &m, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn one_partition_owns_everything() {
+        let topo = Torus3d::new(4, 4, 2, 2);
+        let m = mapping_for(&topo);
+        let p = Partition::new(&topo, &m, 1);
+        assert_eq!(p.parts(), 1);
+        for s in 0..topo.num_switches() {
+            assert_eq!(p.switch_owner(SwitchId(s)), 0);
+        }
+        for r in 0..m.ranks() {
+            assert_eq!(p.rank_owner(Rank(r)), 0);
+        }
+    }
+
+    #[test]
+    fn parts_clamped_to_switch_count() {
+        let topo = Torus3d::new(2, 1, 1, 4); // 2 switches, 8 nodes
+        let m = mapping_for(&topo);
+        let p = Partition::new(&topo, &m, 16); // more parts than ranks or switches
+        assert_eq!(p.parts(), 2);
+        check_invariants(&topo, &m, 16);
+    }
+
+    /// Minimal single-switch topology exercising the clamp-to-one path
+    /// and the default `link_switch` (None for every link).
+    struct Hub {
+        nodes: u32,
+    }
+
+    impl Topology for Hub {
+        fn name(&self) -> String {
+            format!("hub({})", self.nodes)
+        }
+        fn num_nodes(&self) -> u32 {
+            self.nodes
+        }
+        fn num_switches(&self) -> u32 {
+            1
+        }
+        fn num_links(&self) -> u32 {
+            2 * self.nodes
+        }
+        fn node_switch(&self, _node: NodeId) -> SwitchId {
+            SwitchId(0)
+        }
+        fn link_kind(&self, link: LinkId) -> LinkKind {
+            if link.0 < self.nodes {
+                LinkKind::Injection
+            } else {
+                LinkKind::Ejection
+            }
+        }
+        fn route(&self, src: NodeId, dst: NodeId, path: &mut Vec<LinkId>) {
+            if src != dst {
+                path.push(LinkId(src.0));
+                path.push(LinkId(self.nodes + dst.0));
+            }
+        }
+    }
+
+    #[test]
+    fn single_switch_topology_collapses_to_one_partition() {
+        let topo = Hub { nodes: 6 };
+        let m = mapping_for(&topo);
+        for parts in [1, 2, 8] {
+            let p = Partition::new(&topo, &m, parts);
+            assert_eq!(p.parts(), 1);
+            check_invariants(&topo, &m, parts);
+        }
+    }
+
+    #[test]
+    fn lookahead_is_the_hop_latency() {
+        let machine = Machine::cielito();
+        let m = Mapping::block(64, 16);
+        let p = Partition::new(machine.topology.as_ref(), &m, 4);
+        assert_eq!(p.lookahead(&machine), Some(machine.hop_latency()));
+        assert!(machine.hop_latency() >= Time::from_ns(100), "cielito lookahead should be fat");
+    }
+
+    #[test]
+    fn fuzz_random_shapes() {
+        // splitmix64 over topology shapes; every draw must satisfy the
+        // full invariant battery.
+        let mut state = 0xDEAD_BEEF_u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..40 {
+            let kind = next() % 3;
+            let topo: Box<dyn Topology> = match kind {
+                0 => {
+                    let x = 1 + (next() % 5) as u32;
+                    let y = 1 + (next() % 5) as u32;
+                    let z = 1 + (next() % 3) as u32;
+                    if x * y * z <= 1 {
+                        continue;
+                    }
+                    Box::new(Torus3d::new(x, y, z, 1 + (next() % 4) as u32))
+                }
+                1 => {
+                    // Balanced arrangement: G = a*h + 1.
+                    let a = 1 + (next() % 6) as u32;
+                    let h = 1 + (next() % 3) as u32;
+                    Box::new(Dragonfly::new(a * h + 1, a, 1 + (next() % 3) as u32, h))
+                }
+                _ => Box::new(FatTree::new(
+                    2 + (next() % 8) as u32,
+                    1 + (next() % 4) as u32,
+                    1 + (next() % 4) as u32,
+                )),
+            };
+            let parts = 1 + (next() % 12) as u32;
+            check_invariants(topo.as_ref(), &mapping_for(topo.as_ref()), parts);
+        }
+    }
+}

@@ -44,6 +44,7 @@ fn run(app: App, mapping_name: &str, machine: &Machine) {
         model: ModelKind::PacketFlow { packet_bytes: 8192 },
         compute_scale: 1.0,
         eager_packets: false,
+        sim_threads: 1,
     };
     let sim = simulate(&trace, &sim_cfg);
     let diff = (sim.total.as_secs_f64() / model.total.as_secs_f64() - 1.0) * 100.0;

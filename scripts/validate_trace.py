@@ -13,9 +13,14 @@ contract (DESIGN.md, "Timeline tracing & distributions"):
   global order);
 * at least `--min-tracks` distinct span-carrying tids exist (one per
   study worker);
-* at least `--min-phases` of the known study phase names appear.
+* at least `--min-phases` of the known study phase names appear;
+* every `--require NAME` (repeatable) appears as an event name — CI
+  uses this to pin the PDES worker lanes (`des.pdes.worker` spans,
+  `des.pdes.windows`/`des.pdes.crossings` counters) in partitioned
+  traced runs.
 
 Usage: validate_trace.py TRACE.json [--min-tracks N] [--min-phases N]
+                         [--require NAME]...
 Exits nonzero (with a message per violation) on failure.
 """
 
@@ -31,7 +36,9 @@ STUDY_PHASES = [
 ]
 
 
-def validate(path: str, min_tracks: int, min_phases: int) -> list[str]:
+def validate(
+    path: str, min_tracks: int, min_phases: int, require: list[str] | None = None
+) -> list[str]:
     errors = []
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
@@ -81,6 +88,9 @@ def validate(path: str, min_tracks: int, min_phases: int) -> list[str]:
             f"only {len(phases)} study phase(s) {phases}, expected >= {min_phases} "
             f"of {STUDY_PHASES}"
         )
+    for name in require or []:
+        if name not in names:
+            errors.append(f"required event name {name!r} not present in the trace")
     return errors
 
 
@@ -91,6 +101,7 @@ def main() -> int:
         return 2
     path = args[0]
     min_tracks, min_phases = 1, 4
+    require: list[str] = []
     rest = args[1:]
     while rest:
         flag = rest.pop(0)
@@ -98,10 +109,12 @@ def main() -> int:
             min_tracks = int(rest.pop(0))
         elif flag == "--min-phases":
             min_phases = int(rest.pop(0))
+        elif flag == "--require":
+            require.append(rest.pop(0))
         else:
             print(f"unknown argument {flag!r}", file=sys.stderr)
             return 2
-    errors = validate(path, min_tracks, min_phases)
+    errors = validate(path, min_tracks, min_phases, require)
     if errors:
         for e in errors:
             print(f"validate_trace: {e}", file=sys.stderr)

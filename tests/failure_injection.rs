@@ -142,6 +142,7 @@ fn oversubscribed_mapping_rejected() {
         model: ModelKind::Flow,
         compute_scale: 1.0,
         eager_packets: false,
+        sim_threads: 1,
     };
     let err = simulate_budgeted(&t, &cfg, u64::MAX).expect_err("oversubscription must fail");
     match err {

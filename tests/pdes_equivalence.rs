@@ -1,0 +1,229 @@
+//! The intra-trace PDES determinism contract: partitioning the packet
+//! model onto `WindowedPdes` (`--sim-threads N > 1`) must produce
+//! predictions bit-identical to the sequential engine, at every thread
+//! count, because the partition count and the cross-partition message
+//! order are pure functions of the topology — never of the worker
+//! count. These tests pin that equivalence at three layers: the
+//! `SimResult` fields, the shared telemetry schema, and typed failure
+//! behaviour.
+
+use masim_obs::MetricSet;
+use masim_sim::{
+    simulate, simulate_budgeted, simulate_limited_observed, ModelKind, SimConfig, SimLimits,
+    SimResult,
+};
+use masim_topo::Machine;
+use masim_trace::Trace;
+use masim_workloads::{generate, App, GenConfig};
+
+const SEEDS: [u64; 3] = [7, 41, 99];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn packet_cfg(trace: &Trace, sim_threads: usize) -> SimConfig {
+    let mut cfg =
+        SimConfig::new(Machine::cielito(), ModelKind::Packet { packet_bytes: 1024 }, trace);
+    cfg.sim_threads = sim_threads;
+    cfg
+}
+
+/// CG(64) spread two ranks per node: 32 of cielito's 64 nodes, 16 of
+/// its 32 switches, so the 8-way partition sees real cross-LP traffic.
+/// (At the bench density of 16 ranks/node the trace fits on 4 nodes and
+/// a single partition — correct, but a vacuous determinism check.)
+fn cg_trace(seed: u64) -> Trace {
+    let mut gcfg = GenConfig::test_default(App::Cg, 64);
+    gcfg.machine = "cielito".into();
+    gcfg.ranks_per_node = 2;
+    gcfg.seed = seed;
+    generate(&gcfg)
+}
+
+fn assert_identical(a: &SimResult, b: &SimResult, tag: &str) {
+    assert_eq!(a.total, b.total, "{tag}: total");
+    assert_eq!(a.per_rank, b.per_rank, "{tag}: per_rank");
+    assert_eq!(a.comm_time, b.comm_time, "{tag}: comm_time");
+    assert_eq!(a.events, b.events, "{tag}: events");
+    assert_eq!(a.messages, b.messages, "{tag}: messages");
+    assert_eq!(a.work_units, b.work_units, "{tag}: work_units");
+    assert_eq!(a.max_link_bytes, b.max_link_bytes, "{tag}: max_link_bytes");
+}
+
+/// The core contract: for every app, seed, and thread count, the
+/// partitioned packet model's `SimResult` equals the sequential
+/// engine's, field for field.
+#[test]
+fn partitioned_packet_model_is_bit_identical() {
+    for app in App::ALL {
+        for seed in SEEDS {
+            let mut gcfg = GenConfig::test_default(app, 32);
+            gcfg.machine = "cielito".into();
+            // Two ranks per node so even rank-snapping apps (BigFFT
+            // drops 32 -> 16) still span multiple nodes and emit
+            // inter-node packets; one node would mean zero packet work.
+            gcfg.ranks_per_node = 2;
+            gcfg.seed = seed;
+            let trace = generate(&gcfg);
+            let seq = simulate(&trace, &packet_cfg(&trace, 1));
+            assert!(seq.events > 0 && seq.work_units > 0, "{app}/{seed}: trivial trace");
+            for threads in THREADS {
+                let par = simulate(&trace, &packet_cfg(&trace, threads));
+                assert_identical(&seq, &par, &format!("{app}/seed{seed}/t{threads}"));
+            }
+        }
+    }
+}
+
+/// The bench workload (packet/CG(64) on cielito, the PR's speedup
+/// gate): larger trace, more partitions crossing, same bit-identity.
+#[test]
+fn cg64_bench_shape_is_bit_identical() {
+    let trace = cg_trace(99);
+    let seq = simulate(&trace, &packet_cfg(&trace, 1));
+    for threads in [2, 4, 8] {
+        let par = simulate(&trace, &packet_cfg(&trace, threads));
+        assert_identical(&seq, &par, &format!("cg64/t{threads}"));
+    }
+}
+
+/// The telemetry both paths share must agree exactly: engine event
+/// counts, replay counters, packet-model work, link aggregates, and the
+/// message-size histogram. Executor-specific series (`des.pdes.*`,
+/// queue occupancy, arena footprint) are allowed to exist on one side
+/// only — CI's normalize step strips them before byte-diffing reports.
+#[test]
+fn shared_metrics_schema_agrees() {
+    const SHARED_COUNTERS: [&str; 8] = [
+        "des.engine.processed",
+        "des.engine.scheduled",
+        "des.engine.cancelled",
+        "sim.runner.messages",
+        "sim.budget.consumed",
+        "sim.packet.packets",
+        "sim.packet.hops",
+        "sim.link.bytes_total",
+    ];
+    let trace = cg_trace(41);
+    let run = |threads: usize| {
+        let ms = MetricSet::new();
+        simulate_limited_observed(
+            &trace,
+            &packet_cfg(&trace, threads),
+            SimLimits::unlimited(),
+            &ms,
+        )
+        .expect("run completes");
+        ms.snapshot()
+    };
+    let seq = run(1);
+    let par = run(4);
+    for name in SHARED_COUNTERS {
+        assert_eq!(
+            seq.counters.get(name),
+            par.counters.get(name),
+            "counter {name} diverged between sequential and partitioned runs"
+        );
+    }
+    assert_eq!(
+        seq.counters.get("sim.link.links_used"),
+        par.counters.get("sim.link.links_used"),
+        "disjoint per-LP link sets must cover the same links"
+    );
+    assert_eq!(
+        seq.gauges.get("sim.link.bytes_max"),
+        par.gauges.get("sim.link.bytes_max"),
+        "busiest-link bytes diverged"
+    );
+    assert_eq!(
+        seq.hists.get("sim.msg.bytes"),
+        par.hists.get("sim.msg.bytes"),
+        "message-size distribution diverged"
+    );
+    // The partitioned run must additionally surface its executor stats.
+    assert!(par.counters.get("des.pdes.windows").copied().unwrap_or(0) > 0);
+    assert!(par.counters.get("des.pdes.crossings").copied().unwrap_or(0) > 0);
+}
+
+/// Typed failures survive partitioning: a budget too small for the
+/// trace trips `BudgetExhausted` (window-aligned, so the trip point is
+/// thread-count independent), never a panic.
+#[test]
+fn budget_trips_as_typed_error_at_any_thread_count() {
+    let trace = cg_trace(7);
+    let mut trips = Vec::new();
+    for threads in [2, 4] {
+        let err = simulate_budgeted(&trace, &packet_cfg(&trace, threads), 10_000)
+            .expect_err("tiny budget must trip");
+        match err {
+            masim_sim::SimError::BudgetExhausted { consumed, budget } => {
+                assert_eq!(budget, 10_000);
+                trips.push(consumed);
+            }
+            other => panic!("expected BudgetExhausted, got {other}"),
+        }
+    }
+    assert_eq!(trips[0], trips[1], "budget trip point must be worker-count independent");
+}
+
+/// Mask floating-point wall-clock seconds (the only live measurement a
+/// report prints) so report bytes can be compared across runs — the
+/// same contract CI's normalize_timing.py applies before its diffs.
+fn mask_floats(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut run = String::new();
+    for c in text.chars().chain(std::iter::once('\n')) {
+        if c.is_ascii_digit() || c == '.' {
+            run.push(c);
+        } else {
+            if run.contains('.') {
+                out.push_str("#.#");
+            } else {
+                out.push_str(&run);
+            }
+            run.clear();
+            out.push(c);
+        }
+    }
+    out.pop(); // the sentinel '\n'
+    out
+}
+
+/// Table II rendered from a partitioned run is byte-identical to the
+/// sequential rendering once wall seconds are masked; integer fields
+/// (app names, rank counts, failure annotations) must match exactly.
+/// Table III is the static candidate catalogue — no simulation input,
+/// so its bytes cannot depend on the executor; it is rendered once per
+/// thread count anyway to pin that assumption.
+#[test]
+fn table_reports_are_byte_identical_across_sim_threads() {
+    let entries = masim_core::report::table2_tiny_entries(7);
+    let (seq_text, _) = masim_core::report::table2_observed(&entries, 7, 1);
+    let seq_masked = mask_floats(&seq_text);
+    let seq_table3 = masim_core::report::table3();
+    for threads in [2usize, 4] {
+        let (par_text, _) = masim_core::report::table2_observed(&entries, 7, threads);
+        assert_eq!(
+            seq_masked,
+            mask_floats(&par_text),
+            "Table II bytes diverged at sim_threads={threads}"
+        );
+        assert_eq!(seq_table3, masim_core::report::table3());
+    }
+}
+
+/// Non-packet models and eager-packet runs ignore `sim_threads` and
+/// stay on the sequential engine: same results with the knob set.
+#[test]
+fn non_packet_models_stay_sequential() {
+    let trace = cg_trace(7);
+    for model in [ModelKind::Flow, ModelKind::PacketFlow { packet_bytes: 8192 }] {
+        let mut a = SimConfig::new(Machine::cielito(), model, &trace);
+        let mut b = a.clone();
+        a.sim_threads = 1;
+        b.sim_threads = 4;
+        assert_identical(
+            &simulate(&trace, &a),
+            &simulate(&trace, &b),
+            &format!("{}/threads-ignored", model.name()),
+        );
+    }
+}

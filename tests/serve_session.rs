@@ -57,8 +57,11 @@ fn scratch(tag: &str) -> PathBuf {
 fn socket_submission_matches_in_process_run_and_caches() {
     let root = scratch("session");
     let sock = root.join("repro.sock");
-    let server =
-        Arc::new(Server::new(ServerOptions { threads: 2, cache_dir: Some(root.join("cache")) }));
+    let server = Arc::new(Server::new(ServerOptions {
+        threads: 2,
+        sim_threads: 1,
+        cache_dir: Some(root.join("cache")),
+    }));
     let daemon = {
         let server = server.clone();
         let sock = sock.clone();
