@@ -57,6 +57,7 @@ fn mapping_sweep(h: &mut Harness) {
             compute_scale: 1.0,
             eager_packets: false,
             sim_threads: 1,
+            route_arena_cap_bytes: u64::MAX,
         };
         h.bench(&format!("ablation/mapping/{name}"), DEFAULT_SAMPLES, || {
             black_box(simulate(&trace, &cfg));

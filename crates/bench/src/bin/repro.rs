@@ -296,6 +296,7 @@ fn run() -> Result<(), String> {
         Some("serve") => return serve_cmd(&argv[1..]),
         Some("submit") => return submit_cmd(&argv[1..]),
         Some("ctl") => return ctl_cmd(&argv[1..]),
+        Some("scale") => return scale_cmd(&argv[1..]),
         _ => {}
     }
     let opts = parse_args()?;
@@ -575,6 +576,175 @@ fn bench_pdes_cmd(metrics_dir: Option<&Path>, sim_threads: usize) -> Result<(), 
         eprintln!("wrote {n} packet-pdes sidecar(s) under {}", dir.display());
     }
     Ok(())
+}
+
+/// Parse a byte count with an optional binary suffix: `8g`/`8G` = 8 GiB,
+/// `512m` = 512 MiB, `64k` = 64 KiB, plain digits = bytes.
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let (num, mult) = match s.as_bytes().last() {
+        Some(b'k' | b'K') => (&s[..s.len() - 1], 1u64 << 10),
+        Some(b'm' | b'M') => (&s[..s.len() - 1], 1u64 << 20),
+        Some(b'g' | b'G') => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    num.parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+        .ok_or_else(|| format!("'{s}' is not a byte count (use plain bytes or a k/m/g suffix)"))
+}
+
+/// `repro scale`: the mega-scale smoke path. Generate a trace for a
+/// scale machine, stream it to disk in the MASS v1 format, drop the
+/// in-memory copy, and replay the *streamed* trace through the packet
+/// model under a resident-memory budget. Exercises exactly the three
+/// panics-turned-errors of the mega-scale work: route-arena caps,
+/// oversized messages, and memory budgets all land as typed failures.
+///
+/// `--metrics <dir>` writes a `tool=scale` sidecar and folds the
+/// directory into `BENCH_obs.json`, whose top-level `host` entry then
+/// carries this process's peak RSS next to the simulator's own
+/// `route_arena_bytes` accounting.
+fn scale_cmd(args: &[String]) -> Result<(), String> {
+    use masim_core::ToolFailure;
+    use masim_sim::{
+        simulate_streamed_observed, ModelKind, SimConfig, SimLimits, DEFAULT_PACKET_BYTES,
+    };
+    use masim_trace::StreamedTrace;
+
+    let mut machine_name = "frontier".to_string();
+    let mut app_name = "CNS".to_string();
+    let mut ranks: u32 = 65_536;
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut mem_budget = u64::MAX;
+    let mut metrics: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--machine" => {
+                machine_name = it.next().ok_or("scale: --machine requires a name")?.clone();
+            }
+            "--app" => app_name = it.next().ok_or("scale: --app requires a name")?.clone(),
+            "--ranks" => {
+                let n = it.next().ok_or("scale: --ranks requires a count")?;
+                ranks = n
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n >= 2)
+                    .ok_or_else(|| format!("scale: --ranks '{n}' is not a rank count"))?;
+            }
+            "--trace-dir" => {
+                trace_dir = Some(PathBuf::from(
+                    it.next().ok_or("scale: --trace-dir requires a directory")?,
+                ));
+            }
+            "--mem-budget" => {
+                let s = it.next().ok_or("scale: --mem-budget requires a byte count")?;
+                mem_budget = parse_bytes(s).map_err(|e| format!("scale: --mem-budget {e}"))?;
+            }
+            "--metrics" => {
+                metrics =
+                    Some(PathBuf::from(it.next().ok_or("scale: --metrics requires a directory")?));
+            }
+            other => return Err(format!("scale: unknown argument '{other}'")),
+        }
+    }
+    let trace_dir = trace_dir.ok_or("scale: --trace-dir <dir> is required")?;
+    fs::create_dir_all(&trace_dir)
+        .map_err(|e| format!("scale: create trace dir {}: {e}", trace_dir.display()))?;
+    if let Some(dir) = &metrics {
+        fs::create_dir_all(dir)
+            .map_err(|e| format!("scale: create metrics dir {}: {e}", dir.display()))?;
+    }
+
+    let machine = masim_topo::Machine::by_name(&machine_name).map_err(|e| e.to_string())?;
+    let app = masim_workloads::App::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(&app_name))
+        .ok_or_else(|| format!("scale: unknown app '{app_name}'"))?;
+
+    let mut gcfg = masim_workloads::GenConfig::test_default(app, ranks);
+    gcfg.machine = machine_name.clone();
+    gcfg.ranks_per_node = machine.cores_per_node;
+    if gcfg.ranks > machine.capacity() {
+        return Err(format!(
+            "scale: {} ranks exceed {machine_name}'s capacity of {}",
+            gcfg.ranks,
+            machine.capacity()
+        ));
+    }
+
+    // Stage 1: generate, stream to disk, and *drop* the in-memory trace
+    // — from here on the simulator sees only the encoded bytes.
+    let t0 = Instant::now();
+    let path = {
+        let trace = masim_workloads::generate(&gcfg);
+        let path = trace_dir.join(format!("{}_{}.mass", app.name(), gcfg.ranks));
+        masim_trace::write_stream(&trace, &path)
+            .map_err(|e| format!("scale: write stream: {e}"))?;
+        path
+    };
+    let gen_secs = t0.elapsed().as_secs_f64();
+    let stream = StreamedTrace::open(&path).map_err(|e| format!("scale: open stream: {e}"))?;
+    eprintln!(
+        "scale: {}({}) on {machine_name}: {} events streamed to {} ({} B encoded) in {gen_secs:.1}s",
+        app.name(),
+        gcfg.ranks,
+        stream.num_events(),
+        path.display(),
+        stream.resident_bytes(),
+    );
+
+    // Stage 2: replay the streamed trace through the packet model under
+    // the memory budget. Streamed replay is sequential by construction.
+    let ms = MetricSet::new();
+    let cfg = SimConfig::for_streamed(
+        machine,
+        ModelKind::Packet { packet_bytes: DEFAULT_PACKET_BYTES },
+        &stream,
+    );
+    let limits = SimLimits::unlimited().with_memory_budget(mem_budget);
+    let span = ms.span(TOOL_WALL_SPAN);
+    let res = simulate_streamed_observed(&stream, &cfg, limits, &ms);
+    let wall = span.stop();
+
+    let failure = res.as_ref().err().map(|e| ToolFailure::from_sim(e.clone()));
+    if let Some(dir) = &metrics {
+        let mut rm = RunMetrics::with_set(ms.clone())
+            .label("tool", "scale")
+            .label("app", app.name())
+            .label("machine", &machine_name)
+            .label("ranks", &gcfg.ranks.to_string())
+            .label("seed", &gcfg.seed.to_string());
+        if let Some(f) = &failure {
+            rm = rm.label("failure", f.code());
+        }
+        let n = write_sidecars(dir, "scale", &[rm])?;
+        eprintln!("scale: wrote {n} sidecar(s) under {}", dir.display());
+        fold_sidecars(dir)?;
+    }
+    match res {
+        Ok(r) => {
+            let snap = ms.snapshot();
+            let arena = snap.gauges.get("sim.route.arena_bytes").copied().unwrap_or(0);
+            println!(
+                "scale: {}({}) packet model finished in {:.1}s: predicted {}, {} events, \
+                 {} packets, route arena {} B, peak RSS {} B",
+                app.name(),
+                gcfg.ranks,
+                wall.as_secs_f64(),
+                r.total,
+                r.events,
+                r.work_units,
+                arena,
+                masim_obs::peak_rss_bytes(),
+            );
+            Ok(())
+        }
+        Err(e) => {
+            let f = failure.expect("failure recorded for the error branch");
+            Err(format!("scale: simulation failed ({}): {e}", f.code()))
+        }
+    }
 }
 
 /// `repro serve`: run the study-as-a-service daemon until a `shutdown`
@@ -1067,6 +1237,13 @@ fn fold_sidecars(dir: &Path) -> Result<(), String> {
         fields.push(("dist".into(), Value::Obj(dist)));
         obj.push((tool, Value::Obj(fields)));
     }
+    // Host-side measurements live only here, never in the per-tool
+    // sidecars: the sidecars are diffed byte-for-byte in CI, and RSS
+    // varies run to run. The gate ignores this entry (no gated keys).
+    obj.push((
+        "host".into(),
+        Value::Obj(vec![("peak_rss_bytes".into(), Value::UInt(masim_obs::peak_rss_bytes()))]),
+    ));
     let json = Value::Obj(obj).to_json();
     fs::write(BENCH_OBS, &json).map_err(|e| format!("write {BENCH_OBS}: {e}"))?;
     println!("{json}");

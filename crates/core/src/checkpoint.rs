@@ -381,6 +381,9 @@ fn failure_value(f: &ToolFailure) -> Value {
         ToolFailure::Panicked { message } => {
             fields.push(("message".into(), Value::Str(message.clone())));
         }
+        ToolFailure::MemoryBudget { detail } => {
+            fields.push(("detail".into(), Value::Str(detail.clone())));
+        }
     }
     Value::Obj(fields)
 }
@@ -481,6 +484,7 @@ fn failure_from(v: &Value) -> Result<ToolFailure, String> {
         },
         "invalid-config" => ToolFailure::InvalidConfig { reason: str_field(v, "reason")?.into() },
         "panic" => ToolFailure::Panicked { message: str_field(v, "message")?.into() },
+        "memory" => ToolFailure::MemoryBudget { detail: str_field(v, "detail")?.into() },
         other => return Err(format!("unknown failure code {other:?}")),
     })
 }
@@ -666,6 +670,10 @@ mod tests {
         t.mfact = ToolRun::failed(
             ToolFailure::InvalidConfig { reason: "unknown machine \"summit\"".into() },
             Duration::ZERO,
+        );
+        t.pflow = ToolRun::failed(
+            ToolFailure::MemoryBudget { detail: "9 B resident > 8 B budget".into() },
+            Duration::from_nanos(3),
         );
         for study in [&synthetic_study(&entries[0]), &t] {
             let line = encode_record(9, study).to_json();

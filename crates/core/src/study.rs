@@ -83,6 +83,14 @@ pub enum ToolFailure {
         /// The panic payload, if it was a string (the common case).
         message: String,
     },
+    /// The run exceeded its memory budget (resident-set ceiling or
+    /// route-arena cap). At mega-scale these used to be allocator
+    /// aborts; now they land here as rows the report can count.
+    MemoryBudget {
+        /// What was exhausted and by how much, e.g. "simulation memory
+        /// budget exceeded: 9 GiB resident > 8 GiB budget".
+        detail: String,
+    },
 }
 
 impl ToolFailure {
@@ -96,6 +104,7 @@ impl ToolFailure {
             ToolFailure::ClockOverflow { .. } => "overflow",
             ToolFailure::InvalidConfig { .. } => "invalid-config",
             ToolFailure::Panicked { .. } => "panic",
+            ToolFailure::MemoryBudget { .. } => "memory",
         }
     }
 
@@ -114,7 +123,12 @@ impl ToolFailure {
                 delay_ps: overflow.delay.as_ps(),
             },
             SimError::InvalidConfig { reason } => ToolFailure::InvalidConfig { reason },
-            SimError::UnknownRequest { .. } => ToolFailure::InvalidConfig { reason: e.to_string() },
+            SimError::UnknownRequest { .. } | SimError::OversizedMessage { .. } => {
+                ToolFailure::InvalidConfig { reason: e.to_string() }
+            }
+            SimError::RouteArenaExhausted { .. } | SimError::MemoryBudget { .. } => {
+                ToolFailure::MemoryBudget { detail: e.to_string() }
+            }
         }
     }
 
@@ -161,6 +175,7 @@ impl std::fmt::Display for ToolFailure {
             }
             ToolFailure::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             ToolFailure::Panicked { message } => write!(f, "tool panicked: {message}"),
+            ToolFailure::MemoryBudget { detail } => write!(f, "memory budget exceeded: {detail}"),
         }
     }
 }
@@ -330,6 +345,12 @@ pub struct StudyConfig {
     /// setting, so this knob is deliberately *not* part of the session
     /// fingerprint or checkpoint identity.
     pub sim_threads: usize,
+    /// Resident-memory ceiling (bytes) per simulator run, charged
+    /// against the simulator's own accounting (trace + routes + links +
+    /// in-flight messages + model state). `u64::MAX` (the default)
+    /// disables the check. An exceeded budget is a typed
+    /// [`ToolFailure::MemoryBudget`] row, not an allocator abort.
+    pub mem_budget: u64,
 }
 
 /// Rank-count floor for `sim_threads = 0` (auto): smaller traces stay
@@ -356,6 +377,7 @@ impl Default for StudyConfig {
             pflow_budget: u64::MAX,
             sim_deadline: None,
             sim_threads: 1,
+            mem_budget: u64::MAX,
         }
     }
 }
@@ -528,7 +550,8 @@ pub fn run_one_observed(entry: &CorpusEntry, cfg: &StudyConfig) -> ObservedTrace
 
     let sim_run = |model: ModelKind, budget: u64| -> (ToolRun, MetricSet) {
         let ms = MetricSet::new();
-        let limits = SimLimits { max_work: budget, deadline: cfg.sim_deadline };
+        let limits =
+            SimLimits { max_work: budget, deadline: cfg.sim_deadline, max_bytes: cfg.mem_budget };
         let span = ms.span(TOOL_WALL_SPAN);
         let res = {
             // Static names keep the timeline span free of per-run

@@ -56,5 +56,6 @@ pub use classify::{classify, try_classify, AppClass, Classification, SENSITIVITY
 pub use cost::{collective, p2p, CommCost};
 pub use error::ReplayError;
 pub use replay::{
-    replay, replay_observed, try_replay, try_replay_observed, ConfigResult, Counters, ModelConfig,
+    replay, replay_observed, try_replay, try_replay_observed, try_replay_streamed, ConfigResult,
+    Counters, ModelConfig,
 };

@@ -14,7 +14,7 @@ use crate::cost::{collective, p2p};
 use crate::error::ReplayError;
 use masim_obs::MetricSet;
 use masim_topo::NetworkConfig;
-use masim_trace::{EventKind, Time, Trace};
+use masim_trace::{Event, EventKind, Rank, RankCursor, StreamedTrace, Time, Trace};
 use std::collections::{HashMap, VecDeque};
 
 /// One target configuration for the replay.
@@ -117,6 +117,45 @@ struct CollGroup {
     bytes: Vec<u64>,
 }
 
+/// Event source the replay loop runs over: either the fully
+/// materialized [`Trace`] or per-rank streaming cursors into a MASS v1
+/// buffer. The replay's access pattern — strictly forward per rank,
+/// with the *current* event re-read when a blocked rank is woken —
+/// stays inside [`RankCursor`]'s decode window, so the streamed path
+/// never rewinds.
+trait EvSrc {
+    /// Events in rank `r`'s stream.
+    fn len_of(&self, r: u32) -> usize;
+    /// Event `k` of rank `r`. `k` must be in range and within the
+    /// streaming window (current, one back, or the next undecoded).
+    fn get(&mut self, r: u32, k: usize) -> &Event;
+}
+
+struct MemSrc<'a>(&'a Trace);
+
+impl EvSrc for MemSrc<'_> {
+    fn len_of(&self, r: u32) -> usize {
+        self.0.events[r as usize].len()
+    }
+    fn get(&mut self, r: u32, k: usize) -> &Event {
+        &self.0.events[r as usize][k]
+    }
+}
+
+struct StreamSrc<'a> {
+    cursors: Vec<RankCursor<'a>>,
+    lens: Vec<usize>,
+}
+
+impl EvSrc for StreamSrc<'_> {
+    fn len_of(&self, r: u32) -> usize {
+        self.lens[r as usize]
+    }
+    fn get(&mut self, r: u32, k: usize) -> &Event {
+        self.cursors[r as usize].get(k).expect("index bounded by len_of")
+    }
+}
+
 /// Replay `trace` under every configuration simultaneously.
 ///
 /// Panics if the trace deadlocks (which [`Trace::validate`] would have
@@ -133,10 +172,35 @@ pub fn try_replay(
     trace: &Trace,
     configs: &[ModelConfig],
 ) -> Result<Vec<ConfigResult>, ReplayError> {
+    replay_core(trace.num_ranks(), &mut MemSrc(trace), configs)
+}
+
+/// Replay a [`StreamedTrace`] without materializing per-rank event
+/// vectors: each rank decodes through a [`RankCursor`], so the resident
+/// footprint stays at the encoded (MASS v1) size plus one decode window
+/// per rank. Results are bit-identical to [`try_replay`] on the decoded
+/// trace.
+pub fn try_replay_streamed(
+    stream: &StreamedTrace,
+    configs: &[ModelConfig],
+) -> Result<Vec<ConfigResult>, ReplayError> {
+    let n = stream.num_ranks();
+    let mut src = StreamSrc {
+        cursors: (0..n).map(|r| stream.cursor(Rank(r))).collect(),
+        lens: (0..n).map(|r| stream.rank_len(Rank(r))).collect(),
+    };
+    replay_core(n, &mut src, configs)
+}
+
+fn replay_core<S: EvSrc>(
+    num_ranks: u32,
+    src: &mut S,
+    configs: &[ModelConfig],
+) -> Result<Vec<ConfigResult>, ReplayError> {
     if configs.is_empty() {
         return Err(ReplayError::NoConfigs);
     }
-    let n = trace.num_ranks() as usize;
+    let n = num_ranks as usize;
     let k = configs.len();
 
     let mut clocks = vec![Time::ZERO; n * k];
@@ -165,11 +229,11 @@ pub fn try_replay(
 
     while let Some(r) = ready.pop_front() {
         in_ready[r as usize] = false;
-        let stream = &trace.events[r as usize];
+        let len = src.len_of(r);
         let mut blocked: Option<Block> = None;
 
-        'advance: while cursors[r as usize] < stream.len() {
-            let ev = &stream[cursors[r as usize]];
+        'advance: while cursors[r as usize] < len {
+            let ev = src.get(r, cursors[r as usize]);
             let base = r as usize * k;
             match &ev.kind {
                 EventKind::Compute => {
@@ -388,7 +452,7 @@ pub fn try_replay(
 
         match blocked {
             None => {
-                if cursors[r as usize] >= stream.len() {
+                if cursors[r as usize] >= len {
                     finished[r as usize] = true;
                 }
             }
@@ -629,6 +693,50 @@ mod tests {
         let res = replay(&t, &[ModelConfig::base(net())]);
         // Message available at 5us + 2.5us + 1us = 8.5us.
         assert_eq!(res[0].per_rank[0], Time::from_ns(8_500));
+    }
+
+    /// The streamed replay is bit-identical to the in-memory replay
+    /// across the full sensitivity sweep, on traces that exercise every
+    /// blocking path (channels, collectives, waitall).
+    #[test]
+    fn streamed_replay_matches_in_memory() {
+        let gen = masim_workloads::GenConfig::test_default(masim_workloads::App::Cg, 8);
+        let mut traces = vec![send_recv_trace(), masim_workloads::generate(&gen)];
+        let mut coll = Trace::empty(meta(4));
+        for r in 0..4u32 {
+            let mut b = RankBuilder::new(Rank(r));
+            b.compute(Time::from_us(r as u64 * 10));
+            b.coll(CollKind::Allreduce, 1024, Rank(0), Time::ZERO);
+            coll.events[r as usize] = b.finish();
+        }
+        traces.push(coll);
+        let cfgs = ModelConfig::standard_sweep(net());
+        for t in traces.drain(..) {
+            let encoded = masim_trace::encode_stream(&t);
+            let stream = StreamedTrace::from_bytes(encoded).expect("round-trip");
+            let mem = try_replay(&t, &cfgs).expect("memory replay");
+            let strm = try_replay_streamed(&stream, &cfgs).expect("streamed replay");
+            assert_eq!(mem.len(), strm.len());
+            for (m, s) in mem.iter().zip(&strm) {
+                assert_eq!(m.total, s.total);
+                assert_eq!(m.per_rank, s.per_rank);
+                assert_eq!(m.comm_time, s.comm_time);
+                assert_eq!(m.counters, s.counters);
+            }
+        }
+    }
+
+    /// Streamed replay surfaces deadlocks as typed errors, same as the
+    /// in-memory path.
+    #[test]
+    fn streamed_replay_reports_deadlock() {
+        let mut t = Trace::empty(meta(2));
+        let mut b1 = RankBuilder::new(Rank(1));
+        b1.recv(Rank(0), 64, 0, Time::ZERO); // no matching send
+        t.events[1] = b1.finish();
+        let stream = StreamedTrace::from_bytes(masim_trace::encode_stream(&t)).unwrap();
+        let err = try_replay_streamed(&stream, &[ModelConfig::base(net())]).unwrap_err();
+        assert!(matches!(err, ReplayError::Deadlock { finished: 1, total: 2 }));
     }
 
     #[test]

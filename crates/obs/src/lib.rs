@@ -28,6 +28,7 @@
 //! macro expansion — so callers never need the feature themselves.
 
 pub mod hist;
+pub mod host;
 pub mod json;
 pub mod metrics;
 pub mod progress;
@@ -36,6 +37,7 @@ pub mod span;
 pub mod tracelog;
 
 pub use hist::{HistData, Histogram};
+pub use host::peak_rss_bytes;
 pub use metrics::{Counter, Gauge, MetricSet, Snapshot};
 pub use progress::Progress;
 pub use run::RunMetrics;

@@ -75,6 +75,36 @@ pub enum SimError {
         /// The dangling request id.
         req: u32,
     },
+    /// The route arena hit a structural or configured capacity limit —
+    /// more distinct routes than the `u32` route-id space, a route longer
+    /// than `u16` hops, or resident bytes past the configured cap. At
+    /// mega scale this used to be an `expect` panic deep in `intern`.
+    RouteArenaExhausted {
+        /// Distinct routes interned when the arena gave up.
+        routes: u64,
+        /// Resident bytes in the arena at that point.
+        bytes: u64,
+        /// Which limit was hit, human-readable.
+        limit: String,
+    },
+    /// A single message would split into more packets than the `u32`
+    /// sequence space can number — previously an `assert!` (and, worse,
+    /// a silent `as u32` truncation of the sequence counter).
+    OversizedMessage {
+        /// Message payload size.
+        bytes: u64,
+        /// Packets the payload would split into.
+        packets: u64,
+    },
+    /// Estimated resident memory exceeded the configured budget
+    /// ([`crate::SimLimits::max_bytes`]) — the typed replacement for an
+    /// allocator abort when a mega-scale run outgrows its container.
+    MemoryBudget {
+        /// Estimated resident bytes when the run was cut off.
+        resident: u64,
+        /// The configured budget.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -109,6 +139,25 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "malformed trace: rank {rank} waits on request {req} that was never issued"
+                )
+            }
+            SimError::RouteArenaExhausted { routes, bytes, limit } => {
+                write!(
+                    f,
+                    "route arena exhausted after {routes} routes ({bytes} B resident): {limit}"
+                )
+            }
+            SimError::OversizedMessage { bytes, packets } => {
+                write!(
+                    f,
+                    "message of {bytes} bytes splits into {packets} packets, exceeding the u32 \
+                     packet sequence space"
+                )
+            }
+            SimError::MemoryBudget { resident, budget } => {
+                write!(
+                    f,
+                    "simulation memory budget exceeded: {resident} B resident > {budget} B budget"
                 )
             }
         }

@@ -45,7 +45,8 @@ pub use error::SimError;
 pub use net::ModelKind;
 pub use runner::{
     link_bytes_of, simulate, simulate_budgeted, simulate_limited, simulate_limited_observed,
-    simulate_observed, simulate_partitioned_observed, SimConfig, SimLimits, SimResult,
+    simulate_observed, simulate_partitioned_observed, simulate_streamed_limited,
+    simulate_streamed_observed, SimConfig, SimLimits, SimResult,
 };
 pub use util_report::UtilReport;
 

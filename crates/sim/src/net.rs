@@ -45,6 +45,7 @@
 //! incast ejection points — not from an artificial 24-way NIC bottleneck
 //! that the per-process calibration already excludes.
 
+use crate::error::SimError;
 use crate::hash::IntMap;
 use crate::msg::Message;
 use crate::runner::{SimCx, SimEvent, SimState};
@@ -85,10 +86,11 @@ impl ModelKind {
 // Interned routes
 // ---------------------------------------------------------------------
 
-/// Compact handle to an interned route: offset and length into the
-/// [`RouteArena`]'s flat link storage. 8 bytes and `Copy` — this is
-/// what every in-flight packet and flow carries instead of an
-/// `Arc<[LinkId]>` clone.
+/// Compact handle to an interned route: a route *id* (index into the
+/// [`RouteArena`]'s start table, not a byte offset — total link storage
+/// may exceed the `u32` range at mega scale) plus the hop count. 8 bytes
+/// and `Copy` — this is what every in-flight packet and flow carries
+/// instead of an `Arc<[LinkId]>` clone.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct RouteRef {
     off: u32,
@@ -126,10 +128,18 @@ const DENSE_RANK_LIMIT: u32 = 2048;
 /// slice borrow, not a refcount round-trip.
 pub struct RouteArena {
     storage: Vec<LinkId>,
+    /// Start offset in `storage` of each interned route, indexed by
+    /// `RouteRef::off`. Indirecting through a `u64` start table is what
+    /// lets total link storage grow past the old `u32`-offset ceiling
+    /// (4 Gi links) without widening the 8-byte `RouteRef`.
+    starts: Vec<u64>,
     ranks: u32,
     dense: Vec<RouteRef>,
     sparse: IntMap<(u32, u32), RouteRef>,
     interned: usize,
+    /// Resident-byte cap; [`RouteArena::try_intern`] returns a typed
+    /// error instead of growing past it.
+    cap_bytes: u64,
 }
 
 impl RouteArena {
@@ -140,7 +150,21 @@ impl RouteArena {
         } else {
             Vec::new()
         };
-        RouteArena { storage: Vec::new(), ranks, dense, sparse: IntMap::default(), interned: 0 }
+        RouteArena {
+            storage: Vec::new(),
+            starts: Vec::new(),
+            ranks,
+            dense,
+            sparse: IntMap::default(),
+            interned: 0,
+            cap_bytes: u64::MAX,
+        }
+    }
+
+    /// Cap the arena's resident footprint; interning past the cap
+    /// becomes [`SimError::RouteArenaExhausted`].
+    pub fn set_cap_bytes(&mut self, cap: u64) {
+        self.cap_bytes = cap;
     }
 
     /// The interned route for (src, dst), if already seen.
@@ -158,10 +182,31 @@ impl RouteArena {
         }
     }
 
-    /// Intern a freshly built route for (src, dst).
-    pub fn intern(&mut self, src: Rank, dst: Rank, links: &[LinkId]) -> RouteRef {
-        let off = u32::try_from(self.storage.len()).expect("route arena storage exhausted");
-        let len = u16::try_from(links.len()).expect("route longer than u16 hops");
+    /// Intern a freshly built route for (src, dst). The arena's limits
+    /// are structural (u32 route ids, u16 hops) or configured
+    /// ([`RouteArena::set_cap_bytes`]); hitting one is a typed
+    /// [`SimError::RouteArenaExhausted`], never a panic — at mega scale
+    /// the old `expect` here was the first thing to blow up.
+    pub fn try_intern(
+        &mut self,
+        src: Rank,
+        dst: Rank,
+        links: &[LinkId],
+    ) -> Result<RouteRef, SimError> {
+        let Ok(len) = u16::try_from(links.len()) else {
+            return Err(self.exhausted(format!("route of {} hops exceeds u16", links.len())));
+        };
+        // `u32::MAX` itself is reserved so no live route collides with
+        // the dense table's `NONE` sentinel.
+        if self.starts.len() >= u32::MAX as usize {
+            return Err(self.exhausted("route-id space (u32) exhausted".into()));
+        }
+        let off = self.starts.len() as u32;
+        let added = (std::mem::size_of_val(links) + std::mem::size_of::<u64>()) as u64;
+        if self.bytes().saturating_add(added) > self.cap_bytes {
+            return Err(self.exhausted(format!("resident cap of {} B exceeded", self.cap_bytes)));
+        }
+        self.starts.push(self.storage.len() as u64);
         self.storage.extend_from_slice(links);
         let r = RouteRef { off, len };
         if self.dense.is_empty() {
@@ -170,13 +215,18 @@ impl RouteArena {
             self.dense[src.0 as usize * self.ranks as usize + dst.0 as usize] = r;
         }
         self.interned += 1;
-        r
+        Ok(r)
+    }
+
+    fn exhausted(&self, limit: String) -> SimError {
+        SimError::RouteArenaExhausted { routes: self.interned as u64, bytes: self.bytes(), limit }
     }
 
     /// The links of an interned route.
     #[inline]
     pub fn resolve(&self, r: RouteRef) -> &[LinkId] {
-        &self.storage[r.off as usize..r.off as usize + r.len as usize]
+        let s = self.starts[r.off as usize] as usize;
+        &self.storage[s..s + r.len as usize]
     }
 
     /// Distinct routes interned so far.
@@ -188,10 +238,11 @@ impl RouteArena {
     /// `sim.route.arena_bytes`.
     pub fn bytes(&self) -> u64 {
         let storage = self.storage.capacity() * std::mem::size_of::<LinkId>();
+        let starts = self.starts.capacity() * std::mem::size_of::<u64>();
         let dense = self.dense.capacity() * std::mem::size_of::<RouteRef>();
         let sparse = self.sparse.capacity()
             * (std::mem::size_of::<(u32, u32)>() + std::mem::size_of::<RouteRef>());
-        (storage + dense + sparse) as u64
+        (storage + starts + dense + sparse) as u64
     }
 }
 
@@ -234,6 +285,11 @@ impl LinkTable {
     /// True when the table is empty (never, in practice).
     pub fn is_empty(&self) -> bool {
         self.caps.is_empty()
+    }
+
+    /// Estimated resident footprint, for the memory-budget check.
+    pub fn resident_bytes(&self) -> u64 {
+        ((self.caps.capacity() + self.inv_caps.capacity()) * std::mem::size_of::<f64>()) as u64
     }
 
     /// Capacity of a link in bytes/second.
@@ -389,6 +445,29 @@ impl NetState {
         }
     }
 
+    /// Estimated resident footprint of the model's per-link (and, for
+    /// the flow model, per-flow) state, for the memory-budget check.
+    pub fn resident_bytes(&self) -> u64 {
+        fn vec_bytes<T>(v: &Vec<T>) -> u64 {
+            (v.capacity() * std::mem::size_of::<T>()) as u64
+        }
+        match self {
+            NetState::Packet(p) => vec_bytes(&p.free_at) + vec_bytes(&p.link_bytes),
+            NetState::Flow(f) => {
+                vec_bytes(&f.slots)
+                    + vec_bytes(&f.free)
+                    + vec_bytes(&f.link_bytes)
+                    + vec_bytes(&f.scr_residual)
+                    + vec_bytes(&f.scr_count)
+                    + vec_bytes(&f.scr_touched)
+                    + vec_bytes(&f.scr_order)
+                    + vec_bytes(&f.scr_rates)
+                    + vec_bytes(&f.scr_frozen)
+            }
+            NetState::PFlow(p) => vec_bytes(&p.queues) + vec_bytes(&p.link_bytes),
+        }
+    }
+
     /// Export the model's telemetry into an observability sink. Plain
     /// integer fields accumulate in the hot path; this copies them out
     /// once after the run, so instrumentation cannot perturb the
@@ -432,6 +511,22 @@ pub(crate) fn inject<C: SimCx>(cx: &mut C, st: &mut SimState, id: u32) {
         return;
     }
 
+    // A message that would split into more packets than the u32 sequence
+    // space can number is a typed error, not an `assert!` — and never a
+    // silent `as u32` truncation of the sequence counter.
+    let packet_bytes = match &st.net {
+        NetState::Packet(p) => Some(p.packet_bytes),
+        NetState::PFlow(p) => Some(p.packet_bytes),
+        NetState::Flow(_) => None,
+    };
+    if let Some(pb) = packet_bytes {
+        let n = n_packets(msg.bytes, pb);
+        if n > u32::MAX as u64 {
+            st.latch_error(SimError::OversizedMessage { bytes: msg.bytes, packets: n });
+            return;
+        }
+    }
+
     // Routes are deterministic per rank pair; intern them so repeated
     // traffic (iterative stencils, collective rounds) is a dense-table
     // load with no per-message allocation.
@@ -439,7 +534,15 @@ pub(crate) fn inject<C: SimCx>(cx: &mut C, st: &mut SimState, id: u32) {
         Some(r) => r,
         None => {
             let links = st.links.route_vec(&st.machine, msg.src, msg.dst, src_node, dst_node);
-            st.routes.intern(msg.src, msg.dst, &links)
+            match st.routes.try_intern(msg.src, msg.dst, &links) {
+                Ok(r) => r,
+                Err(e) => {
+                    // The sender stays blocked; the latched error
+                    // outranks the deadlock this would otherwise report.
+                    st.latch_error(e);
+                    return;
+                }
+            }
         }
     };
     match &mut st.net {
@@ -564,7 +667,9 @@ impl PacketNet {
         first_link: LinkId,
     ) {
         let n = n_packets(msg.bytes, self.packet_bytes);
-        assert!(n <= u32::MAX as u64, "message splits into more than u32::MAX packets");
+        // Oversized messages were rejected with a typed error at
+        // injection (see `inject`), so the sequence counter fits.
+        debug_assert!(n <= u32::MAX as u64);
         self.packets += n;
         if self.eager {
             // Pre-rework behaviour, kept for the equivalence suite: all
@@ -672,7 +777,15 @@ pub(crate) fn foreign_hop<C: SimCx>(cx: &mut C, st: &mut SimState, mut fp: Forei
             let src_node = st.mapping.node_of(fp.src);
             let dst_node = st.mapping.node_of(fp.dst);
             let links = st.links.route_vec(&st.machine, fp.src, fp.dst, src_node, dst_node);
-            st.routes.intern(fp.src, fp.dst, &links)
+            match st.routes.try_intern(fp.src, fp.dst, &links) {
+                Ok(r) => r,
+                Err(e) => {
+                    // Drop the packet; its message never delivers and the
+                    // latched error outranks the resulting deadlock.
+                    st.latch_error(e);
+                    return;
+                }
+            }
         }
     };
     let (link, next_link) = {
@@ -1090,14 +1203,14 @@ mod tests {
         let mut arena = RouteArena::new(8);
         assert!(arena.get(Rank(1), Rank(2)).is_none());
         let links = [LinkId(10), LinkId(3), LinkId(20)];
-        let r = arena.intern(Rank(1), Rank(2), &links);
+        let r = arena.try_intern(Rank(1), Rank(2), &links).unwrap();
         assert_eq!(arena.get(Rank(1), Rank(2)), Some(r));
         assert_eq!(arena.resolve(r), &links);
         assert_eq!(r.len(), 3);
         assert_eq!(arena.routes_interned(), 1);
         assert!(arena.bytes() > 0);
         // A second pair lands behind the first in the flat storage.
-        let r2 = arena.intern(Rank(2), Rank(1), &[LinkId(7), LinkId(8)]);
+        let r2 = arena.try_intern(Rank(2), Rank(1), &[LinkId(7), LinkId(8)]).unwrap();
         assert_eq!(arena.resolve(r2), &[LinkId(7), LinkId(8)]);
         assert_eq!(arena.resolve(r), &links, "earlier routes undisturbed");
     }
@@ -1109,11 +1222,82 @@ mod tests {
         let src = Rank(ranks - 1);
         let dst = Rank(0);
         assert!(arena.get(src, dst).is_none());
-        let r = arena.intern(src, dst, &[LinkId(1), LinkId(2)]);
+        let r = arena.try_intern(src, dst, &[LinkId(1), LinkId(2)]).unwrap();
         assert_eq!(arena.get(src, dst), Some(r));
         assert_eq!(arena.resolve(r), &[LinkId(1), LinkId(2)]);
         // The dense index was never built: footprint stays tiny.
         assert!(arena.bytes() < 1 << 16);
+    }
+
+    /// The sparse (hash) index above [`DENSE_RANK_LIMIT`] must be
+    /// observationally identical to the dense table: same handles back
+    /// from `get`, same resolved links, same intern counts — only the
+    /// footprint differs. Exercised at the boundary (2 048 ranks dense,
+    /// 2 049 sparse) and well past it (4 096).
+    #[test]
+    fn route_arena_sparse_matches_dense_at_the_boundary() {
+        // Deterministic synthetic routes over a few hundred pairs.
+        let route_of = |src: u32, dst: u32| -> Vec<LinkId> {
+            let len = 2 + ((src ^ dst) % 5) as usize;
+            (0..len as u32).map(|h| LinkId(src.wrapping_mul(31) ^ dst ^ h)).collect()
+        };
+        for ranks in [DENSE_RANK_LIMIT, DENSE_RANK_LIMIT + 1, 4096] {
+            let mut arena = RouteArena::new(ranks);
+            let pairs: Vec<(Rank, Rank)> = (0..300u32)
+                .map(|i| (Rank(i * 7 % ranks), Rank((i * 13 + 1) % ranks)))
+                .filter(|(s, d)| s != d)
+                .collect();
+            let mut refs = Vec::new();
+            for &(s, d) in &pairs {
+                if arena.get(s, d).is_none() {
+                    let links = route_of(s.0, d.0);
+                    let r = arena.try_intern(s, d, &links).unwrap();
+                    refs.push((s, d, r, links));
+                }
+            }
+            for (s, d, r, links) in &refs {
+                assert_eq!(arena.get(*s, *d), Some(*r), "ranks={ranks}");
+                assert_eq!(arena.resolve(*r), links.as_slice(), "ranks={ranks}");
+            }
+            assert_eq!(arena.routes_interned(), refs.len(), "ranks={ranks}");
+        }
+    }
+
+    /// Hitting the configured resident cap is a typed error carrying the
+    /// arena's state, never the old `expect` panic.
+    #[test]
+    fn route_arena_cap_is_a_typed_error() {
+        let mut arena = RouteArena::new(4);
+        arena.set_cap_bytes(64);
+        let mut err = None;
+        for src in 0..4u32 {
+            for dst in 0..4u32 {
+                if src == dst {
+                    continue;
+                }
+                let links = [LinkId(src), LinkId(dst), LinkId(src + dst)];
+                if let Err(e) = arena.try_intern(Rank(src), Rank(dst), &links) {
+                    err = Some(e);
+                }
+            }
+        }
+        match err.expect("64-byte cap must trip") {
+            SimError::RouteArenaExhausted { routes, bytes, limit } => {
+                assert_eq!(routes as usize, arena.routes_interned());
+                assert!(bytes <= 64 + 128, "{bytes}");
+                assert!(limit.contains("resident cap"), "{limit}");
+            }
+            e => panic!("wrong error: {e}"),
+        }
+        // Routes longer than the u16 hop field are likewise typed.
+        let long = vec![LinkId(1); u16::MAX as usize + 1];
+        let mut arena = RouteArena::new(4);
+        match arena.try_intern(Rank(0), Rank(1), &long) {
+            Err(SimError::RouteArenaExhausted { limit, .. }) => {
+                assert!(limit.contains("hops"), "{limit}")
+            }
+            other => panic!("wrong result: {other:?}"),
+        }
     }
 
     /// Acceptance gate for the scratch-hoisting rework: once the

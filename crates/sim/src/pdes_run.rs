@@ -32,7 +32,7 @@ use crate::error::{SimError, DEADLOCK_RANK_SAMPLE};
 use crate::msg::Message;
 use crate::net::{foreign_hop, ForeignPacket, ModelKind, Packet};
 use crate::runner::{
-    dispatch, observe_fail, SimConfig, SimCx, SimEvent, SimLimits, SimResult, SimState,
+    dispatch, observe_fail, SimConfig, SimCx, SimEvent, SimLimits, SimResult, SimState, TraceSource,
 };
 use masim_des::{LogicalProcess, Outbox, PdesError, PdesLimits, WindowedPdes};
 use masim_obs::MetricSet;
@@ -170,6 +170,19 @@ impl SimCx for LpCx<'_> {
     }
 }
 
+/// Memory-budget check over the LP states: the budget meters the whole
+/// simulation, so per-LP estimates are summed — except the trace data,
+/// which every LP borrows from the same allocation and counts once.
+fn check_memory(states: &[SimState<'_>], limits: &SimLimits) -> Result<(), SimError> {
+    let shared_trace = states.first().map(|s| s.trace_resident_bytes()).unwrap_or(0);
+    let resident: u64 = shared_trace
+        + states.iter().map(|s| s.resident_bytes() - s.trace_resident_bytes()).sum::<u64>();
+    if resident > limits.max_bytes {
+        return Err(SimError::MemoryBudget { resident, budget: limits.max_bytes });
+    }
+    Ok(())
+}
+
 /// The partitioned analogue of `sim_core`: same validation, limits, and
 /// telemetry contract, with the event loop replaced by the windowed
 /// executor and the result assembled from the rank-owning LPs.
@@ -182,7 +195,7 @@ pub(crate) fn sim_partitioned(
     let span = obs.map(|ms| ms.span("sim.runner.simulate"));
     // The first state build performs the mapping/machine validation the
     // partitioner relies on (it indexes node_of for every rank).
-    let first = match SimState::new(trace, cfg) {
+    let first = match SimState::new(TraceSource::Memory(trace), cfg) {
         Ok(st) => st,
         Err(e) => return Err(observe_fail(obs, span, e)),
     };
@@ -194,7 +207,17 @@ pub(crate) fn sim_partitioned(
     let parts = partition.parts() as usize;
     let mut states = vec![first];
     for _ in 1..parts {
-        states.push(SimState::new(trace, cfg).expect("config validated by the first build"));
+        states.push(
+            SimState::new(TraceSource::Memory(trace), cfg)
+                .expect("config validated by the first build"),
+        );
+    }
+    // The partitioned executor cannot interrupt LPs mid-window, so the
+    // memory budget is enforced at the barriers it does have: once here
+    // after the states are built, and once after the run (below), when
+    // per-LP growth (routes, slabs, link state) is visible.
+    if let Err(err) = check_memory(&states, &limits) {
+        return Err(observe_fail(obs, span, err));
     }
     let lps: Vec<PacketLp> = states
         .into_iter()
@@ -246,6 +269,11 @@ pub(crate) fn sim_partitioned(
             return Err(observe_fail(obs, span, err));
         }
     }
+    // Post-run memory check: a run that ballooned past the budget is
+    // reported as such even though it was only caught at the barrier.
+    if let Err(err) = check_memory(&states, &limits) {
+        return Err(observe_fail(obs, span, err));
+    }
     // Each rank runs (and finishes) only on its owner LP, so the owner
     // counts are disjoint and sum to the global completion count.
     let done: usize = states.iter().map(|s| s.done_count()).sum();
@@ -285,6 +313,12 @@ pub(crate) fn sim_partitioned(
         ms.add("sim.runner.messages", messages);
         ms.add("sim.budget.consumed", processed.saturating_add(work_units));
         ms.gauge_max("sim.route.arena_bytes", states.iter().map(|s| s.routes.bytes()).sum());
+        // Largest single LP's arena: how unevenly the route working set
+        // partitions (each LP interns only routes it injects or relays).
+        ms.gauge_max(
+            "sim.route.lp_arena_bytes",
+            states.iter().map(|s| s.routes.bytes()).max().unwrap_or(0),
+        );
         let lower: u64 = states.iter().map(|s| s.lower_ns()).sum();
         if lower > 0 {
             ms.record_span("sim.runner.lower", lower);

@@ -12,7 +12,7 @@ use crate::net::{
 use masim_des::{Engine, Handler};
 use masim_obs::MetricSet;
 use masim_topo::{LinkId, Machine, Mapping};
-use masim_trace::{EventKind, Rank, Time, Trace};
+use masim_trace::{Event, EventKind, Rank, RankCursor, StreamedTrace, Time, Trace};
 use std::time::{Duration, Instant};
 
 /// Simulation configuration.
@@ -42,20 +42,36 @@ pub struct SimConfig {
     /// predictions. Models other than `Packet` (and machines without a
     /// positive hop latency) always run sequentially.
     pub sim_threads: usize,
+    /// Resident-byte cap on the interned-route arena; interning past it
+    /// is a typed [`SimError::RouteArenaExhausted`]. `u64::MAX` (the
+    /// default) leaves only the arena's structural limits (u32 route
+    /// ids, u16 hops) in force.
+    pub route_arena_cap_bytes: u64,
 }
 
 impl SimConfig {
     /// Default configuration: block mapping (as the original runs used)
     /// at the trace's recorded ranks-per-node, unit compute scale.
     pub fn new(machine: Machine, model: ModelKind, trace: &Trace) -> SimConfig {
-        let mapping = Mapping::block(trace.num_ranks(), trace.meta.ranks_per_node);
+        SimConfig::for_ranks(machine, model, trace.num_ranks(), trace.meta.ranks_per_node)
+    }
+
+    /// Like [`SimConfig::new`] for a trace that stays on disk: the block
+    /// mapping comes from the stream's recorded metadata, so the full
+    /// event vectors never need materializing just to build a config.
+    pub fn for_streamed(machine: Machine, model: ModelKind, stream: &StreamedTrace) -> SimConfig {
+        SimConfig::for_ranks(machine, model, stream.num_ranks(), stream.meta().ranks_per_node)
+    }
+
+    fn for_ranks(machine: Machine, model: ModelKind, ranks: u32, per_node: u32) -> SimConfig {
         SimConfig {
             machine,
-            mapping,
+            mapping: Mapping::block(ranks, per_node),
             model,
             compute_scale: 1.0,
             eager_packets: false,
             sim_threads: 1,
+            route_arena_cap_bytes: u64::MAX,
         }
     }
 }
@@ -72,17 +88,29 @@ pub struct SimLimits {
     pub max_work: u64,
     /// Optional wall-clock deadline on this host.
     pub deadline: Option<Duration>,
+    /// Memory budget: estimated resident bytes of the simulation state
+    /// (trace, route arena, link tables, message slab, model state),
+    /// checked at the same cadence as the work budget on the sequential
+    /// engine and before/after the run on the partitioned executor.
+    /// Exceeding it is a typed [`SimError::MemoryBudget`] instead of an
+    /// allocator abort. `u64::MAX` for unlimited.
+    pub max_bytes: u64,
 }
 
 impl SimLimits {
-    /// A pure work budget, no deadline.
+    /// A pure work budget, no deadline or memory cap.
     pub fn budget(max_work: u64) -> SimLimits {
-        SimLimits { max_work, deadline: None }
+        SimLimits { max_work, deadline: None, max_bytes: u64::MAX }
     }
 
     /// No limits at all.
     pub fn unlimited() -> SimLimits {
-        SimLimits { max_work: u64::MAX, deadline: None }
+        SimLimits { max_work: u64::MAX, deadline: None, max_bytes: u64::MAX }
+    }
+
+    /// This limit set with a memory budget of `max_bytes`.
+    pub fn with_memory_budget(self, max_bytes: u64) -> SimLimits {
+        SimLimits { max_bytes, ..self }
     }
 }
 
@@ -342,6 +370,62 @@ pub(crate) fn dispatch<'a, C: SimCx>(cx: &mut C, st: &mut SimState<'a>, ev: SimE
     }
 }
 
+/// Where the replay reads its events from: a fully materialized
+/// [`Trace`] (the study corpus path) or an on-disk [`StreamedTrace`]
+/// decoded per rank through a small sliding window (the mega-scale
+/// path, which never builds the per-rank `Vec<Event>`s).
+#[derive(Clone, Copy)]
+pub(crate) enum TraceSource<'a> {
+    /// In-memory trace.
+    Memory(&'a Trace),
+    /// Compact on-disk trace, decoded incrementally.
+    Streamed(&'a StreamedTrace),
+}
+
+impl<'a> TraceSource<'a> {
+    pub(crate) fn num_ranks(&self) -> u32 {
+        match self {
+            TraceSource::Memory(t) => t.num_ranks(),
+            TraceSource::Streamed(s) => s.num_ranks(),
+        }
+    }
+
+    /// Estimated resident bytes of the event data itself: decoded
+    /// vectors for a memory trace, the compact encoded buffer for a
+    /// streamed one (its per-rank decode windows are O(1)).
+    fn resident_bytes(&self) -> u64 {
+        match self {
+            TraceSource::Memory(t) => {
+                t.events.iter().map(|v| v.capacity() * std::mem::size_of::<Event>()).sum::<usize>()
+                    as u64
+            }
+            TraceSource::Streamed(s) => s.resident_bytes(),
+        }
+    }
+}
+
+/// A fetched trace event: borrowed straight from an in-memory trace, or
+/// cloned out of a streamed rank's decode window (the window is `&mut`,
+/// so the borrow cannot be held across the replay's re-entrant match
+/// arms). `Deref`s to [`Event`] so the replay reads both identically.
+pub(crate) enum Ev<'e> {
+    /// Borrowed from an in-memory trace.
+    Ref(&'e Event),
+    /// Cloned from a streamed decode window.
+    Owned(Event),
+}
+
+impl std::ops::Deref for Ev<'_> {
+    type Target = Event;
+
+    fn deref(&self) -> &Event {
+        match self {
+            Ev::Ref(e) => e,
+            Ev::Owned(e) => e,
+        }
+    }
+}
+
 /// The shared simulation state (the DES engine's `S`).
 pub struct SimState<'a> {
     pub(crate) machine: Machine,
@@ -353,7 +437,12 @@ pub struct SimState<'a> {
     pub(crate) routes: RouteArena,
     /// Id-indexed message table; event payloads carry `u32` ids into it.
     pub(crate) msgs: MsgSlab,
-    trace: &'a Trace,
+    trace: TraceSource<'a>,
+    /// Per-rank streaming decode windows (empty for a memory trace).
+    cursors: Vec<RankCursor<'a>>,
+    /// Event-data resident bytes, cached at build time (constant for
+    /// the run; summing per-rank capacities at 100k ranks is not free).
+    trace_bytes: u64,
     procs: Vec<Proc>,
     mailboxes: Vec<Mailbox>,
     /// Release purposes indexed by message id (ids are sequential).
@@ -394,14 +483,15 @@ fn token(rank: Rank, code: u32) -> u64 {
 }
 
 impl<'a> SimState<'a> {
-    pub(crate) fn new(trace: &'a Trace, cfg: &SimConfig) -> Result<SimState<'a>, SimError> {
-        let n = trace.num_ranks() as usize;
-        if cfg.mapping.ranks() != trace.num_ranks() {
+    pub(crate) fn new(trace: TraceSource<'a>, cfg: &SimConfig) -> Result<SimState<'a>, SimError> {
+        let ranks = trace.num_ranks();
+        let n = ranks as usize;
+        if cfg.mapping.ranks() != ranks {
             return Err(SimError::InvalidConfig {
                 reason: format!(
                     "mapping/trace rank mismatch: mapping has {} ranks, trace has {}",
                     cfg.mapping.ranks(),
-                    trace.num_ranks()
+                    ranks
                 ),
             });
         }
@@ -410,19 +500,27 @@ impl<'a> SimState<'a> {
                 reason: format!("mapping does not fit machine {}: {e}", cfg.machine.name),
             });
         }
-        let links = LinkTable::new(&cfg.machine, trace.num_ranks());
+        let links = LinkTable::new(&cfg.machine, ranks);
         let mut net = NetState::new(cfg.model, links.len());
         if cfg.eager_packets {
             net.set_eager_packets();
         }
+        let mut routes = RouteArena::new(ranks);
+        routes.set_cap_bytes(cfg.route_arena_cap_bytes);
+        let cursors = match trace {
+            TraceSource::Memory(_) => Vec::new(),
+            TraceSource::Streamed(s) => (0..ranks).map(|r| s.cursor(Rank(r))).collect(),
+        };
         Ok(SimState {
             machine: cfg.machine.clone(),
             mapping: cfg.mapping.clone(),
             net,
             links,
-            routes: RouteArena::new(trace.num_ranks()),
+            routes,
             msgs: MsgSlab::default(),
+            trace_bytes: trace.resident_bytes(),
             trace,
+            cursors,
             procs: (0..n).map(|_| Proc::new()).collect(),
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
             releases: Vec::new(),
@@ -491,8 +589,47 @@ impl<'a> SimState<'a> {
         self.error.take()
     }
 
+    /// Latch the first typed mid-run error; `sim_core` reports it with
+    /// priority over the deadlock the stalled rank would otherwise
+    /// surface as. Later errors are dropped — the first cause wins.
+    pub(crate) fn latch_error(&mut self, e: SimError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
     pub(crate) fn lower_ns(&self) -> u64 {
         self.lower_ns
+    }
+
+    /// Event `k` of rank `r`'s trace, if it exists. Borrowed directly
+    /// from a memory trace; cloned out of the rank's streaming decode
+    /// window otherwise (the replay only ever reads the current event or
+    /// re-reads it after a wake, which the window supports).
+    fn fetch_event(&mut self, r: Rank, k: usize) -> Option<Ev<'a>> {
+        match self.trace {
+            TraceSource::Memory(t) => t.events[r.idx()].get(k).map(Ev::Ref),
+            TraceSource::Streamed(_) => self.cursors[r.idx()].get(k).map(|e| Ev::Owned(e.clone())),
+        }
+    }
+
+    /// Estimated resident bytes of the simulation state: event data,
+    /// interned routes, link tables, message slab, and network-model
+    /// vectors. An estimate of the dominant allocations, not an
+    /// allocator census — it is what [`SimLimits::max_bytes`] meters.
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        self.trace_bytes
+            + self.routes.bytes()
+            + self.links.resident_bytes()
+            + (self.msgs.len() * std::mem::size_of::<Message>()) as u64
+            + self.net.resident_bytes()
+    }
+
+    /// The trace-data share of [`SimState::resident_bytes`]. The
+    /// partitioned runner's LPs borrow the *same* trace, so its summed
+    /// accounting must count this part once, not per LP.
+    pub(crate) fn trace_resident_bytes(&self) -> u64 {
+        self.trace_bytes
     }
 }
 
@@ -508,15 +645,13 @@ pub(crate) fn advance<'a, C: SimCx>(cx: &mut C, st: &mut SimState<'a>, r: Rank) 
         // Collective finished; fall through to trace events.
 
         let cursor = st.procs[r.idx()].cursor;
-        let stream = &st.trace.events[r.idx()];
-        if cursor >= stream.len() {
+        let Some(ev) = st.fetch_event(r, cursor) else {
             let p = &mut st.procs[r.idx()];
             p.status = PStatus::Done;
             p.finish = cx.now();
             st.done += 1;
             return;
-        }
-        let ev = &stream[cursor];
+        };
         st.procs[r.idx()].cursor += 1;
 
         match &ev.kind {
@@ -774,7 +909,7 @@ fn try_finish_wait<'a, C: SimCx>(cx: &mut C, st: &mut SimState<'a>, r: Rank) {
 /// already-validated configurations).
 pub fn link_bytes_of(trace: &Trace, cfg: &SimConfig) -> Vec<u64> {
     let mut eng: Engine<SimState<'_>> = Engine::new();
-    let mut st = SimState::new(trace, cfg).unwrap_or_else(|e| panic!("{e}"));
+    let mut st = SimState::new(TraceSource::Memory(trace), cfg).unwrap_or_else(|e| panic!("{e}"));
     for r in 0..trace.num_ranks() {
         eng.schedule_at(Time::ZERO, SimEvent::Advance(Rank(r)));
     }
@@ -803,7 +938,7 @@ pub fn simulate_budgeted(
     cfg: &SimConfig,
     max_work: u64,
 ) -> Result<SimResult, SimError> {
-    sim_core(trace, cfg, SimLimits::budget(max_work), None)
+    sim_core(TraceSource::Memory(trace), cfg, SimLimits::budget(max_work), None)
 }
 
 /// Run the simulation under full [`SimLimits`]: the deterministic work
@@ -814,7 +949,32 @@ pub fn simulate_limited(
     cfg: &SimConfig,
     limits: SimLimits,
 ) -> Result<SimResult, SimError> {
-    sim_core(trace, cfg, limits, None)
+    sim_core(TraceSource::Memory(trace), cfg, limits, None)
+}
+
+/// [`simulate_limited`] over an on-disk streamed trace: events decode
+/// through per-rank sliding windows, so the full per-rank `Vec<Event>`s
+/// are never materialized — resident cost is the compact encoded buffer
+/// plus O(1) decode state per rank. Predictions are bit-identical to
+/// running [`simulate_limited`] on the decoded trace (the equivalence
+/// suite asserts this per generator). Always sequential: the streamed
+/// path does not partition.
+pub fn simulate_streamed_limited(
+    stream: &StreamedTrace,
+    cfg: &SimConfig,
+    limits: SimLimits,
+) -> Result<SimResult, SimError> {
+    sim_core(TraceSource::Streamed(stream), cfg, limits, None)
+}
+
+/// Observed variant of [`simulate_streamed_limited`].
+pub fn simulate_streamed_observed(
+    stream: &StreamedTrace,
+    cfg: &SimConfig,
+    limits: SimLimits,
+    ms: &MetricSet,
+) -> Result<SimResult, SimError> {
+    sim_core(TraceSource::Streamed(stream), cfg, limits, Some(ms))
 }
 
 /// Budgeted simulation with `sim.*` telemetry on `ms`: the engine's
@@ -829,7 +989,7 @@ pub fn simulate_observed(
     max_work: u64,
     ms: &MetricSet,
 ) -> Result<SimResult, SimError> {
-    sim_core(trace, cfg, SimLimits::budget(max_work), Some(ms))
+    sim_core(TraceSource::Memory(trace), cfg, SimLimits::budget(max_work), Some(ms))
 }
 
 /// Observed variant of [`simulate_limited`].
@@ -839,7 +999,7 @@ pub fn simulate_limited_observed(
     limits: SimLimits,
     ms: &MetricSet,
 ) -> Result<SimResult, SimError> {
-    sim_core(trace, cfg, limits, Some(ms))
+    sim_core(TraceSource::Memory(trace), cfg, limits, Some(ms))
 }
 
 /// Force the partitioned (windowed-PDES) executor regardless of
@@ -858,33 +1018,40 @@ pub fn simulate_partitioned_observed(
     if crate::pdes_run::can_partition(cfg) {
         crate::pdes_run::sim_partitioned(trace, cfg, limits, Some(ms))
     } else {
-        sim_core(trace, cfg, limits, Some(ms))
+        sim_core(TraceSource::Memory(trace), cfg, limits, Some(ms))
     }
 }
 
 fn sim_core(
-    trace: &Trace,
+    src: TraceSource<'_>,
     cfg: &SimConfig,
     limits: SimLimits,
     obs: Option<&MetricSet>,
 ) -> Result<SimResult, SimError> {
-    if crate::pdes_run::wants_partitioned(cfg) {
-        return crate::pdes_run::sim_partitioned(trace, cfg, limits, obs);
+    if let TraceSource::Memory(trace) = src {
+        if crate::pdes_run::wants_partitioned(cfg) {
+            return crate::pdes_run::sim_partitioned(trace, cfg, limits, obs);
+        }
     }
     let span = obs.map(|ms| ms.span("sim.runner.simulate"));
     let mut eng: Engine<SimState<'_>> = Engine::new();
-    let mut st = match SimState::new(trace, cfg) {
+    let mut st = match SimState::new(src, cfg) {
         Ok(st) => st,
         Err(e) => return Err(observe_fail(obs, span, e)),
     };
     st.profile_lower = obs.is_some();
-    let n = trace.num_ranks();
+    let n = src.num_ranks();
     for r in 0..n {
         eng.schedule_at(Time::ZERO, SimEvent::Advance(Rank(r)));
     }
     // Wall clock is only consulted when a deadline is armed, so the
     // budget-only path stays free of syscalls.
     let started = limits.deadline.map(|_| Instant::now());
+    // A state that is already over the memory budget (e.g. the trace
+    // itself) fails fast, before any events run.
+    if let Err(err) = check_limits(0, st.resident_bytes(), &limits, started, obs) {
+        return Err(observe_fail(obs, span, err));
+    }
     let mut check = 0u32;
     if let (Some(ms), Some(tl)) = (obs, masim_obs::tracelog::current()) {
         // Detail drain: identical control flow to the plain loop below,
@@ -904,7 +1071,8 @@ fn sim_core(
                 tl.counter("des.queue.depth", eng.pending() as u64);
                 tl.counter("des.queue.migrations", eng.queue_overflow_migrations());
                 let consumed = eng.processed().saturating_add(st.net.work_units());
-                if let Err(err) = check_limits(consumed, &limits, started, obs) {
+                if let Err(err) = check_limits(consumed, st.resident_bytes(), &limits, started, obs)
+                {
                     return Err(observe_fail(obs, span, err));
                 }
             }
@@ -916,7 +1084,8 @@ fn sim_core(
             if check == 1024 {
                 check = 0;
                 let consumed = eng.processed().saturating_add(st.net.work_units());
-                if let Err(err) = check_limits(consumed, &limits, started, obs) {
+                if let Err(err) = check_limits(consumed, st.resident_bytes(), &limits, started, obs)
+                {
                     return Err(observe_fail(obs, span, err));
                 }
             }
@@ -991,9 +1160,11 @@ fn sim_core(
 }
 
 /// The 1024-event-cadence limit check shared by both drain loops:
-/// deterministic work budget first, then the optional wall deadline.
+/// deterministic work budget first, then the memory budget, then the
+/// optional wall deadline.
 fn check_limits(
     consumed: u64,
+    resident: u64,
     limits: &SimLimits,
     started: Option<Instant>,
     obs: Option<&MetricSet>,
@@ -1003,6 +1174,9 @@ fn check_limits(
             ms.add("sim.budget.consumed", consumed);
         }
         return Err(SimError::BudgetExhausted { consumed, budget: limits.max_work });
+    }
+    if resident > limits.max_bytes {
+        return Err(SimError::MemoryBudget { resident, budget: limits.max_bytes });
     }
     if let (Some(deadline), Some(started)) = (limits.deadline, started) {
         let elapsed = started.elapsed();
@@ -1031,6 +1205,9 @@ pub(crate) fn observe_fail(
             SimError::Deadlock { .. } => "sim.deadlock.detected",
             SimError::InvalidConfig { .. } => "sim.config.invalid",
             SimError::UnknownRequest { .. } => "sim.trace.unknown-request",
+            SimError::RouteArenaExhausted { .. } => "sim.route.exhausted",
+            SimError::OversizedMessage { .. } => "sim.msg.oversized",
+            SimError::MemoryBudget { .. } => "sim.memory.exceeded",
         };
         ms.add(counter, 1);
     }

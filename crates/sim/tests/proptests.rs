@@ -97,6 +97,7 @@ fn simulation_respects_hockney_lower_bound() {
                 compute_scale: 1.0,
                 eager_packets: false,
                 sim_threads: 1,
+                route_arena_cap_bytes: u64::MAX,
             };
             let r = simulate(&trace, &cfg);
             assert!(

@@ -288,6 +288,7 @@ fn all_apps_simulate_on_cielito() {
                 compute_scale: 1.0,
                 eager_packets: false,
                 sim_threads: 1,
+                route_arena_cap_bytes: u64::MAX,
             };
             let r = simulate(&t, &cfg);
             assert!(r.total > Time::ZERO, "{app}/{}", model.name());
@@ -321,6 +322,7 @@ fn lazy_and_eager_packet_injection_are_bit_identical() {
             compute_scale: 1.0,
             eager_packets: false,
             sim_threads: 1,
+            route_arena_cap_bytes: u64::MAX,
         };
         let eager = SimConfig { eager_packets: true, ..lazy.clone() };
         let a = simulate(&t, &lazy);
@@ -332,5 +334,88 @@ fn lazy_and_eager_packet_injection_are_bit_identical() {
         assert_eq!(a.messages, b.messages, "{app}: messages");
         assert_eq!(a.work_units, b.work_units, "{app}: packets routed");
         assert_eq!(a.max_link_bytes, b.max_link_bytes, "{app}: link bytes");
+    }
+}
+
+/// Streaming a trace from its compact on-disk encoding must be an
+/// implementation detail: every generator, every model, bit-identical
+/// predictions to the fully materialized replay. The streamed path
+/// re-reads blocked ranks' current events through its decode window, so
+/// this also pins the window semantics against the replay's access
+/// pattern.
+#[test]
+fn streamed_replay_is_bit_identical_to_in_memory() {
+    use masim_sim::{simulate_limited, simulate_streamed_limited, SimLimits};
+    use masim_trace::StreamedTrace;
+    use masim_workloads::{generate, App, GenConfig};
+    let machine = Machine::cielito();
+    for app in App::ALL {
+        let mut gcfg = GenConfig::test_default(app, 16);
+        gcfg.machine = "cielito".into();
+        gcfg.ranks_per_node = 16;
+        let t = generate(&gcfg);
+        let stream = StreamedTrace::from_bytes(masim_trace::encode_stream(&t)).unwrap();
+        for model in all_models() {
+            let cfg = SimConfig::new(machine.clone(), model, &t);
+            let a = simulate_limited(&t, &cfg, SimLimits::unlimited()).unwrap();
+            let scfg = SimConfig::for_streamed(machine.clone(), model, &stream);
+            let b = simulate_streamed_limited(&stream, &scfg, SimLimits::unlimited()).unwrap();
+            assert_eq!(a.total, b.total, "{app}/{}: total", model.name());
+            assert_eq!(a.per_rank, b.per_rank, "{app}/{}: per-rank", model.name());
+            assert_eq!(a.comm_time, b.comm_time, "{app}/{}: comm", model.name());
+            assert_eq!(a.events, b.events, "{app}/{}: events", model.name());
+            assert_eq!(a.messages, b.messages, "{app}/{}: messages", model.name());
+            assert_eq!(a.work_units, b.work_units, "{app}/{}: work", model.name());
+            assert_eq!(a.max_link_bytes, b.max_link_bytes, "{app}/{}: bytes", model.name());
+        }
+    }
+}
+
+/// The sparse route index (above the dense-table rank limit) is a
+/// first-class execution mode: a >2048-rank exchange must simulate
+/// deterministically through it, with the arena footprint far below
+/// what a dense table would cost at that scale.
+#[test]
+fn sparse_route_mode_simulates_deterministically() {
+    use masim_workloads::{generate, App, GenConfig};
+    let ranks = 2304u32; // above DENSE_RANK_LIMIT = 2048
+    let machine = Machine::hopper_full();
+    let mut gcfg = GenConfig::test_default(App::Cns, ranks);
+    gcfg.machine = machine.name.clone();
+    gcfg.ranks_per_node = machine.cores_per_node;
+    let t = generate(&gcfg);
+    let cfg = SimConfig::new(machine, ModelKind::Packet { packet_bytes: 1024 }, &t);
+    let ms = masim_obs::MetricSet::new();
+    let a = masim_sim::simulate_limited_observed(&t, &cfg, masim_sim::SimLimits::unlimited(), &ms)
+        .unwrap();
+    let b = simulate(&t, &cfg);
+    assert_eq!(a.total, b.total);
+    assert_eq!(a.per_rank, b.per_rank);
+    assert!(a.total > Time::ZERO);
+    // The sparse index interned every distinct route without the
+    // 2304² × 8 B ≈ 42 MiB dense table.
+    let arena = ms.snapshot().gauges.get("sim.route.arena_bytes").copied().unwrap_or(0);
+    assert!(arena > 0, "arena gauge missing");
+    assert!(arena < 42 * 1024 * 1024, "arena {arena} B suggests a dense table");
+}
+
+/// A memory budget far below the simulation state's footprint is a
+/// typed error, not an allocator abort.
+#[test]
+fn memory_budget_is_a_typed_error() {
+    use masim_sim::{simulate_limited, SimError, SimLimits};
+    use masim_workloads::{generate, App, GenConfig};
+    let mut gcfg = GenConfig::test_default(App::Cns, 16);
+    gcfg.machine = "cielito".into();
+    gcfg.ranks_per_node = 16;
+    let t = generate(&gcfg);
+    let cfg = SimConfig::new(Machine::cielito(), ModelKind::Flow, &t);
+    let limits = SimLimits::unlimited().with_memory_budget(1024);
+    match simulate_limited(&t, &cfg, limits) {
+        Err(SimError::MemoryBudget { resident, budget }) => {
+            assert_eq!(budget, 1024);
+            assert!(resident > budget);
+        }
+        other => panic!("expected MemoryBudget, got {other:?}"),
     }
 }

@@ -11,6 +11,7 @@
 //! links, and Valiant detours through an intermediate group for half of
 //! the node pairs.
 
+use crate::error::TopoError;
 use crate::topology::{LinkId, LinkKind, SwitchId, Topology};
 use masim_trace::NodeId;
 
@@ -37,13 +38,45 @@ impl Dragonfly {
         nodes_per_router: u32,
         global_per_router: u32,
     ) -> Dragonfly {
-        assert!(groups > 1, "dragonfly needs at least two groups");
-        assert!(routers_per_group >= 1 && nodes_per_router >= 1 && global_per_router >= 1);
-        assert!(
-            (routers_per_group * global_per_router).is_multiple_of(groups - 1),
-            "absolute arrangement requires (G-1) | a*h (G={groups}, a={routers_per_group}, h={global_per_router})"
-        );
-        Dragonfly { groups, routers_per_group, nodes_per_router, global_per_router }
+        Dragonfly::try_new(groups, routers_per_group, nodes_per_router, global_per_router)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: validates the shape (including the absolute
+    /// arrangement's `(G−1) | a·h` requirement) and that the directed
+    /// link id space fits in `u32`.
+    pub fn try_new(
+        groups: u32,
+        routers_per_group: u32,
+        nodes_per_router: u32,
+        global_per_router: u32,
+    ) -> Result<Dragonfly, TopoError> {
+        let shape_err = |reason: String| TopoError::InvalidShape { topo: "dragonfly", reason };
+        if groups <= 1 {
+            return Err(shape_err("dragonfly needs at least two groups".into()));
+        }
+        if routers_per_group < 1 || nodes_per_router < 1 || global_per_router < 1 {
+            return Err(shape_err(
+                "need at least one router per group, node per router, and global link per router"
+                    .into(),
+            ));
+        }
+        let ah = u64::from(routers_per_group) * u64::from(global_per_router);
+        if !ah.is_multiple_of(u64::from(groups - 1)) {
+            return Err(shape_err(format!(
+                "absolute arrangement requires (G-1) | a*h \
+                 (G={groups}, a={routers_per_group}, h={global_per_router})"
+            )));
+        }
+        let routers = u64::from(groups) * u64::from(routers_per_group);
+        let nodes = routers * u64::from(nodes_per_router);
+        let links = routers * u64::from(routers_per_group - 1)
+            + routers * u64::from(global_per_router)
+            + 2 * nodes;
+        if nodes > u64::from(u32::MAX) || links > u64::from(u32::MAX) {
+            return Err(TopoError::LinkSpaceExhausted { topo: "dragonfly", links });
+        }
+        Ok(Dragonfly { groups, routers_per_group, nodes_per_router, global_per_router })
     }
 
     /// Global channels per ordered group pair.
@@ -57,7 +90,9 @@ impl Dragonfly {
         let mut a = 2u32;
         loop {
             let g = a * global_per_router + 1;
-            if g * a * nodes_per_router >= min_nodes {
+            // Widen: at Frontier-class sizes g·a·p can exceed u32 while
+            // searching for the first shape that fits.
+            if u64::from(g) * u64::from(a) * u64::from(nodes_per_router) >= u64::from(min_nodes) {
                 return Dragonfly::new(g, a, nodes_per_router, global_per_router);
             }
             a += 1;
@@ -398,8 +433,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "(G-1) | a*h")]
     fn oversubscribed_groups_rejected() {
-        let _ = Dragonfly::new(10, 4, 2, 1);
+        let err = Dragonfly::try_new(10, 4, 2, 1).unwrap_err();
+        assert!(err.to_string().contains("(G-1) | a*h"), "{err}");
+        let err = Dragonfly::try_new(1, 4, 2, 1).unwrap_err();
+        assert!(err.to_string().contains("two groups"), "{err}");
+    }
+
+    #[test]
+    fn oversized_dragonfly_rejected_before_link_ids_wrap() {
+        // a=4000, h=1 ⇒ G=4001 balanced: 16e6 routers × 3999 local links
+        // each ≈ 6.4e10 link ids — far past u32, rejected typed.
+        let err = Dragonfly::try_new(4001, 4000, 1, 1).unwrap_err();
+        assert!(matches!(err, TopoError::LinkSpaceExhausted { topo: "dragonfly", .. }), "{err}");
     }
 }

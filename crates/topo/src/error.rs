@@ -43,6 +43,23 @@ pub enum TopoError {
         /// The node's core count.
         cores: u32,
     },
+    /// A topology constructor was handed a shape it cannot build
+    /// (degenerate dimensions, unbalanced dragonfly arrangement, …).
+    InvalidShape {
+        /// Which topology family rejected the shape.
+        topo: &'static str,
+        /// Human-readable reason, phrased like the old assertion text.
+        reason: String,
+    },
+    /// The shape is structurally fine but its directed-link id space
+    /// does not fit in `u32` — link-id arithmetic would silently wrap in
+    /// release builds, corrupting routing tables at mega scale.
+    LinkSpaceExhausted {
+        /// Which topology family rejected the shape.
+        topo: &'static str,
+        /// The directed-link count the shape would need.
+        links: u64,
+    },
 }
 
 impl fmt::Display for TopoError {
@@ -57,6 +74,16 @@ impl fmt::Display for TopoError {
             }
             TopoError::Oversubscribed { node, ranks, cores } => {
                 write!(f, "node n{node} oversubscribed: {ranks} ranks > {cores} cores")
+            }
+            TopoError::InvalidShape { topo, reason } => {
+                write!(f, "invalid {topo} shape: {reason}")
+            }
+            TopoError::LinkSpaceExhausted { topo, links } => {
+                write!(
+                    f,
+                    "{topo} shape needs {links} directed links, which overflows the u32 \
+                     link-id space"
+                )
             }
         }
     }

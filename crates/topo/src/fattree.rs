@@ -6,6 +6,7 @@
 //! spine deterministically by hashing the destination leaf, which spreads
 //! flows while keeping simulations reproducible.
 
+use crate::error::TopoError;
 use crate::topology::{LinkId, LinkKind, SwitchId, Topology};
 use masim_trace::NodeId;
 
@@ -19,11 +20,28 @@ pub struct FatTree {
 
 impl FatTree {
     /// Build a fat tree with `leaves` leaf switches, `spines` spine
-    /// switches, and `nodes_per_leaf` nodes per leaf.
+    /// switches, and `nodes_per_leaf` nodes per leaf. Panicking wrapper
+    /// over [`FatTree::try_new`] for statically-known shapes.
     pub fn new(leaves: u32, spines: u32, nodes_per_leaf: u32) -> FatTree {
-        assert!(leaves >= 2, "need at least two leaves");
-        assert!(spines >= 1 && nodes_per_leaf >= 1);
-        FatTree { leaves, spines, nodes_per_leaf }
+        FatTree::try_new(leaves, spines, nodes_per_leaf).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: validates the shape and that the directed
+    /// link id space (`2·leaves·spines + 2·nodes`) fits in `u32`.
+    pub fn try_new(leaves: u32, spines: u32, nodes_per_leaf: u32) -> Result<FatTree, TopoError> {
+        let shape_err = |reason: String| TopoError::InvalidShape { topo: "fattree", reason };
+        if leaves < 2 {
+            return Err(shape_err("need at least two leaves".into()));
+        }
+        if spines < 1 || nodes_per_leaf < 1 {
+            return Err(shape_err("need at least one spine and one node per leaf".into()));
+        }
+        let nodes = u64::from(leaves) * u64::from(nodes_per_leaf);
+        let links = 2 * u64::from(leaves) * u64::from(spines) + 2 * nodes;
+        if nodes > u64::from(u32::MAX) || links > u64::from(u32::MAX) {
+            return Err(TopoError::LinkSpaceExhausted { topo: "fattree", links });
+        }
+        Ok(FatTree { leaves, spines, nodes_per_leaf })
     }
 
     /// Leaf switches count.
@@ -162,6 +180,17 @@ mod tests {
         let t = FatTree::new(4, 2, 4);
         assert_eq!(t.fabric_hops(NodeId(0), NodeId(1)), 0);
         assert_eq!(t.fabric_hops(NodeId(0), NodeId(4)), 2);
+    }
+
+    #[test]
+    fn bad_shapes_rejected_with_typed_errors() {
+        let err = FatTree::try_new(1, 2, 4).unwrap_err();
+        assert!(err.to_string().contains("two leaves"), "{err}");
+        let err = FatTree::try_new(4, 0, 4).unwrap_err();
+        assert!(matches!(err, TopoError::InvalidShape { topo: "fattree", .. }), "{err}");
+        // 80k leaves × 40k spines ≈ 6.4e9 fabric link ids: past u32.
+        let err = FatTree::try_new(80_000, 40_000, 1).unwrap_err();
+        assert!(matches!(err, TopoError::LinkSpaceExhausted { topo: "fattree", .. }), "{err}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::error::TopoError;
 use crate::topology::Topology;
-use crate::{Dragonfly, Torus3d};
+use crate::{Dragonfly, FatTree, Torus3d};
 use masim_trace::{Bandwidth, Time};
 use std::sync::Arc;
 
@@ -123,6 +123,80 @@ impl Machine {
         vec![Machine::cielito(), Machine::hopper(), Machine::edison()]
     }
 
+    /// Edison at production scale: the full 5 576-node Cray XC30 (we
+    /// round up to the first balanced dragonfly that holds it: 55 groups
+    /// of 27 routers × 4 nodes = 5 940 nodes). 24 cores/node ⇒ 142 560
+    /// rank capacity.
+    pub fn edison_full() -> Machine {
+        Machine::new(
+            "edison-full",
+            Arc::new(Dragonfly::balanced(5_576, 4, 2)),
+            NetworkConfig::new(24.0, 1_300),
+            24,
+        )
+    }
+
+    /// Hopper at production scale: NERSC's full 6 384-node XE6 as a
+    /// 17×8×24 Gemini torus with two nodes per ASIC (6 528 nodes).
+    /// 24 cores/node ⇒ 156 672 rank capacity.
+    pub fn hopper_full() -> Machine {
+        Machine::new(
+            "hopper-full",
+            Arc::new(Torus3d::new(17, 8, 24, 2)),
+            NetworkConfig::new(35.0, 2_575),
+            24,
+        )
+    }
+
+    /// Frontier-class dragonfly: 49 groups of 12 routers × 16 nodes
+    /// (9 408 nodes, matching Frontier's node count) on a Slingshot-like
+    /// {200 Gb/s, 2 000 ns} fabric. 64 cores/node ⇒ 602 112 rank
+    /// capacity.
+    pub fn frontier() -> Machine {
+        Machine::new(
+            "frontier",
+            Arc::new(Dragonfly::new(49, 12, 16, 4)),
+            NetworkConfig::new(200.0, 2_000),
+            64,
+        )
+    }
+
+    /// Hypothetical exascale torus: 32³ switches × 2 nodes (65 536
+    /// nodes), 16 cores/node ⇒ exactly 1 Mi rank capacity. Exercises the
+    /// largest link-id space of any preset.
+    pub fn mega_torus() -> Machine {
+        Machine::new(
+            "torus-mega",
+            Arc::new(Torus3d::new(32, 32, 32, 2)),
+            NetworkConfig::new(50.0, 1_500),
+            16,
+        )
+    }
+
+    /// Hypothetical exascale leaf-spine fat tree: 1 024 leaves × 64
+    /// spines × 64 nodes per leaf (65 536 nodes), 16 cores/node ⇒ 1 Mi
+    /// rank capacity.
+    pub fn mega_fattree() -> Machine {
+        Machine::new(
+            "fattree-mega",
+            Arc::new(FatTree::new(1_024, 64, 64)),
+            NetworkConfig::new(100.0, 1_000),
+            16,
+        )
+    }
+
+    /// The mega-scale presets (64k–1M rank capacity). Not part of the
+    /// study corpus — reachable by name from `repro scale` and serve.
+    pub fn scale_machines() -> Vec<Machine> {
+        vec![
+            Machine::edison_full(),
+            Machine::hopper_full(),
+            Machine::frontier(),
+            Machine::mega_torus(),
+            Machine::mega_fattree(),
+        ]
+    }
+
     /// Look a study machine up by name. Unknown names are a typed error
     /// so the study can record the trace as unrunnable instead of
     /// crashing the runner.
@@ -131,6 +205,11 @@ impl Machine {
             "cielito" => Ok(Machine::cielito()),
             "hopper" => Ok(Machine::hopper()),
             "edison" => Ok(Machine::edison()),
+            "edison-full" => Ok(Machine::edison_full()),
+            "hopper-full" => Ok(Machine::hopper_full()),
+            "frontier" => Ok(Machine::frontier()),
+            "torus-mega" => Ok(Machine::mega_torus()),
+            "fattree-mega" => Ok(Machine::mega_fattree()),
             _ => Err(TopoError::UnknownMachine { name: name.to_string() }),
         }
     }
@@ -181,6 +260,18 @@ mod tests {
             // Within 1% after rounding.
             assert!((total - target).abs() / target < 0.01, "{}: {total} vs {target}", m.name);
         }
+    }
+
+    #[test]
+    fn scale_presets_hit_the_mega_band() {
+        // 64k–1M rank capacity, reachable by name; study corpus untouched.
+        for m in Machine::scale_machines() {
+            assert!(m.capacity() >= 64 * 1024, "{}: {}", m.name, m.capacity());
+            assert!(m.capacity() <= 1 << 20, "{}: {}", m.name, m.capacity());
+            assert_eq!(Machine::by_name(&m.name).unwrap().name, m.name);
+        }
+        assert_eq!(Machine::mega_torus().capacity(), 1 << 20);
+        assert!(Machine::frontier().capacity() >= 500_000);
     }
 
     #[test]

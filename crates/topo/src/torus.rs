@@ -5,6 +5,7 @@
 //! dimension-ordered (X then Y then Z) taking the shorter wrap direction
 //! in each dimension, which is Gemini's deterministic routing mode.
 
+use crate::error::TopoError;
 use crate::topology::{LinkId, LinkKind, SwitchId, Topology};
 use masim_trace::NodeId;
 
@@ -21,11 +22,33 @@ pub struct Torus3d {
 impl Torus3d {
     /// Build an `x × y × z` torus with `nodes_per_switch` nodes attached
     /// to every switch. All dimensions must be ≥ 1 and at least one > 1.
+    /// Panicking wrapper over [`Torus3d::try_new`] for statically-known
+    /// shapes.
     pub fn new(x: u32, y: u32, z: u32, nodes_per_switch: u32) -> Torus3d {
-        assert!(x >= 1 && y >= 1 && z >= 1, "torus dimensions must be >= 1");
-        assert!(x * y * z > 1, "torus must have more than one switch");
-        assert!(nodes_per_switch >= 1, "need at least one node per switch");
-        Torus3d { dims: [x, y, z], nodes_per_switch }
+        Torus3d::try_new(x, y, z, nodes_per_switch).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: validates the shape and — crucially at mega
+    /// scale — that the directed-link id space (`switches·6 + 2·nodes`)
+    /// fits in `u32`, so `fabric_link`-style arithmetic can never wrap.
+    pub fn try_new(x: u32, y: u32, z: u32, nodes_per_switch: u32) -> Result<Torus3d, TopoError> {
+        let shape_err = |reason: String| TopoError::InvalidShape { topo: "torus3d", reason };
+        if x < 1 || y < 1 || z < 1 {
+            return Err(shape_err("torus dimensions must be >= 1".into()));
+        }
+        let switches = u64::from(x) * u64::from(y) * u64::from(z);
+        if switches <= 1 {
+            return Err(shape_err("torus must have more than one switch".into()));
+        }
+        if nodes_per_switch < 1 {
+            return Err(shape_err("need at least one node per switch".into()));
+        }
+        let nodes = switches * u64::from(nodes_per_switch);
+        let links = switches * DIRS as u64 + 2 * nodes;
+        if nodes > u64::from(u32::MAX) || links > u64::from(u32::MAX) {
+            return Err(TopoError::LinkSpaceExhausted { topo: "torus3d", links });
+        }
+        Ok(Torus3d { dims: [x, y, z], nodes_per_switch })
     }
 
     /// Torus dimensions.
@@ -55,7 +78,11 @@ impl Torus3d {
     /// Directed fabric link leaving switch `s` in direction `dir`
     /// (0:+x, 1:-x, 2:+y, 3:-y, 4:+z, 5:-z).
     fn fabric_link(&self, s: SwitchId, dir: usize) -> LinkId {
-        LinkId(s.0 * DIRS as u32 + dir as u32)
+        // `try_new` bounds switches·6 + 2·nodes within u32, so the widened
+        // product always narrows back losslessly.
+        let id = u64::from(s.0) * DIRS as u64 + dir as u64;
+        debug_assert!(id <= u64::from(u32::MAX), "fabric link id wrapped");
+        LinkId(id as u32)
     }
 
     fn injection_link(&self, n: NodeId) -> LinkId {
@@ -249,8 +276,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "more than one switch")]
     fn degenerate_torus_rejected() {
-        let _ = Torus3d::new(1, 1, 1, 4);
+        let err = Torus3d::try_new(1, 1, 1, 4).unwrap_err();
+        assert!(err.to_string().contains("more than one switch"), "{err}");
+        let err = Torus3d::try_new(0, 4, 4, 1).unwrap_err();
+        assert!(err.to_string().contains(">= 1"), "{err}");
+        let err = Torus3d::try_new(4, 4, 4, 0).unwrap_err();
+        assert!(err.to_string().contains("node per switch"), "{err}");
+    }
+
+    #[test]
+    fn oversized_torus_rejected_before_link_ids_wrap() {
+        // 1625³ switches × 6 dirs ≈ 25.7e9 link ids: far past u32.
+        let err = Torus3d::try_new(1625, 1625, 1625, 1).unwrap_err();
+        match err {
+            TopoError::LinkSpaceExhausted { topo, links } => {
+                assert_eq!(topo, "torus3d");
+                assert!(links > u64::from(u32::MAX), "links {links}");
+            }
+            other => panic!("expected LinkSpaceExhausted, got {other}"),
+        }
+        // Just-fits shape still constructs: 812³·6 + 2·812³ ≈ 4.28e9 > u32
+        // fails, but 800³ (512e6 switches, 4.1e9 links) also fails; a
+        // 512³ torus (134e6 switches, 1.07e9 links) is fine.
+        assert!(Torus3d::try_new(512, 512, 512, 1).is_ok());
     }
 }

@@ -1,0 +1,128 @@
+//! Seeded fuzz over large torus/dragonfly/fat-tree shapes: link-id
+//! arithmetic must never wrap u32. For every randomly drawn shape the
+//! directed-link count is recomputed in u64; constructors must reject
+//! exactly the shapes whose id space exceeds `u32`, and every link id a
+//! route emits on an accepted shape must stay below `num_links()`.
+//! Debug builds additionally exercise the widened `debug_assert` paths.
+
+use masim_topo::{Dragonfly, FatTree, TopoError, Topology, Torus3d};
+use masim_trace::NodeId;
+
+/// splitmix64: tiny deterministic generator, no external deps.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[1, hi]`.
+    fn in_range(&mut self, hi: u64) -> u32 {
+        (1 + self.next() % hi) as u32
+    }
+}
+
+/// Route a few random pairs and assert every emitted link id is in
+/// range. Skipped for shapes too large to route quickly in debug.
+fn spot_check_routes(topo: &dyn Topology, rng: &mut Rng) {
+    let n = topo.num_nodes();
+    if n > 300_000 {
+        return;
+    }
+    let links = topo.num_links();
+    for _ in 0..8 {
+        let src = NodeId(rng.next() as u32 % n);
+        let dst = NodeId(rng.next() as u32 % n);
+        for link in topo.route_vec(src, dst) {
+            assert!(link.0 < links, "link {} out of range ({links} links)", link.0);
+        }
+    }
+}
+
+#[test]
+fn torus_link_ids_never_wrap() {
+    let mut rng = Rng(0x7051);
+    for round in 0..200 {
+        // Bias toward large dims so the u32 boundary is actually probed.
+        let (x, y, z) = (rng.in_range(2_048), rng.in_range(2_048), rng.in_range(512));
+        let nps = rng.in_range(4);
+        let switches = u64::from(x) * u64::from(y) * u64::from(z);
+        let nodes = switches * u64::from(nps);
+        let links = switches * 6 + 2 * nodes;
+        match Torus3d::try_new(x, y, z, nps) {
+            Ok(t) => {
+                assert!(links <= u64::from(u32::MAX), "round {round}: accepted {links} links");
+                assert_eq!(u64::from(t.num_links()), links, "round {round}");
+                spot_check_routes(&t, &mut rng);
+            }
+            Err(TopoError::LinkSpaceExhausted { links: got, .. }) => {
+                assert!(links > u64::from(u32::MAX), "round {round}: rejected {links} links");
+                assert_eq!(got, links, "round {round}");
+            }
+            Err(e) => {
+                // Only degenerate 1×1×1 shapes may fail for other reasons.
+                assert_eq!(switches, 1, "round {round}: {e}");
+            }
+        }
+    }
+}
+
+#[test]
+fn dragonfly_link_ids_never_wrap() {
+    let mut rng = Rng(0xd24f);
+    for round in 0..200 {
+        // Balanced arrangements (G = a·h + 1) are always divisible; they
+        // let the fuzz walk the size axis without tripping the
+        // divisibility check.
+        let a = rng.in_range(1_024);
+        let h = rng.in_range(8);
+        let p = rng.in_range(8);
+        let g = match a.checked_mul(h).and_then(|ah| ah.checked_add(1)) {
+            Some(g) => g,
+            None => continue,
+        };
+        let routers = u64::from(g) * u64::from(a);
+        let nodes = routers * u64::from(p);
+        let links = routers * u64::from(a - 1) + routers * u64::from(h) + 2 * nodes;
+        match Dragonfly::try_new(g, a, p, h) {
+            Ok(t) => {
+                assert!(links <= u64::from(u32::MAX), "round {round}: accepted {links} links");
+                assert_eq!(u64::from(t.num_links()), links, "round {round}");
+                spot_check_routes(&t, &mut rng);
+            }
+            Err(TopoError::LinkSpaceExhausted { links: got, .. }) => {
+                assert!(links > u64::from(u32::MAX), "round {round}: rejected {links} links");
+                assert_eq!(got, links, "round {round}");
+            }
+            Err(e) => panic!("round {round}: balanced shape rejected: {e}"),
+        }
+    }
+}
+
+#[test]
+fn fattree_link_ids_never_wrap() {
+    let mut rng = Rng(0xfa7);
+    for round in 0..200 {
+        let leaves = rng.in_range(65_536).max(2);
+        let spines = rng.in_range(65_536);
+        let npl = rng.in_range(64);
+        let nodes = u64::from(leaves) * u64::from(npl);
+        let links = 2 * u64::from(leaves) * u64::from(spines) + 2 * nodes;
+        match FatTree::try_new(leaves, spines, npl) {
+            Ok(t) => {
+                assert!(links <= u64::from(u32::MAX), "round {round}: accepted {links} links");
+                assert_eq!(u64::from(t.num_links()), links, "round {round}");
+                spot_check_routes(&t, &mut rng);
+            }
+            Err(TopoError::LinkSpaceExhausted { links: got, .. }) => {
+                assert!(links > u64::from(u32::MAX), "round {round}: rejected {links} links");
+                assert_eq!(got, links, "round {round}");
+            }
+            Err(e) => panic!("round {round}: shape rejected: {e}"),
+        }
+    }
+}

@@ -74,17 +74,18 @@ const TAG_WAIT: u8 = 5;
 const TAG_WAITALL: u8 = 6;
 const TAG_COLL: u8 = 7;
 
-// Little-endian writer helpers over a plain Vec<u8>.
+// Little-endian writer helpers over a plain Vec<u8>. Shared with the
+// streamed format in `crate::stream`.
 #[inline]
 fn put_u8(buf: &mut Vec<u8>, v: u8) {
     buf.push(v);
 }
 #[inline]
-fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 #[inline]
-fn put_u64_le(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64_le(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -97,13 +98,13 @@ fn get_u8(buf: &mut &[u8]) -> u8 {
     head[0]
 }
 #[inline]
-fn get_u32_le(buf: &mut &[u8]) -> u32 {
+pub(crate) fn get_u32_le(buf: &mut &[u8]) -> u32 {
     let (head, rest) = buf.split_at(4);
     *buf = rest;
     u32::from_le_bytes(head.try_into().expect("4-byte slice"))
 }
 #[inline]
-fn get_u64_le(buf: &mut &[u8]) -> u64 {
+pub(crate) fn get_u64_le(buf: &mut &[u8]) -> u64 {
     let (head, rest) = buf.split_at(8);
     *buf = rest;
     u64::from_le_bytes(head.try_into().expect("8-byte slice"))
@@ -183,12 +184,12 @@ pub fn decode(mut buf: &[u8]) -> Result<Trace, DecodeError> {
     Ok(Trace { meta, events })
 }
 
-fn put_string(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_string(buf: &mut Vec<u8>, s: &str) {
     put_u32_le(buf, s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
 }
 
-fn get_string(buf: &mut &[u8]) -> Result<String, DecodeError> {
+pub(crate) fn get_string(buf: &mut &[u8]) -> Result<String, DecodeError> {
     if buf.len() < 4 {
         return Err(DecodeError::Truncated { context: "string length" });
     }

@@ -55,6 +55,7 @@ pub mod event;
 pub mod features;
 pub mod ids;
 pub mod io;
+pub mod stream;
 pub mod text;
 pub mod time;
 pub mod trace;
@@ -63,6 +64,7 @@ pub mod units;
 pub use event::{CollKind, Event, EventKind};
 pub use features::{Features, FEATURE_NAMES, NUM_FEATURES};
 pub use ids::{NodeId, Rank, ReqId};
+pub use stream::{encode_stream, write_stream, RankCursor, StreamError, StreamedTrace};
 pub use text::from_text;
 pub use time::Time;
 pub use trace::{RankBuilder, Trace, TraceError, TraceMeta};

@@ -45,6 +45,7 @@ fn run(app: App, mapping_name: &str, machine: &Machine) {
         compute_scale: 1.0,
         eager_packets: false,
         sim_threads: 1,
+        route_arena_cap_bytes: u64::MAX,
     };
     let sim = simulate(&trace, &sim_cfg);
     let diff = (sim.total.as_secs_f64() / model.total.as_secs_f64() - 1.0) * 100.0;

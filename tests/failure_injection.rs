@@ -143,6 +143,7 @@ fn oversubscribed_mapping_rejected() {
         compute_scale: 1.0,
         eager_packets: false,
         sim_threads: 1,
+        route_arena_cap_bytes: u64::MAX,
     };
     let err = simulate_budgeted(&t, &cfg, u64::MAX).expect_err("oversubscription must fail");
     match err {
@@ -176,7 +177,8 @@ fn deadline_exceeded_is_explicit() {
     let t = ft64_trace();
     let machine = Machine::cielito();
     let cfg = SimConfig::new(machine, ModelKind::Packet { packet_bytes: 1024 }, &t);
-    let limits = SimLimits { max_work: u64::MAX, deadline: Some(Duration::ZERO) };
+    let limits =
+        SimLimits { max_work: u64::MAX, deadline: Some(Duration::ZERO), max_bytes: u64::MAX };
     let err = simulate_limited(&t, &cfg, limits).expect_err("zero deadline must fail");
     match err {
         SimError::DeadlineExceeded { elapsed: _, deadline } => {
@@ -186,6 +188,81 @@ fn deadline_exceeded_is_explicit() {
     }
     // No deadline at all still completes.
     assert!(simulate_limited(&t, &cfg, SimLimits::unlimited()).is_ok());
+}
+
+/// A route-arena cap trips as `SimError::RouteArenaExhausted` — the
+/// typed replacement for the old intern-time panic at mega-scale.
+#[test]
+fn route_arena_cap_is_explicit() {
+    let machine = Machine::cielito();
+    let mut t = Trace::empty(meta(2));
+    t.events[0] =
+        vec![Event::new(EventKind::Send { peer: Rank(1), bytes: 64, tag: 0 }, Time::ZERO)];
+    t.events[1] =
+        vec![Event::new(EventKind::Recv { peer: Rank(0), bytes: 64, tag: 0 }, Time::ZERO)];
+    let mut cfg = SimConfig::new(machine, ModelKind::Packet { packet_bytes: 1024 }, &t);
+    // Mapping::block(2, 1) puts the ranks on different nodes, so the
+    // first message needs a multi-hop route — which cannot fit in 8 B.
+    cfg.mapping = Mapping::block(2, 1);
+    cfg.route_arena_cap_bytes = 8;
+    let err = simulate_budgeted(&t, &cfg, u64::MAX).expect_err("tiny arena cap must fail");
+    match err {
+        SimError::RouteArenaExhausted { bytes: _, routes, ref limit } => {
+            assert_eq!(routes, 0, "the very first route must trip the cap");
+            assert!(limit.contains("cap"), "limit: {limit}");
+        }
+        ref other => panic!("expected RouteArenaExhausted, got {other}"),
+    }
+    // An uncapped run of the same trace completes.
+    cfg.route_arena_cap_bytes = u64::MAX;
+    assert!(simulate_budgeted(&t, &cfg, u64::MAX).is_ok());
+}
+
+/// A message whose packet count exceeds the u32 sequence space is a
+/// typed `SimError::OversizedMessage`, not a truncated split or a
+/// debug-assert.
+#[test]
+fn oversized_message_is_explicit() {
+    let machine = Machine::cielito();
+    let mut t = Trace::empty(meta(2));
+    let huge = 1u64 << 50; // 2^50 B / 1 KiB packets = 2^40 packets > u32::MAX
+    t.events[0] =
+        vec![Event::new(EventKind::Send { peer: Rank(1), bytes: huge, tag: 0 }, Time::ZERO)];
+    t.events[1] =
+        vec![Event::new(EventKind::Recv { peer: Rank(0), bytes: huge, tag: 0 }, Time::ZERO)];
+    let mut cfg = SimConfig::new(machine, ModelKind::Packet { packet_bytes: 1024 }, &t);
+    cfg.mapping = Mapping::block(2, 1); // inter-node: the message hits the wire
+    let err = simulate_budgeted(&t, &cfg, u64::MAX).expect_err("oversized message must fail");
+    match err {
+        SimError::OversizedMessage { bytes, packets } => {
+            assert_eq!(bytes, huge);
+            assert!(packets > u64::from(u32::MAX), "packets: {packets}");
+        }
+        ref other => panic!("expected OversizedMessage, got {other}"),
+    }
+}
+
+/// A resident-memory budget trips as `SimError::MemoryBudget` with both
+/// sides of the comparison, instead of the allocator aborting the
+/// process at scale.
+#[test]
+fn memory_budget_is_explicit() {
+    let t = ft64_trace();
+    let machine = Machine::cielito();
+    let cfg = SimConfig::new(machine, ModelKind::Flow, &t);
+    let limits = SimLimits::unlimited().with_memory_budget(4096);
+    let err = simulate_limited(&t, &cfg, limits).expect_err("4 KiB budget must fail");
+    match err {
+        SimError::MemoryBudget { resident, budget } => {
+            assert_eq!(budget, 4096);
+            assert!(resident > 4096, "resident: {resident}");
+        }
+        ref other => panic!("expected MemoryBudget, got {other}"),
+    }
+    // The same failure normalizes to the study-level "memory" code.
+    let failure = ToolFailure::from_sim(err);
+    assert_eq!(failure.code(), "memory");
+    assert!(matches!(failure, ToolFailure::MemoryBudget { .. }));
 }
 
 /// MFACT rejects replays of deadlocking traces with a typed error
